@@ -1,0 +1,357 @@
+(* vrpc — command-line driver for the value-range-propagation tool chain.
+
+   Input programs come from a MiniC file or from the built-in benchmark
+   suite (-b NAME). Subcommands expose each stage: AST and SSA dumps, value
+   ranges, branch predictions, profiled execution, predictor-vs-observed
+   comparison, and the paper's client optimizations. *)
+
+open Cmdliner
+
+module Ir = Vrp_ir.Ir
+module Engine = Vrp_core.Engine
+module Pipeline = Vrp_core.Pipeline
+module Interp = Vrp_profile.Interp
+
+(* --- Program source selection --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_source file bench =
+  match (file, bench) with
+  | Some path, None -> Ok (read_file path)
+  | None, Some name -> (
+    match Vrp_suite.Suite.find name with
+    | Some b -> Ok b.Vrp_suite.Suite.source
+    | None ->
+      Error
+        (Printf.sprintf "unknown benchmark %S; available: %s" name
+           (String.concat ", "
+              (List.map (fun (b : Vrp_suite.Suite.benchmark) -> b.name)
+                 Vrp_suite.Suite.benchmarks))))
+  | Some _, Some _ -> Error "give either FILE or -b NAME, not both"
+  | None, None -> Error "no input: give a FILE or -b NAME"
+
+let with_source file bench k =
+  match load_source file bench with
+  | Error msg ->
+    prerr_endline ("vrpc: " ^ msg);
+    exit 2
+  | Ok source -> (
+    match Pipeline.compile source with
+    | compiled -> k compiled
+    | exception e -> (
+      match Vrp_lang.Front.describe_error e with
+      | Some msg ->
+        prerr_endline ("vrpc: " ^ msg);
+        exit 1
+      | None -> raise e))
+
+(* --- Common arguments --- *)
+
+let file_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"MiniC source file.")
+
+let bench_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc:"Use a built-in suite benchmark.")
+
+let numeric_arg =
+  Arg.(
+    value & flag
+    & info [ "numeric-only" ] ~doc:"Disable symbolic ranges (paper's numeric configuration).")
+
+let fn_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "function" ] ~docv:"FN" ~doc:"Restrict output to one function.")
+
+let config_of_flags numeric =
+  if numeric then Engine.numeric_only_config else Engine.default_config
+
+let select_fns (p : Ir.program) = function
+  | None -> p.Ir.fns
+  | Some name -> List.filter (fun (fn : Ir.fn) -> String.equal fn.Ir.fname name) p.Ir.fns
+
+(* --- Subcommands --- *)
+
+let dump_ast file bench =
+  with_source file bench (fun c ->
+      print_string (Vrp_lang.Pretty.program_to_string c.Pipeline.ast))
+
+let dump_ir file bench fn_filter =
+  with_source file bench (fun c ->
+      List.iter
+        (fun fn -> print_string (Ir.fn_to_string fn))
+        (select_fns c.Pipeline.ssa fn_filter))
+
+let ranges file bench numeric fn_filter =
+  with_source file bench (fun c ->
+      let ipa = Vrp_core.Interproc.analyze ~config:(config_of_flags numeric) c.Pipeline.ssa in
+      List.iter
+        (fun (fn : Ir.fn) ->
+          match Vrp_core.Interproc.result ipa fn.Ir.fname with
+          | None -> Printf.printf "%s: unreachable from main\n" fn.Ir.fname
+          | Some res ->
+            Printf.printf "function %s:\n" fn.Ir.fname;
+            Ir.iter_blocks fn (fun b ->
+                List.iter
+                  (fun instr ->
+                    match instr with
+                    | Ir.Def (v, _) ->
+                      Printf.printf "  %-12s %s\n" (Vrp_ir.Var.to_string v)
+                        (Vrp_ranges.Value.to_string (Engine.value res v))
+                    | Ir.Store _ -> ())
+                  b.Ir.instrs))
+        (select_fns c.Pipeline.ssa fn_filter))
+
+let predict file bench numeric =
+  with_source file bench (fun c ->
+      let config = config_of_flags numeric in
+      let vrp, _ = Pipeline.vrp_predictions ~config c.Pipeline.ssa in
+      let bl = Vrp_predict.Predictor.ball_larus c.Pipeline.ssa in
+      let nf = Vrp_predict.Predictor.ninety_fifty c.Pipeline.ssa in
+      Printf.printf "%-28s %8s %12s %8s\n" "branch" "vrp" "ball-larus" "90/50";
+      List.iter
+        (fun (((fname, bid) as key), (br : Ir.branch)) ->
+          let get tbl = Option.value ~default:Float.nan (Hashtbl.find_opt tbl key) in
+          Printf.printf "%-28s %7.1f%% %11.1f%% %7.1f%%\n"
+            (Printf.sprintf "%s.B%d (%s %s %s)" fname bid (Ir.operand_to_string br.ba)
+               (Vrp_lang.Ast.relop_to_string br.rel)
+               (Ir.operand_to_string br.bb))
+            (100.0 *. get vrp) (100.0 *. get bl) (100.0 *. get nf))
+        (Vrp_predict.Predictor.branches c.Pipeline.ssa))
+
+let run file bench args =
+  with_source file bench (fun c ->
+      match Interp.run ~capture_output:true c.Pipeline.ssa ~args with
+      | { ret; profile; output } ->
+        print_string output;
+        (match ret with
+        | Interp.Vint n -> Printf.printf "main returned %d\n" n
+        | Interp.Vfloat f -> Printf.printf "main returned %g\n" f);
+        Printf.printf "executed %d instructions, %d distinct conditional branches\n"
+          profile.Interp.steps
+          (Hashtbl.length profile.Interp.branches)
+      | exception Interp.Trap msg ->
+        Printf.printf "trap: %s\n" msg;
+        exit 1)
+
+let compare file bench train_args ref_args =
+  with_source file bench (fun c ->
+      let train = (Interp.run c.Pipeline.ssa ~args:train_args).Interp.profile in
+      let observed = (Interp.run c.Pipeline.ssa ~args:ref_args).Interp.profile in
+      let predictors = Pipeline.all_predictors ~train c.Pipeline.ssa in
+      Printf.printf "%-24s %8s" "branch" "actual";
+      List.iter (fun (name, _) -> Printf.printf " %12s" name) predictors;
+      print_newline ();
+      let keys =
+        Hashtbl.fold
+          (fun key (st : Interp.branch_stats) acc ->
+            if st.Interp.total > 0 then (key, st) :: acc else acc)
+          observed.Interp.branches []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (((fname, bid) as key), (st : Interp.branch_stats)) ->
+          let actual = float_of_int st.Interp.taken /. float_of_int st.Interp.total in
+          Printf.printf "%-24s %7.1f%%" (Printf.sprintf "%s.B%d" fname bid) (100.0 *. actual);
+          List.iter
+            (fun (_, p) ->
+              let v = Option.value ~default:Float.nan (Hashtbl.find_opt p key) in
+              Printf.printf " %11.1f%%" (100.0 *. v))
+            predictors;
+          print_newline ())
+        keys;
+      List.iter
+        (fun (name, p) ->
+          let errs = Vrp_evaluation.Error_analysis.branch_errors ~observed p in
+          Printf.printf "mean |error| %-12s unweighted %.2f pp, weighted %.2f pp\n" name
+            (Vrp_evaluation.Error_analysis.mean_error ~weighted:false errs)
+            (Vrp_evaluation.Error_analysis.mean_error ~weighted:true errs))
+        predictors)
+
+let optimize file bench numeric =
+  with_source file bench (fun c ->
+      let config = config_of_flags numeric in
+      let ipa = Vrp_core.Interproc.analyze ~config c.Pipeline.ssa in
+      List.iter
+        (fun (fn : Ir.fn) ->
+          match Vrp_core.Interproc.result ipa fn.Ir.fname with
+          | None -> ()
+          | Some res ->
+            let report = Vrp_core.Optimize.find_report res in
+            Printf.printf "function %s: %s" fn.Ir.fname
+              (Vrp_core.Optimize.report_to_string report);
+            let rewritten = Vrp_core.Optimize.rewrite res in
+            Printf.printf "  %d blocks -> %d blocks after rewrite\n"
+              (Ir.num_blocks fn) (Ir.num_blocks rewritten))
+        c.Pipeline.ssa.Ir.fns)
+
+let bounds file bench numeric =
+  with_source file bench (fun c ->
+      let config = config_of_flags numeric in
+      let ipa = Vrp_core.Interproc.analyze ~config c.Pipeline.ssa in
+      List.iter
+        (fun (fn : Ir.fn) ->
+          match Vrp_core.Interproc.result ipa fn.Ir.fname with
+          | None -> ()
+          | Some res ->
+            let r = Vrp_core.Bounds_check.analyze c.Pipeline.ssa res in
+            if r.Vrp_core.Bounds_check.total > 0 then
+              Printf.printf "function %-12s %d/%d bounds checks eliminated\n" fn.Ir.fname
+                r.Vrp_core.Bounds_check.eliminated r.Vrp_core.Bounds_check.total)
+        c.Pipeline.ssa.Ir.fns)
+
+let alias file bench =
+  with_source file bench (fun c ->
+      let ipa = Vrp_core.Interproc.analyze c.Pipeline.ssa in
+      List.iter
+        (fun (fn : Ir.fn) ->
+          match Vrp_core.Interproc.result ipa fn.Ir.fname with
+          | None -> ()
+          | Some res ->
+            let r = Vrp_core.Alias.analyze res in
+            if r.Vrp_core.Alias.pairs <> [] then
+              Printf.printf "function %-12s %d/%d access pairs proven disjoint\n"
+                fn.Ir.fname r.Vrp_core.Alias.disjoint
+                (List.length r.Vrp_core.Alias.pairs))
+        c.Pipeline.ssa.Ir.fns)
+
+let freq file bench numeric top =
+  with_source file bench (fun c ->
+      let config = config_of_flags numeric in
+      let ipa = Vrp_core.Interproc.analyze ~config c.Pipeline.ssa in
+      let f = Vrp_core.Frequency.of_interproc c.Pipeline.ssa ipa in
+      Printf.printf "function invocation frequencies (per run of main):\n";
+      Hashtbl.iter
+        (fun name v -> Printf.printf "  %-14s %12.1f\n" name v)
+        f.Vrp_core.Frequency.call_freq;
+      Printf.printf "\nhottest blocks (predicted global execution frequency):\n";
+      List.iteri
+        (fun i (fname, bid, v) ->
+          if i < top then Printf.printf "  %-14s B%-4d %12.1f\n" fname bid v)
+        (Vrp_core.Frequency.hottest_blocks f))
+
+let dot file bench fn_filter annotate =
+  with_source file bench (fun c ->
+      List.iter
+        (fun (fn : Ir.fn) ->
+          if annotate then begin
+            let res = Engine.analyze fn in
+            let ff = Vrp_core.Frequency.of_engine res in
+            print_string
+              (Vrp_ir.Dot.fn_to_dot
+                 ~branch_prob:(Engine.branch_prob res)
+                 ~block_note:(fun bid ->
+                   Some
+                     (Printf.sprintf "freq %.2f" ff.Vrp_core.Frequency.block_freq.(bid)))
+                 fn)
+          end
+          else print_string (Vrp_ir.Dot.fn_to_dot fn))
+        (select_fns c.Pipeline.ssa fn_filter))
+
+let list_benchmarks () =
+  List.iter
+    (fun (b : Vrp_suite.Suite.benchmark) ->
+      Printf.printf "%-10s %-4s train=%s ref=%s\n" b.name
+        (Vrp_suite.Suite.category_to_string b.category)
+        (String.concat "," (List.map string_of_int b.train_args))
+        (String.concat "," (List.map string_of_int b.ref_args)))
+    Vrp_suite.Suite.benchmarks
+
+(* --- Terms --- *)
+
+let args_pair ~names ~doc ~default =
+  Arg.(value & opt (pair ~sep:',' int int) default & info names ~docv:"N,SEED" ~doc)
+
+let cmd_of name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let dump_ast_cmd =
+  cmd_of "dump-ast" "Parse, type-check and pretty-print the program."
+    Term.(const dump_ast $ file_arg $ bench_arg)
+
+let dump_ir_cmd =
+  cmd_of "dump-ir" "Print the canonical SSA control flow graph."
+    Term.(const dump_ir $ file_arg $ bench_arg $ fn_arg)
+
+let ranges_cmd =
+  cmd_of "ranges" "Print the final value range of every SSA variable."
+    Term.(const ranges $ file_arg $ bench_arg $ numeric_arg $ fn_arg)
+
+let predict_cmd =
+  cmd_of "predict" "Print branch probabilities from VRP and the heuristic baselines."
+    Term.(const predict $ file_arg $ bench_arg $ numeric_arg)
+
+let run_cmd =
+  let args =
+    Arg.(
+      value
+      & opt (list ~sep:',' int) [ 100; 1 ]
+      & info [ "args" ] ~docv:"N,SEED" ~doc:"Arguments passed to main.")
+  in
+  cmd_of "run" "Interpret the program and report its execution profile."
+    Term.(const run $ file_arg $ bench_arg $ args)
+
+let compare_cmd =
+  let train = args_pair ~names:[ "train" ] ~doc:"Training input." ~default:(100, 1) in
+  let ref_ = args_pair ~names:[ "reference" ] ~doc:"Reference input." ~default:(1000, 2) in
+  let wrap f b (tn, ts) (rn, rs) = compare f b [ tn; ts ] [ rn; rs ] in
+  cmd_of "compare" "Compare every predictor against observed branch behaviour."
+    Term.(const wrap $ file_arg $ bench_arg $ train $ ref_)
+
+let optimize_cmd =
+  cmd_of "optimize" "Report and apply constant/copy subsumption and unreachable code."
+    Term.(const optimize $ file_arg $ bench_arg $ numeric_arg)
+
+let bounds_cmd =
+  cmd_of "bounds" "Report array bounds checks proven redundant by value ranges."
+    Term.(const bounds $ file_arg $ bench_arg $ numeric_arg)
+
+let alias_cmd =
+  cmd_of "alias" "Report array access pairs proven disjoint by value ranges."
+    Term.(const alias $ file_arg $ bench_arg)
+
+let freq_cmd =
+  let top =
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"N" ~doc:"How many hot blocks to list.")
+  in
+  cmd_of "freq" "Predicted block and function execution frequencies (paper section 6)."
+    Term.(const freq $ file_arg $ bench_arg $ numeric_arg $ top)
+
+let dot_cmd =
+  let annotate =
+    Arg.(value & flag & info [ "annotate" ] ~doc:"Annotate with probabilities/frequencies.")
+  in
+  cmd_of "dot" "Emit the control flow graph in Graphviz DOT format."
+    Term.(const dot $ file_arg $ bench_arg $ fn_arg $ annotate)
+
+let list_cmd =
+  cmd_of "list" "List the built-in benchmark suite." Term.(const list_benchmarks $ const ())
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "vrpc" ~version:"1.0.0"
+       ~doc:"Static branch prediction by value range propagation (PLDI 1995)")
+    [
+      dump_ast_cmd;
+      dump_ir_cmd;
+      ranges_cmd;
+      predict_cmd;
+      run_cmd;
+      compare_cmd;
+      optimize_cmd;
+      bounds_cmd;
+      alias_cmd;
+      freq_cmd;
+      dot_cmd;
+      list_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

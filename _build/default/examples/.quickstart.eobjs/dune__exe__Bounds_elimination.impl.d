@@ -1,0 +1,1 @@
+examples/bounds_elimination.ml: List Printf Vrp_core Vrp_ir

@@ -1,0 +1,1 @@
+examples/cloning.ml: Hashtbl List Option Printf String Vrp_core Vrp_ir Vrp_lang Vrp_profile Vrp_ranges

@@ -1,0 +1,1 @@
+examples/hot_paths.ml: Array Float Fun Hashtbl List Option Printf String Sys Vrp_core Vrp_ir Vrp_profile Vrp_suite

@@ -1,0 +1,1 @@
+examples/predictor_comparison.ml: Array Float Hashtbl List Option Printf String Sys Vrp_core Vrp_evaluation Vrp_profile Vrp_suite

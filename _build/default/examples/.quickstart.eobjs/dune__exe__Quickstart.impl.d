@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Vrp_core Vrp_evaluation Vrp_ir Vrp_profile

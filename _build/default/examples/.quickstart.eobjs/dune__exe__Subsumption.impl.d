@@ -1,0 +1,1 @@
+examples/subsumption.ml: Array List Printf Vrp_core Vrp_ir Vrp_ranges

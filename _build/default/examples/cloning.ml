@@ -1,0 +1,104 @@
+(* Procedure cloning for calling-context-sensitive prediction (paper §3.7).
+
+   "Procedure cloning involves duplicating a critical procedure which is not
+   inlined but which is called in two (or more) significantly different
+   contexts so that each copy may be optimized in a different way ... Since
+   the calling context has a large impact on the branching behavior, this
+   leads to substantially more accurate predictions."
+
+   The program below calls [blur] from two very different contexts: a
+   thumbnail path (radius 2) and a full-image path (radius 16). Merging the
+   jump functions loses the radius; cloning recovers a precise range — and a
+   precise prediction for the radius-dependent branch — per context.
+
+   Run with:  dune exec examples/cloning.exe *)
+
+let source =
+  {|
+int pixels[4096];
+
+int blur(int radius, int limit) {
+  int acc = 0;
+  for (int i = 0; i < limit; i++) {
+    // radius-dependent branch: wide blurs take the slow path
+    if (radius > 8) {
+      acc = acc + pixels[i] * 2;
+    } else {
+      acc = acc + pixels[i];
+    }
+  }
+  return acc % 65536;
+}
+
+int main(int n, int seed) {
+  for (int i = 0; i < 4096; i++) { pixels[i] = (i * 31 + seed) % 251; }
+  int thumbs = 0;
+  int fulls = 0;
+  for (int frame = 0; frame < 40; frame++) {
+    thumbs = (thumbs + blur(2, 64)) % 100000;    // thumbnail context
+    fulls = (fulls + blur(16, 4096)) % 100000;   // full-image context
+  }
+  return thumbs + fulls;
+}
+|}
+
+let branch_report label (program : Vrp_ir.Ir.program) (ipa : Vrp_core.Interproc.t)
+    (origin_of : (string, string) Hashtbl.t) =
+  Printf.printf "\n=== %s ===\n" label;
+  List.iter
+    (fun (fn : Vrp_ir.Ir.fn) ->
+      let origin =
+        Option.value ~default:fn.Vrp_ir.Ir.fname
+          (Hashtbl.find_opt origin_of fn.Vrp_ir.Ir.fname)
+      in
+      if String.equal origin "blur" then begin
+        match Vrp_core.Interproc.result ipa fn.Vrp_ir.Ir.fname with
+        | None -> ()
+        | Some res ->
+          (* parameter ranges *)
+          List.iter
+            (fun (p : Vrp_ir.Var.t) ->
+              Printf.printf "  %s param %s = %s\n" fn.Vrp_ir.Ir.fname
+                (Vrp_ir.Var.to_string p)
+                (Vrp_ranges.Value.to_string (Vrp_core.Engine.value res p)))
+            fn.Vrp_ir.Ir.params;
+          Vrp_ir.Ir.iter_blocks fn (fun b ->
+              match b.Vrp_ir.Ir.term with
+              | Vrp_ir.Ir.Br br -> (
+                match Vrp_core.Engine.branch_prob res b.Vrp_ir.Ir.bid with
+                | Some p ->
+                  Printf.printf "  %s branch (%s %s %s) predicted %.1f%%\n"
+                    fn.Vrp_ir.Ir.fname
+                    (Vrp_ir.Ir.operand_to_string br.ba)
+                    (Vrp_lang.Ast.relop_to_string br.rel)
+                    (Vrp_ir.Ir.operand_to_string br.bb)
+                    (100.0 *. p)
+                | None -> ())
+              | Vrp_ir.Ir.Jump _ | Vrp_ir.Ir.Ret _ -> ())
+      end)
+    program.Vrp_ir.Ir.fns
+
+let () =
+  let compiled = Vrp_core.Pipeline.compile source in
+  let ssa = compiled.Vrp_core.Pipeline.ssa in
+  (* Without cloning: one merged context. *)
+  let ipa = Vrp_core.Interproc.analyze ssa in
+  branch_report "Without cloning (jump functions merged across call sites)" ssa ipa
+    (Hashtbl.create 1);
+  (* With cloning: one specialised copy per calling context. *)
+  let cloned = Vrp_core.Clone.run ssa ipa in
+  Printf.printf "\ncloning made %d specialised copies\n" cloned.Vrp_core.Clone.clones_made;
+  let ipa' = Vrp_core.Interproc.analyze cloned.Vrp_core.Clone.program in
+  branch_report "With cloning (one copy per calling context)"
+    cloned.Vrp_core.Clone.program ipa' cloned.Vrp_core.Clone.origin_of;
+  (* Ground truth. *)
+  print_endline "\n=== Observed at run time (radius > 8 branch) ===";
+  let observed = (Vrp_profile.Interp.run ssa ~args:[ 0; 1 ]).Vrp_profile.Interp.profile in
+  Hashtbl.iter
+    (fun (fname, bid) (st : Vrp_profile.Interp.branch_stats) ->
+      if String.equal fname "blur" then
+        Printf.printf "  blur.B%d taken %.1f%% of %d executions\n" bid
+          (100.0 *. float_of_int st.Vrp_profile.Interp.taken
+          /. float_of_int st.Vrp_profile.Interp.total)
+          st.Vrp_profile.Interp.total)
+    observed.Vrp_profile.Interp.branches

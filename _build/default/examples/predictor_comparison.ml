@@ -1,0 +1,66 @@
+(* Predictor comparison on a realistic workload.
+
+   This is the paper's §5 experiment in miniature: run a benchmark under a
+   training input and a (different) reference input, then compare how close
+   each predictor's branch probabilities come to the observed behaviour.
+
+   Run with:  dune exec examples/predictor_comparison.exe [BENCHMARK]
+   (default benchmark: proto — the packet-validation workload where symbolic
+   ranges visibly beat both the numeric-only configuration and heuristics) *)
+
+module Interp = Vrp_profile.Interp
+module E = Vrp_evaluation.Error_analysis
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "proto" in
+  let bench =
+    match Vrp_suite.Suite.find name with
+    | Some b -> b
+    | None ->
+      Printf.eprintf "unknown benchmark %s\n" name;
+      exit 2
+  in
+  Printf.printf "benchmark %s (%s suite), train input %s, reference input %s\n\n"
+    bench.Vrp_suite.Suite.name
+    (Vrp_suite.Suite.category_to_string bench.Vrp_suite.Suite.category)
+    (String.concat "," (List.map string_of_int bench.Vrp_suite.Suite.train_args))
+    (String.concat "," (List.map string_of_int bench.Vrp_suite.Suite.ref_args));
+  let compiled = Vrp_core.Pipeline.compile bench.Vrp_suite.Suite.source in
+  let ssa = compiled.Vrp_core.Pipeline.ssa in
+  let train = (Interp.run ssa ~args:bench.Vrp_suite.Suite.train_args).Interp.profile in
+  let observed = (Interp.run ssa ~args:bench.Vrp_suite.Suite.ref_args).Interp.profile in
+  let predictors = Vrp_core.Pipeline.all_predictors ~train ssa in
+  (* Per-branch table. *)
+  Printf.printf "%-26s %8s" "branch (fn.block)" "actual";
+  List.iter (fun (pname, _) -> Printf.printf " %12s" pname) predictors;
+  print_newline ();
+  let keys =
+    Hashtbl.fold
+      (fun key (st : Interp.branch_stats) acc ->
+        if st.Interp.total > 0 then (key, st) :: acc else acc)
+      observed.Interp.branches []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (((fname, bid) as key), (st : Interp.branch_stats)) ->
+      let actual = float_of_int st.Interp.taken /. float_of_int st.Interp.total in
+      Printf.printf "%-26s %7.1f%%" (Printf.sprintf "%s.B%d" fname bid) (100.0 *. actual);
+      List.iter
+        (fun (_, prediction) ->
+          let p = Option.value ~default:Float.nan (Hashtbl.find_opt prediction key) in
+          Printf.printf " %11.1f%%" (100.0 *. p))
+        predictors;
+      print_newline ())
+    keys;
+  (* Summary: the paper's error-margin analysis. *)
+  print_newline ();
+  Printf.printf "%-14s %22s %20s %22s\n" "predictor" "mean |error| (unwt)" "mean |error| (wt)"
+    "% within 5pp (unwt)";
+  List.iter
+    (fun (pname, prediction) ->
+      let errs = E.branch_errors ~observed prediction in
+      Printf.printf "%-14s %19.2f pp %17.2f pp %21.1f%%\n" pname
+        (E.mean_error ~weighted:false errs)
+        (E.mean_error ~weighted:true errs)
+        (E.percent_within ~weighted:false errs 5))
+    predictors

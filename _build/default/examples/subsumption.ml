@@ -1,0 +1,75 @@
+(* VRP subsumes constant propagation, copy propagation and unreachable-code
+   detection (paper §1 and §6).
+
+   The example program hides constants behind arithmetic and control flow,
+   contains copies through several names, and has a branch that can never be
+   taken. The analysis finds all of them, and this example also cross-checks
+   VRP against the classic Wegman–Zadeck SCCP baseline: everything SCCP
+   proves constant must come out of VRP as a probability-1 singleton.
+
+   Run with:  dune exec examples/subsumption.exe *)
+
+let source =
+  {|
+int main(int n, int seed) {
+  int base = 6 * 7;            // plain constant folding
+  int doubled;
+  if (n > 0) { doubled = base + base; } else { doubled = 84; }
+  // doubled is 84 on both paths: constant despite control flow
+  int alias = doubled;         // copy
+  int alias2 = alias;          // copy of a copy
+  int dead = 0;
+  if (doubled < 50) {          // never taken: 84 < 50 is impossible
+    dead = seed;
+  }
+  int spin = n;
+  if (spin > 100) { spin = 100; }
+  if (spin > 200) {            // unreachable: spin <= 100 here
+    dead = dead + 1;
+  }
+  return alias2 + dead;
+}
+|}
+
+let () =
+  print_endline "=== Program ===";
+  print_string source;
+  let compiled = Vrp_core.Pipeline.compile source in
+  let fn = List.hd compiled.Vrp_core.Pipeline.ssa.Vrp_ir.Ir.fns in
+  let res = Vrp_core.Engine.analyze fn in
+  print_endline "\n=== VRP findings ===";
+  let report = Vrp_core.Optimize.find_report res in
+  print_string (Vrp_core.Optimize.report_to_string report);
+  List.iter
+    (fun (bid, dir) ->
+      Printf.printf "  branch in B%d always goes %s\n" bid (if dir then "true" else "false"))
+    report.Vrp_core.Optimize.decided_branches;
+  (* Cross-check against SCCP: VRP must find every SCCP constant. *)
+  print_endline "\n=== Cross-check vs Wegman-Zadeck SCCP ===";
+  let sccp = Vrp_core.Sccp.analyze fn in
+  let agreement = ref 0 and extra = ref 0 in
+  Vrp_ir.Ir.iter_blocks fn (fun b ->
+      List.iter
+        (fun instr ->
+          match instr with
+          | Vrp_ir.Ir.Def (v, _) -> (
+            let vrp_const =
+              Vrp_ranges.Value.as_constant res.Vrp_core.Engine.values.(v.Vrp_ir.Var.id)
+            in
+            match (Vrp_core.Sccp.value sccp v, vrp_const) with
+            | Vrp_core.Sccp.Cint n, Some m when n = m -> incr agreement
+            | Vrp_core.Sccp.Cint n, _ ->
+              Printf.printf "  DISAGREEMENT on %s: sccp=%d vrp=%s\n" (Vrp_ir.Var.to_string v)
+                n
+                (Vrp_ranges.Value.to_string res.Vrp_core.Engine.values.(v.Vrp_ir.Var.id))
+            | _, Some _ -> incr extra
+            | _, None -> ())
+          | Vrp_ir.Ir.Store _ -> ())
+        b.Vrp_ir.Ir.instrs);
+  Printf.printf "  %d constants found by both; %d found only by VRP\n" !agreement !extra;
+  (* Apply the rewrite and show the optimized function. *)
+  print_endline "\n=== After rewriting (constants/copies substituted, branches folded) ===";
+  let rewritten = Vrp_core.Optimize.rewrite res in
+  print_string (Vrp_ir.Ir.fn_to_string rewritten);
+  Printf.printf "blocks: %d -> %d\n" (Vrp_ir.Ir.num_blocks fn)
+    (Vrp_ir.Ir.num_blocks rewritten)

@@ -1,0 +1,1 @@
+lib/evaluation/error_analysis.ml: Float Hashtbl List Option Vrp_predict Vrp_profile

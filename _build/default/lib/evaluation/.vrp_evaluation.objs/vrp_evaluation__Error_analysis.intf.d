@@ -1,0 +1,1 @@
+lib/evaluation/error_analysis.mli: Vrp_predict Vrp_profile

@@ -1,0 +1,1 @@
+lib/evaluation/figures.ml: Array Buffer Error_analysis Int List Printf String Vrp_core Vrp_ir Vrp_lang Vrp_profile Vrp_ranges Vrp_suite Vrp_util

@@ -1,0 +1,1 @@
+lib/evaluation/figures.mli: Vrp_suite

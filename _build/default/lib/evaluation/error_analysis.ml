@@ -1,0 +1,78 @@
+(** The paper's §5 evaluation methodology.
+
+    "The resulting branch predictions were analyzed in terms of how far each
+    branch's predicted probability deviated from its actual behavior. This
+    involved determining the difference between the predicted probability
+    for each branch and the actual probability observed for that branch when
+    the program was given the SPEC reference inputs. The analysis was done
+    in both an unweighted context, where each branch contributed equally,
+    and in a context where each branch was weighted according to its
+    execution count."
+
+    A cumulative curve maps an error margin (percentage points) to the
+    fraction of branch weight predicted within that margin; Figures 7/8 plot
+    margins <1, <3, ..., <39. *)
+
+module Interp = Vrp_profile.Interp
+module Predictor = Vrp_predict.Predictor
+
+(** Per-branch absolute error in percentage points with its execution
+    count. Only branches that executed under the reference input
+    participate (unexecuted branches have no observed behaviour). *)
+type branch_error = { key : Predictor.branch_key; error_pp : float; count : int }
+
+let branch_errors ~(observed : Interp.profile) (prediction : Predictor.prediction) :
+    branch_error list =
+  Hashtbl.fold
+    (fun key (stats : Interp.branch_stats) acc ->
+      if stats.Interp.total = 0 then acc
+      else begin
+        let actual = float_of_int stats.Interp.taken /. float_of_int stats.Interp.total in
+        let predicted = Option.value ~default:0.5 (Hashtbl.find_opt prediction key) in
+        let error_pp = 100.0 *. Float.abs (predicted -. actual) in
+        { key; error_pp; count = stats.Interp.total } :: acc
+      end)
+    observed.Interp.branches []
+
+(** The paper's x-axis: margins <1, <3, ..., <39 percentage points. *)
+let margins = List.init 20 (fun i -> (2 * i) + 1)
+
+(** Fraction (0..100) of branches predicted within [margin] percentage
+    points; [weighted] weights each branch by its execution count. *)
+let percent_within ~(weighted : bool) (errors : branch_error list) (margin : int) : float =
+  let weight e = if weighted then float_of_int e.count else 1.0 in
+  let total = List.fold_left (fun acc e -> acc +. weight e) 0.0 errors in
+  if total <= 0.0 then 0.0
+  else begin
+    let inside =
+      List.fold_left
+        (fun acc e -> if e.error_pp < float_of_int margin then acc +. weight e else acc)
+        0.0 errors
+    in
+    100.0 *. inside /. total
+  end
+
+(** Cumulative curve over {!margins}. *)
+let curve ~weighted errors = List.map (fun m -> percent_within ~weighted errors m) margins
+
+(** Equal-weight average of per-benchmark curves ("Each benchmark is
+    weighted equally within its suite"). *)
+let average_curves (curves : float list list) : float list =
+  match curves with
+  | [] -> List.map (fun _ -> 0.0) margins
+  | _ ->
+    let n = float_of_int (List.length curves) in
+    List.fold_left
+      (fun acc c -> List.map2 ( +. ) acc c)
+      (List.map (fun _ -> 0.0) margins)
+      curves
+    |> List.map (fun total -> total /. n)
+
+(** Mean absolute error in percentage points (summary statistic used by the
+    shape tests; lower is better). *)
+let mean_error ~(weighted : bool) (errors : branch_error list) : float =
+  let weight e = if weighted then float_of_int e.count else 1.0 in
+  let total = List.fold_left (fun acc e -> acc +. weight e) 0.0 errors in
+  if total <= 0.0 then 0.0
+  else
+    List.fold_left (fun acc e -> acc +. (weight e *. e.error_pp)) 0.0 errors /. total

@@ -1,0 +1,26 @@
+(** The paper's §5 evaluation methodology: per-branch |predicted − observed|
+    error in percentage points, cumulative curves over the paper's margins,
+    unweighted and execution-weighted. *)
+
+module Interp = Vrp_profile.Interp
+module Predictor = Vrp_predict.Predictor
+
+type branch_error = { key : Predictor.branch_key; error_pp : float; count : int }
+
+(** Errors for every branch that executed under the reference profile. *)
+val branch_errors : observed:Interp.profile -> Predictor.prediction -> branch_error list
+
+(** The paper's x-axis: <1, <3, ..., <39 percentage points. *)
+val margins : int list
+
+(** Percentage (0..100) of branch weight predicted within a margin. *)
+val percent_within : weighted:bool -> branch_error list -> int -> float
+
+(** Cumulative curve over {!margins}. *)
+val curve : weighted:bool -> branch_error list -> float list
+
+(** Equal-weight average of per-benchmark curves. *)
+val average_curves : float list list -> float list
+
+(** Mean absolute error in percentage points. *)
+val mean_error : weighted:bool -> branch_error list -> float

@@ -1,0 +1,1 @@
+lib/ir/build.ml: Array Fun Hashtbl Int Ir List Option Printf String Var Vrp_lang

@@ -1,0 +1,1 @@
+lib/ir/check.ml: Array Dom Hashtbl Int Ir List Printf String Var

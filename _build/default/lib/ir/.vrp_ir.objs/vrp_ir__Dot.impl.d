@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Buffer Ir List Printf String

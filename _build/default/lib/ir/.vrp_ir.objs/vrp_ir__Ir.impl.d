@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Buffer List Option Printf String Var Vrp_lang

@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Array Dom Hashtbl Int Ir List Option Set

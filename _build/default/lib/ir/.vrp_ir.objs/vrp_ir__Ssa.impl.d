@@ -1,0 +1,1 @@
+lib/ir/ssa.ml: Array Dom Hashtbl Ir List Option Queue Var Vrp_lang

@@ -1,0 +1,1 @@
+lib/ir/var.ml: Format Hashtbl Int Map Printf Set Vrp_lang

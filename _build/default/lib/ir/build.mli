@@ -1,0 +1,19 @@
+(** Lowering from the MiniC AST to the CFG IR: expression flattening to
+    three-address code, short-circuit control flow, implicit zero
+    initialisation, global scalars as memory, CFG cleanup and critical-edge
+    splitting. See the implementation header for the full list of
+    conventions the rest of the pipeline relies on. *)
+
+exception Lower_error of string
+
+(** Drop unreachable blocks and renumber densely (preserving φ argument
+    consistency). *)
+val cleanup : Ir.fn -> Ir.fn
+
+(** Ensure each successor of a conditional branch has exactly one
+    predecessor (gives assertions a unique edge to guard). *)
+val split_critical_edges : Ir.fn -> Ir.fn
+
+(** Lower a type-checked program to a canonical (cleaned, split) CFG
+    program. SSA conversion is the separate {!Ssa} pass. *)
+val program : Vrp_lang.Ast.program -> Ir.program

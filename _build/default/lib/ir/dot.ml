@@ -1,0 +1,53 @@
+(** Graphviz (DOT) export of control flow graphs, optionally annotated with
+    branch probabilities and block frequencies — handy for inspecting what
+    the analyses believe about a function. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\l"
+      | '<' | '>' | '{' | '}' | '|' -> Buffer.add_char buf c
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Render one function. [branch_prob bid] annotates conditional out-edges;
+    [block_note bid] adds a line (e.g. a frequency) to the block label. *)
+let fn_to_dot ?(branch_prob = fun _ -> None) ?(block_note = fun _ -> None) (fn : Ir.fn) :
+    string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" fn.Ir.fname);
+  Buffer.add_string buf "  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+  Ir.iter_blocks fn (fun b ->
+      let body =
+        String.concat "\n"
+          ((Printf.sprintf "B%d:" b.Ir.bid
+           :: List.map Ir.instr_to_string b.Ir.instrs)
+          @ [ Ir.term_to_string b.Ir.term ]
+          @ (match block_note b.Ir.bid with Some note -> [ note ] | None -> []))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\l\"];\n" b.Ir.bid (escape body));
+      match b.Ir.term with
+      | Ir.Jump d -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" b.Ir.bid d)
+      | Ir.Ret _ -> ()
+      | Ir.Br { tdst; fdst; _ } -> (
+        match branch_prob b.Ir.bid with
+        | Some p ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"T %.1f%%\", color=darkgreen];\n" b.Ir.bid
+               tdst (100.0 *. p));
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"F %.1f%%\", color=firebrick];\n" b.Ir.bid
+               fdst (100.0 *. (1.0 -. p)))
+        | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"T\"];\n" b.Ir.bid tdst);
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"F\"];\n" b.Ir.bid fdst)));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,5 @@
+(** Graphviz (DOT) export of control flow graphs, optionally annotated with
+    branch probabilities and per-block notes. *)
+
+val fn_to_dot :
+  ?branch_prob:(int -> float option) -> ?block_note:(int -> string option) -> Ir.fn -> string

@@ -1,0 +1,200 @@
+(** The mid-level intermediate representation.
+
+    A function is a control flow graph of basic blocks holding three-address
+    instructions. After construction the CFG is cleaned (unreachable blocks
+    removed), critical edges are split, and SSA conversion adds φ-functions
+    and the paper's branch {e assertions} (§3.8: "assertions such as this one
+    are placed in the graph after conditional branches to assert specific
+    properties of a variable"). All analyses and the reference interpreter
+    consume this one canonical SSA CFG, so branch identities line up across
+    predictors and the profiler. *)
+
+type operand = Cint of int | Cfloat of float | Ovar of Var.t
+
+type unop = Neg | Bnot
+
+(** Right-hand sides of definitions. *)
+type rhs =
+  | Op of operand  (** copy / constant *)
+  | Binop of Vrp_lang.Ast.binop * operand * operand
+  | Unop of unop * operand
+  | Cmp of Vrp_lang.Ast.relop * operand * operand  (** materialised 0/1 *)
+  | Load of string * operand  (** array element read *)
+  | Call of string * operand list
+  | Phi of (int * operand) list  (** (predecessor block id, argument) *)
+  | Assertion of assertion
+      (** SSA-renamed copy of [parent] carrying the predicate established by
+          the conditional branch guarding this block *)
+
+and assertion = { parent : Var.t; arel : Vrp_lang.Ast.relop; abound : operand }
+
+type instr =
+  | Def of Var.t * rhs
+  | Store of string * operand * operand  (** array, index, value *)
+
+type term =
+  | Jump of int
+  | Br of branch
+  | Ret of operand option
+
+and branch = {
+  rel : Vrp_lang.Ast.relop;
+  ba : operand;
+  bb : operand;
+  tdst : int;  (** destination when [ba rel bb] holds *)
+  fdst : int;
+}
+
+type block = {
+  bid : int;
+  mutable instrs : instr list;
+  mutable term : term;
+  mutable preds : int list;  (** cached; maintain via [recompute_preds] *)
+}
+
+type array_info = { aname : string; elem_ty : Vrp_lang.Ast.ty; size : int }
+
+type fn = {
+  fname : string;
+  ret_ty : Vrp_lang.Ast.ty;
+  params : Var.t list;
+  mutable blocks : block array;  (** indexed by block id; entry is block 0 *)
+  mutable nvars : int;
+  local_arrays : array_info list;
+}
+
+type program = {
+  fns : fn list;
+  global_arrays : array_info list;
+      (** includes scalar globals, modelled as size-1 arrays *)
+}
+
+let entry_bid = 0
+
+let successors = function
+  | Jump d -> [ d ]
+  | Br { tdst; fdst; _ } -> [ tdst; fdst ]
+  | Ret _ -> []
+
+let block f bid = f.blocks.(bid)
+let num_blocks f = Array.length f.blocks
+
+let iter_blocks f g = Array.iter g f.blocks
+
+let recompute_preds (f : fn) =
+  iter_blocks f (fun b -> b.preds <- []);
+  iter_blocks f (fun b ->
+      List.iter
+        (fun s -> f.blocks.(s).preds <- b.bid :: f.blocks.(s).preds)
+        (successors b.term));
+  iter_blocks f (fun b -> b.preds <- List.rev b.preds)
+
+let fresh_var (f : fn) ~base ~version ~ty : Var.t =
+  let id = f.nvars in
+  f.nvars <- f.nvars + 1;
+  { Var.id; base; version; ty }
+
+let find_fn program name = List.find_opt (fun f -> String.equal f.fname name) program.fns
+
+let find_array (program : program) (f : fn) name =
+  match List.find_opt (fun a -> String.equal a.aname name) f.local_arrays with
+  | Some a -> Some a
+  | None -> List.find_opt (fun a -> String.equal a.aname name) program.global_arrays
+
+(* --- Operand/instruction traversal helpers --- *)
+
+let operand_var = function Ovar v -> Some v | Cint _ | Cfloat _ -> None
+
+let rhs_operands = function
+  | Op a | Unop (_, a) | Load (_, a) -> [ a ]
+  | Binop (_, a, b) | Cmp (_, a, b) -> [ a; b ]
+  | Call (_, args) -> args
+  | Phi args -> List.map snd args
+  | Assertion { parent; abound; _ } -> [ Ovar parent; abound ]
+
+let instr_uses = function
+  | Def (_, rhs) -> List.filter_map operand_var (rhs_operands rhs)
+  | Store (_, idx, v) -> List.filter_map operand_var [ idx; v ]
+
+let instr_def = function Def (v, _) -> Some v | Store _ -> None
+
+let term_uses = function
+  | Jump _ -> []
+  | Br { ba; bb; _ } -> List.filter_map operand_var [ ba; bb ]
+  | Ret (Some op) -> Option.to_list (operand_var op)
+  | Ret None -> []
+
+(** Count of instructions plus terminators: the "number of instructions"
+    metric of the paper's Figures 5 and 6. *)
+let fn_size (f : fn) =
+  Array.fold_left (fun acc b -> acc + List.length b.instrs + 1) 0 f.blocks
+
+let program_size (p : program) = List.fold_left (fun acc f -> acc + fn_size f) 0 p.fns
+
+(* --- Printing --- *)
+
+let operand_to_string = function
+  | Cint n -> string_of_int n
+  | Cfloat f -> Printf.sprintf "%g" f
+  | Ovar v -> Var.to_string v
+
+let rhs_to_string = function
+  | Op a -> operand_to_string a
+  | Binop (op, a, b) ->
+    Printf.sprintf "%s %s %s" (operand_to_string a)
+      (Vrp_lang.Ast.binop_to_string op)
+      (operand_to_string b)
+  | Unop (Neg, a) -> Printf.sprintf "-%s" (operand_to_string a)
+  | Unop (Bnot, a) -> Printf.sprintf "~%s" (operand_to_string a)
+  | Cmp (op, a, b) ->
+    Printf.sprintf "%s %s %s" (operand_to_string a)
+      (Vrp_lang.Ast.relop_to_string op)
+      (operand_to_string b)
+  | Load (arr, idx) -> Printf.sprintf "%s[%s]" arr (operand_to_string idx)
+  | Call (fn, args) ->
+    Printf.sprintf "%s(%s)" fn (String.concat ", " (List.map operand_to_string args))
+  | Phi args ->
+    Printf.sprintf "phi(%s)"
+      (String.concat ", "
+         (List.map
+            (fun (pred, op) -> Printf.sprintf "B%d: %s" pred (operand_to_string op))
+            args))
+  | Assertion { parent; arel; abound } ->
+    Printf.sprintf "assert(%s %s %s)" (Var.to_string parent)
+      (Vrp_lang.Ast.relop_to_string arel)
+      (operand_to_string abound)
+
+let instr_to_string = function
+  | Def (v, rhs) -> Printf.sprintf "%s = %s" (Var.to_string v) (rhs_to_string rhs)
+  | Store (arr, idx, v) ->
+    Printf.sprintf "%s[%s] = %s" arr (operand_to_string idx) (operand_to_string v)
+
+let term_to_string = function
+  | Jump d -> Printf.sprintf "jump B%d" d
+  | Br { rel; ba; bb; tdst; fdst } ->
+    Printf.sprintf "br (%s %s %s) B%d B%d" (operand_to_string ba)
+      (Vrp_lang.Ast.relop_to_string rel)
+      (operand_to_string bb) tdst fdst
+  | Ret None -> "ret"
+  | Ret (Some op) -> Printf.sprintf "ret %s" (operand_to_string op)
+
+let fn_to_string (f : fn) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "function %s(%s):\n" f.fname
+       (String.concat ", " (List.map Var.to_string f.params)));
+  List.iter
+    (fun a -> Buffer.add_string buf (Printf.sprintf "  array %s[%d]\n" a.aname a.size))
+    f.local_arrays;
+  iter_blocks f (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "B%d:  ; preds: %s\n" b.bid
+           (String.concat " " (List.map (Printf.sprintf "B%d") b.preds)));
+      List.iter
+        (fun i -> Buffer.add_string buf (Printf.sprintf "  %s\n" (instr_to_string i)))
+        b.instrs;
+      Buffer.add_string buf (Printf.sprintf "  %s\n" (term_to_string b.term)));
+  Buffer.contents buf
+
+let program_to_string (p : program) =
+  String.concat "\n" (List.map fn_to_string p.fns)

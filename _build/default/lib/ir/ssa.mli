@@ -1,0 +1,19 @@
+(** SSA construction (Cytron et al.) with the paper's branch assertions
+    (§3.8): φ placement on iterated dominance frontiers, renaming by a
+    dominator-tree walk, and [x' = assert(x rel k)] narrowing copies on both
+    successors of every conditional branch. A use whose renaming stack is
+    empty denotes a never-assigned path and becomes the constant 0 (MiniC's
+    defined semantics). *)
+
+type info = {
+  fn : Ir.fn;
+  dom : Dom.t;
+  orig_of : (int, Var.t) Hashtbl.t;  (** SSA variable id -> pre-SSA variable *)
+}
+
+(** Convert one function in place; returns the analysis info (with the
+    re-versioned parameter list). *)
+val transform : Ir.fn -> info
+
+(** Convert every function; infos are keyed by function name. *)
+val transform_program : Ir.program -> Ir.program * (string, info) Hashtbl.t

@@ -1,0 +1,1 @@
+lib/lang/front.ml: Ast Lexer Parser Printf Typecheck

@@ -1,0 +1,1 @@
+lib/lang/front.mli: Ast

@@ -1,0 +1,1 @@
+lib/lang/typecheck.ml: Ast Fun Hashtbl List Option Printf

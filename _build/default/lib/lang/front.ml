@@ -1,0 +1,16 @@
+(** Convenience entry point: lex, parse and type-check a MiniC source. *)
+
+(** @raise Lexer.Error, Parser.Error or Typecheck.Error on bad input. *)
+let parse_and_check (src : string) : Ast.program =
+  let program = Parser.parse_program src in
+  Typecheck.check_program program;
+  program
+
+(** Human-readable rendering of front-end errors, for CLI drivers. *)
+let describe_error = function
+  | Lexer.Error (msg, line, col) ->
+    Some (Printf.sprintf "lexical error at %d:%d: %s" line col msg)
+  | Parser.Error (msg, line, col) ->
+    Some (Printf.sprintf "parse error at %d:%d: %s" line col msg)
+  | Typecheck.Error (msg, line) -> Some (Printf.sprintf "type error at line %d: %s" line msg)
+  | _ -> None

@@ -1,0 +1,8 @@
+(** Convenience entry point: lex, parse and type-check a MiniC source. *)
+
+(** @raise Lexer.Error, Parser.Error or Typecheck.Error on bad input. *)
+val parse_and_check : string -> Ast.program
+
+(** Human-readable rendering of front-end exceptions; [None] for other
+    exceptions. *)
+val describe_error : exn -> string option

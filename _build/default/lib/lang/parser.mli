@@ -1,0 +1,8 @@
+(** Recursive-descent parser for MiniC (C-like precedence; grammar in the
+    implementation header). *)
+
+(** (message, line, column) *)
+exception Error of string * int * int
+
+(** @raise Error or {!Lexer.Error} on malformed input. *)
+val parse_program : string -> Ast.program

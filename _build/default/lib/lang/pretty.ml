@@ -1,0 +1,205 @@
+(** Pretty printer for MiniC.
+
+    Emits source that re-parses to a structurally identical program (modulo
+    statement line numbers), which the tests rely on as a round-trip check
+    and the procedure-cloning pass uses to dump specialised code. *)
+
+open Ast
+
+let prec_of_binop = function
+  | Mul | Div | Mod -> 10
+  | Add | Sub -> 9
+  | Shl | Shr -> 8
+  | Band -> 5
+  | Bxor -> 4
+  | Bor -> 3
+
+let prec_of_expr = function
+  | Int _ | Float _ | Var _ | Index _ | Call _ -> 12
+  | Unop _ -> 11
+  | Binop (op, _, _) -> prec_of_binop op
+  | Rel (Lt, _, _) | Rel (Le, _, _) | Rel (Gt, _, _) | Rel (Ge, _, _) -> 7
+  | Rel (Eq, _, _) | Rel (Ne, _, _) -> 6
+  | And _ -> 2
+  | Or _ -> 1
+
+let float_literal f =
+  (* Ensure the literal re-lexes as a FLOAT token (digits '.' digits). *)
+  let s = Printf.sprintf "%.17g" f in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then
+    if String.contains s 'e' || String.contains s 'n' then Printf.sprintf "%f" f else s
+  else s ^ ".0"
+
+let rec pp_expr buf e =
+  let prec = prec_of_expr e in
+  let atom child =
+    (* Parenthesise when the child binds no tighter than this node; always
+       safe, and keeps the printer simple and unambiguous. *)
+    if prec_of_expr child <= prec then begin
+      Buffer.add_char buf '(';
+      pp_expr buf child;
+      Buffer.add_char buf ')'
+    end
+    else pp_expr buf child
+  in
+  match e with
+  | Int n ->
+    if n < 0 then Buffer.add_string buf (Printf.sprintf "(0 - %d)" (-n))
+    else Buffer.add_string buf (string_of_int n)
+  | Float f ->
+    if f < 0.0 then Buffer.add_string buf (Printf.sprintf "(0.0 - %s)" (float_literal (-.f)))
+    else Buffer.add_string buf (float_literal f)
+  | Var name -> Buffer.add_string buf name
+  | Index (name, idx) ->
+    Buffer.add_string buf name;
+    Buffer.add_char buf '[';
+    pp_expr buf idx;
+    Buffer.add_char buf ']'
+  | Binop (op, a, b) ->
+    atom a;
+    Buffer.add_string buf (Printf.sprintf " %s " (binop_to_string op));
+    atom b
+  | Rel (op, a, b) ->
+    atom a;
+    Buffer.add_string buf (Printf.sprintf " %s " (relop_to_string op));
+    atom b
+  | And (a, b) ->
+    atom a;
+    Buffer.add_string buf " && ";
+    atom b
+  | Or (a, b) ->
+    atom a;
+    Buffer.add_string buf " || ";
+    atom b
+  | Unop (op, a) ->
+    Buffer.add_string buf (unop_to_string op);
+    atom a
+  | Call (name, args) ->
+    Buffer.add_string buf name;
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i arg ->
+        if i > 0 then Buffer.add_string buf ", ";
+        pp_expr buf arg)
+      args;
+    Buffer.add_char buf ')'
+
+let pp_lvalue buf = function
+  | Lvar name -> Buffer.add_string buf name
+  | Lindex (name, idx) ->
+    Buffer.add_string buf name;
+    Buffer.add_char buf '[';
+    pp_expr buf idx;
+    Buffer.add_char buf ']'
+
+let indent buf depth = Buffer.add_string buf (String.make (depth * 2) ' ')
+
+let rec pp_stmt buf depth (s : stmt) =
+  indent buf depth;
+  (match s.sdesc with
+  | Sdecl (ty, name, Iscalar None) ->
+    Buffer.add_string buf (Printf.sprintf "%s %s;" (ty_to_string ty) name)
+  | Sdecl (ty, name, Iscalar (Some e)) ->
+    Buffer.add_string buf (Printf.sprintf "%s %s = " (ty_to_string ty) name);
+    pp_expr buf e;
+    Buffer.add_char buf ';'
+  | Sdecl (ty, name, Iarray size) ->
+    Buffer.add_string buf (Printf.sprintf "%s %s[%d];" (ty_to_string ty) name size)
+  | Sassign (lv, e) ->
+    pp_lvalue buf lv;
+    Buffer.add_string buf " = ";
+    pp_expr buf e;
+    Buffer.add_char buf ';'
+  | Sif (cond, then_blk, else_blk) -> (
+    Buffer.add_string buf "if (";
+    pp_expr buf cond;
+    Buffer.add_string buf ") {\n";
+    pp_block buf (depth + 1) then_blk;
+    indent buf depth;
+    Buffer.add_char buf '}';
+    match else_blk with
+    | None -> ()
+    | Some blk ->
+      Buffer.add_string buf " else {\n";
+      pp_block buf (depth + 1) blk;
+      indent buf depth;
+      Buffer.add_char buf '}')
+  | Swhile (cond, body) ->
+    Buffer.add_string buf "while (";
+    pp_expr buf cond;
+    Buffer.add_string buf ") {\n";
+    pp_block buf (depth + 1) body;
+    indent buf depth;
+    Buffer.add_char buf '}'
+  | Sfor (init, cond, step, body) ->
+    Buffer.add_string buf "for (";
+    (match init with
+    | Some { sdesc = Sdecl (ty, name, Iscalar (Some e)); _ } ->
+      Buffer.add_string buf (Printf.sprintf "%s %s = " (ty_to_string ty) name);
+      pp_expr buf e
+    | Some { sdesc = Sassign (lv, e); _ } ->
+      pp_lvalue buf lv;
+      Buffer.add_string buf " = ";
+      pp_expr buf e
+    | Some { sdesc = Sexpr e; _ } -> pp_expr buf e
+    | Some _ | None -> ());
+    Buffer.add_string buf "; ";
+    (match cond with Some c -> pp_expr buf c | None -> ());
+    Buffer.add_string buf "; ";
+    (match step with
+    | Some { sdesc = Sassign (lv, e); _ } ->
+      pp_lvalue buf lv;
+      Buffer.add_string buf " = ";
+      pp_expr buf e
+    | Some { sdesc = Sexpr e; _ } -> pp_expr buf e
+    | Some _ | None -> ());
+    Buffer.add_string buf ") {\n";
+    pp_block buf (depth + 1) body;
+    indent buf depth;
+    Buffer.add_char buf '}'
+  | Sreturn None -> Buffer.add_string buf "return;"
+  | Sreturn (Some e) ->
+    Buffer.add_string buf "return ";
+    pp_expr buf e;
+    Buffer.add_char buf ';'
+  | Sbreak -> Buffer.add_string buf "break;"
+  | Scontinue -> Buffer.add_string buf "continue;"
+  | Sexpr e ->
+    pp_expr buf e;
+    Buffer.add_char buf ';');
+  Buffer.add_char buf '\n'
+
+and pp_block buf depth blk = List.iter (pp_stmt buf depth) blk
+
+let pp_func buf (f : func) =
+  Buffer.add_string buf (Printf.sprintf "%s %s(" (ty_to_string f.fty) f.fname);
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "%s %s" (ty_to_string p.pty) p.pname))
+    f.params;
+  Buffer.add_string buf ") {\n";
+  pp_block buf 1 f.body;
+  Buffer.add_string buf "}\n"
+
+let program_to_string (p : program) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun g ->
+      match g.gsize with
+      | None -> Buffer.add_string buf (Printf.sprintf "%s %s;\n" (ty_to_string g.gty) g.gname)
+      | Some size ->
+        Buffer.add_string buf (Printf.sprintf "%s %s[%d];\n" (ty_to_string g.gty) g.gname size))
+    p.globals;
+  if p.globals <> [] then Buffer.add_char buf '\n';
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf '\n';
+      pp_func buf f)
+    p.funcs;
+  Buffer.contents buf
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  pp_expr buf e;
+  Buffer.contents buf

@@ -1,0 +1,5 @@
+(** Pretty printer for MiniC: emits source that re-parses to a structurally
+    identical program (modulo statement line numbers). *)
+
+val program_to_string : Ast.program -> string
+val expr_to_string : Ast.expr -> string

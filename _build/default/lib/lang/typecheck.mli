@@ -1,0 +1,17 @@
+(** Type checker for MiniC: declaration-before-use with lexical scoping,
+    numeric arithmetic with implicit [int -> float] widening, integer-only
+    [%]/bitwise/shift operators, arity- and type-checked calls, placement
+    checks for [return]/[break]/[continue]. *)
+
+(** (message, source line) *)
+exception Error of string * int
+
+type sym = Scalar of Ast.ty | Array of Ast.ty * int
+
+type fsig = { ret : Ast.ty; args : Ast.ty list }
+
+(** Built-in functions ([print_int], [print_float]). *)
+val builtins : (string * fsig) list
+
+(** @raise Error on the first type error found. *)
+val check_program : Ast.program -> unit

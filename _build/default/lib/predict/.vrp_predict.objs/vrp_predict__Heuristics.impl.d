@@ -1,0 +1,1 @@
+lib/predict/heuristics.ml: Combine List Vrp_ir Vrp_lang

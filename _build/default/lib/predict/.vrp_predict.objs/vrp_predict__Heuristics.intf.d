@@ -1,0 +1,1 @@
+lib/predict/heuristics.mli: Vrp_ir

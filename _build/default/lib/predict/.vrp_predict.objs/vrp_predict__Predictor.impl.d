@@ -1,0 +1,1 @@
+lib/predict/predictor.ml: Array Hashtbl Heuristics List Vrp_ir Vrp_profile Vrp_util

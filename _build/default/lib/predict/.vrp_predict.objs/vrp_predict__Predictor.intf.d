@@ -1,0 +1,1 @@
+lib/predict/predictor.mli: Hashtbl Vrp_ir Vrp_profile

@@ -1,0 +1,18 @@
+(** Combining independent branch-probability estimates.
+
+    Wu & Larus, "Static Branch Frequency and Program Profile Analysis"
+    (MICRO-27, 1994) combine the evidence of several applicable Ball–Larus
+    heuristics with the Dempster–Shafer rule; the paper under reproduction
+    uses the same combination ("the [BallLarus93] heuristics combined as in
+    [WuLarus94] to produce probabilities", §5). *)
+
+(** Dempster–Shafer combination of two taken-probabilities. *)
+let dempster_shafer p1 p2 =
+  let num = p1 *. p2 in
+  let denom = num +. ((1.0 -. p1) *. (1.0 -. p2)) in
+  if denom <= 0.0 then 0.5 else num /. denom
+
+(** Combine a list of estimates; no evidence means an even 50/50 guess. *)
+let combine = function
+  | [] -> 0.5
+  | p :: rest -> List.fold_left dempster_shafer p rest

@@ -1,0 +1,8 @@
+(** Dempster–Shafer combination of branch-probability estimates
+    (Wu & Larus, MICRO-27 1994), as used by the paper's heuristic
+    baseline. *)
+
+val dempster_shafer : float -> float -> float
+
+(** Combine all applicable estimates; no evidence = 0.5. *)
+val combine : float list -> float

@@ -1,0 +1,40 @@
+(** The 90/50 rule and the Ball–Larus heuristic set with Wu–Larus hit-rate
+    probabilities — the paper's baselines and its fallback for branches
+    whose value range is ⊥. Each heuristic returns [Some p] (probability of
+    the true edge) when it applies. See the implementation header for how
+    "backward branch" is interpreted structurally and why the pointer
+    heuristic is absent in MiniC. *)
+
+module Ir = Vrp_ir.Ir
+
+type ctx = { fn : Ir.fn; loops : Vrp_ir.Loops.t; postdom : Vrp_ir.Dom.t }
+
+val make_ctx : Ir.fn -> ctx
+
+(** Wu–Larus hit rates. *)
+val lbh_prob : float
+
+val leh_prob : float
+val lhh_prob : float
+val ch_prob : float
+val oh_prob : float
+val gh_prob : float
+val sh_prob : float
+val rh_prob : float
+
+(** The individual heuristics (exposed for testing and ablation). *)
+val loop_branch : ctx -> src:int -> Ir.branch -> float option
+
+val loop_exit : ctx -> src:int -> Ir.branch -> float option
+val loop_header : ctx -> src:int -> Ir.branch -> float option
+val call : ctx -> src:int -> Ir.branch -> float option
+val opcode : ctx -> src:int -> Ir.branch -> float option
+val guard : ctx -> src:int -> Ir.branch -> float option
+val store : ctx -> src:int -> Ir.branch -> float option
+val return : ctx -> src:int -> Ir.branch -> float option
+
+(** Dempster–Shafer combination of every applicable heuristic. *)
+val ball_larus : ctx -> src:int -> Ir.branch -> float
+
+(** The 90/50 rule: structurally-backward branches 90%, else 50/50. *)
+val ninety_fifty : ctx -> src:int -> Ir.branch -> float

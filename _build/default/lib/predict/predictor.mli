@@ -1,0 +1,29 @@
+(** Uniform interface over the branch predictors: a prediction maps each
+    conditional branch — [(function name, block id)] — to the probability of
+    taking its true edge. *)
+
+module Ir = Vrp_ir.Ir
+
+type branch_key = string * int
+
+type prediction = (branch_key, float) Hashtbl.t
+
+(** All conditional branches of a program. *)
+val branches : Ir.program -> (branch_key * Ir.branch) list
+
+(** The 90/50 rule. *)
+val ninety_fifty : Ir.program -> prediction
+
+(** Ball–Larus heuristics, Dempster–Shafer combined. *)
+val ball_larus : Ir.program -> prediction
+
+(** Deterministic random baseline. *)
+val random : ?seed:int -> Ir.program -> prediction
+
+(** Execution profiling: each branch behaves as in the training run;
+    untrained branches fall back to 50/50. *)
+val profiling : Vrp_profile.Interp.profile -> Ir.program -> prediction
+
+(** The hypothetical perfect static predictor (paper §5), for harness
+    sanity checks. *)
+val perfect : Vrp_profile.Interp.profile -> Ir.program -> prediction

@@ -1,0 +1,1 @@
+lib/profile/interp.ml: Array Buffer Float Hashtbl Int List Option Printf Vrp_ir Vrp_lang

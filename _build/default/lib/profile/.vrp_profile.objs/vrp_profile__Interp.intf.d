@@ -1,0 +1,1 @@
+lib/profile/interp.mli: Hashtbl Vrp_ir

@@ -1,0 +1,37 @@
+(** Reference interpreter and execution profiler: executes the canonical SSA
+    CFG directly, so observed branch behaviour attaches to exactly the
+    branch identities the static predictors annotate. Stands in for the
+    paper's instrumented SPEC binaries. *)
+
+module Ir = Vrp_ir.Ir
+
+type value = Vint of int | Vfloat of float
+
+(** Runtime traps: division by zero, out-of-bounds access, step-budget
+    exhaustion, arity mismatches. *)
+exception Trap of string
+
+type branch_stats = { mutable taken : int; mutable total : int }
+
+type profile = {
+  branches : (string * int, branch_stats) Hashtbl.t;
+      (** per conditional branch: (function, block) -> outcome counts *)
+  edges : (string * int * int, int) Hashtbl.t;
+      (** per CFG edge traversal counts *)
+  mutable steps : int;  (** executed instructions *)
+}
+
+val fresh_profile : unit -> profile
+val branch_stats : profile -> string * int -> branch_stats option
+
+(** Observed P(taken), if the branch executed. *)
+val observed_prob : profile -> string * int -> float option
+
+val exec_count : profile -> string * int -> int
+
+type result = { ret : value; profile : profile; output : string }
+
+(** Interpret [main] on integer arguments. [max_steps] bounds the run
+    (default 50M); [capture_output] collects [print_*] output.
+    @raise Trap on runtime errors. *)
+val run : ?max_steps:int -> ?capture_output:bool -> Ir.program -> args:int list -> result

@@ -1,0 +1,1 @@
+lib/ranges/counters.mli:

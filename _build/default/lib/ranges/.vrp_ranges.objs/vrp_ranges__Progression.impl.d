@@ -1,0 +1,1 @@
+lib/ranges/progression.ml: Counters Float Printf Vrp_lang Vrp_util

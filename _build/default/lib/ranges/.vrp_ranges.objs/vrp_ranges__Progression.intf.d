@@ -1,0 +1,1 @@
+lib/ranges/progression.mli: Vrp_lang

@@ -1,0 +1,1 @@
+lib/ranges/srange.ml: Float Int Option Printf Progression Sym Vrp_ir

@@ -1,0 +1,1 @@
+lib/ranges/srange.mli: Progression Sym Vrp_ir

@@ -1,0 +1,1 @@
+lib/ranges/sym.ml: Int Option Printf Vrp_ir

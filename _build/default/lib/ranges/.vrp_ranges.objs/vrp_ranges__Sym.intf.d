@@ -1,0 +1,1 @@
+lib/ranges/sym.mli: Vrp_ir

@@ -1,0 +1,1 @@
+lib/ranges/value.ml: Array Config Counters Float List Option Printf Progression Srange String Sym Vrp_ir Vrp_lang Vrp_util

@@ -1,0 +1,1 @@
+lib/ranges/value.mli: Srange Vrp_ir Vrp_lang

@@ -1,0 +1,19 @@
+(** Tunables of the range representation.
+
+    [max_ranges] is the paper's give-up point: "it is necessary to place an
+    upper limit on the number of ranges used ... In practice a relatively
+    small number of ranges is adequate, normally no more than four" (§3.4).
+    The ablation bench sweeps this value; everything else reads it through
+    this reference. *)
+
+let default_max_ranges = 4
+
+let max_ranges = ref default_max_ranges
+
+(** Probability tolerance for value equality (fixed-point detection). *)
+let eps = 1e-9
+
+let with_max_ranges r f =
+  let saved = !max_ranges in
+  max_ranges := r;
+  Fun.protect ~finally:(fun () -> max_ranges := saved) f

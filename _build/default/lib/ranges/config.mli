@@ -1,0 +1,13 @@
+(** Tunables of the range representation. *)
+
+(** The paper's give-up point: at most this many ranges per value
+    ("normally no more than four", §3.4). *)
+val default_max_ranges : int
+
+val max_ranges : int ref
+
+(** Probability tolerance for value equality (fixed-point detection). *)
+val eps : float
+
+(** Run [f] with a temporary range budget (restored afterwards). *)
+val with_max_ranges : int -> (unit -> 'a) -> 'a

@@ -1,0 +1,15 @@
+(** Instrumentation counters for the paper's complexity figures.
+
+    Figure 5 plots the number of {e expression evaluations} (counted by the
+    propagation engine) and Figure 6 the number of {e evaluation
+    sub-operations} — the primitive operations on pairs of ranges — against
+    program size. Every range-pair primitive in this library ticks
+    [sub_ops]. *)
+
+let sub_ops = ref 0
+
+let tick () = incr sub_ops
+
+let reset () = sub_ops := 0
+
+let read () = !sub_ops

@@ -1,0 +1,7 @@
+(** Instrumentation for the paper's complexity figures: every range-pair
+    primitive ticks [sub_ops] (Figure 6's "evaluation sub-operations"). *)
+
+val sub_ops : int ref
+val tick : unit -> unit
+val reset : unit -> unit
+val read : unit -> int

@@ -1,0 +1,101 @@
+(** One weighted range: the paper's [P[L:U:S]] (§3.4).
+
+    [L] and [U] are independent symbolic bounds ([variable + constant] or
+    plain constants), [S] the stride and [P] the probability of the range
+    applying at run time, with values assumed evenly distributed.
+
+    A range is {e countable} when both bounds are numeric or both share one
+    base variable (the offsets then form a finite {!Progression});
+    probabilities of two-sided predicates are only computable over countable
+    ranges. Mixed ranges such as [1[0 : n+1 : 1]] — the shape of derived
+    loop-counter ranges with a symbolic bound — still support one-sided
+    certainty tests and narrowing, which is what the paper's symbolic
+    accuracy gains come from. *)
+
+module Var = Vrp_ir.Var
+
+type t = { p : float; lo : Sym.t; hi : Sym.t; stride : int }
+
+(** Structural classification of a range's bounds. *)
+type kind =
+  | Numeric  (** both bounds numeric *)
+  | Same_base of Var.t  (** both bounds offsets of one variable *)
+  | Mixed  (** one symbolic bound, or two with distinct bases *)
+
+let kind r =
+  match (r.lo.Sym.base, r.hi.Sym.base) with
+  | None, None -> Numeric
+  | Some va, Some vb when Var.equal va vb -> Same_base va
+  | (None | Some _), (None | Some _) -> Mixed
+
+(** The offsets progression, for countable ranges. *)
+let prog r : Progression.t option =
+  match kind r with
+  | Numeric | Same_base _ ->
+    if r.hi.Sym.off < r.lo.Sym.off then None
+    else Some (Progression.make r.lo.Sym.off r.hi.Sym.off r.stride)
+  | Mixed -> None
+
+let countable r = match kind r with Numeric | Same_base _ -> true | Mixed -> false
+
+let count r = Option.map Progression.count (prog r)
+
+let is_numeric r = kind r = Numeric
+
+let is_singleton r = Sym.equal r.lo r.hi
+
+(** Normalising constructor; [None] when the range is provably empty. For
+    mixed bounds emptiness is not decidable, so the range is kept. *)
+let make ~p ~lo ~hi ~stride : t option =
+  match (lo.Sym.base, hi.Sym.base) with
+  | None, None | Some _, Some _ when Sym.same_base lo hi ->
+    if hi.Sym.off < lo.Sym.off then None
+    else begin
+      let pr = Progression.make lo.Sym.off hi.Sym.off stride in
+      Some
+        {
+          p;
+          lo = { lo with Sym.off = pr.Progression.lo };
+          hi = { hi with Sym.off = pr.Progression.hi };
+          stride = pr.Progression.stride;
+        }
+    end
+  | _ -> Some { p; lo; hi; stride = max stride 1 }
+
+let numeric ~p (pr : Progression.t) =
+  {
+    p;
+    lo = Sym.num pr.Progression.lo;
+    hi = Sym.num pr.Progression.hi;
+    stride = pr.Progression.stride;
+  }
+
+let singleton ~p (s : Sym.t) = { p; lo = s; hi = s; stride = 0 }
+
+let same_shape a b = Sym.equal a.lo b.lo && Sym.equal a.hi b.hi && a.stride = b.stride
+
+(** Ordering used to keep range sets canonical. *)
+let compare_sr a b =
+  let base_key (s : Sym.t) = match s.Sym.base with None -> -1 | Some v -> v.Var.id in
+  let c = Int.compare (base_key a.lo) (base_key b.lo) in
+  if c <> 0 then c
+  else begin
+    let c = Int.compare (base_key a.hi) (base_key b.hi) in
+    if c <> 0 then c
+    else begin
+      let c = Int.compare a.lo.Sym.off b.lo.Sym.off in
+      if c <> 0 then c
+      else begin
+        let c = Int.compare a.hi.Sym.off b.hi.Sym.off in
+        if c <> 0 then c else Int.compare a.stride b.stride
+      end
+    end
+  end
+
+let too_big r = Sym.too_big r.lo || Sym.too_big r.hi
+
+let to_string r =
+  let p =
+    if Float.abs (r.p -. 1.0) < 1e-9 then "1" else Printf.sprintf "%.3g" r.p
+  in
+  Printf.sprintf "%s[%s:%s:%d]" p (Sym.to_string r.lo) (Sym.to_string r.hi) r.stride

@@ -1,0 +1,39 @@
+(** One weighted range: the paper's [P[L:U:S]] (§3.4), with independent
+    symbolic bounds. See the implementation header for the countability
+    classification. *)
+
+module Var = Vrp_ir.Var
+
+type t = { p : float; lo : Sym.t; hi : Sym.t; stride : int }
+
+type kind =
+  | Numeric  (** both bounds numeric *)
+  | Same_base of Var.t  (** both bounds offsets of one variable *)
+  | Mixed  (** one symbolic bound, or two with distinct bases *)
+
+val kind : t -> kind
+
+(** The offsets progression, for countable (Numeric/Same_base) ranges. *)
+val prog : t -> Progression.t option
+
+val countable : t -> bool
+
+(** Element count, when countable. *)
+val count : t -> int option
+
+val is_numeric : t -> bool
+val is_singleton : t -> bool
+
+(** Normalising constructor; [None] when the range is provably empty (for
+    mixed bounds emptiness is undecidable and the range is kept). *)
+val make : p:float -> lo:Sym.t -> hi:Sym.t -> stride:int -> t option
+
+val numeric : p:float -> Progression.t -> t
+val singleton : p:float -> Sym.t -> t
+val same_shape : t -> t -> bool
+
+(** Canonical ordering for range sets. *)
+val compare_sr : t -> t -> int
+
+val too_big : t -> bool
+val to_string : t -> string

@@ -1,0 +1,80 @@
+(** The value-range lattice and its operation algebra (paper §3.4–§3.5).
+
+    A value is ⊤ (undetermined), ⊥ (statically unpredictable), or a set of
+    at most {!Config.max_ranges} weighted ranges whose probabilities sum
+    to 1.
+
+    Soundness contract (checked by property tests): if concrete inputs are
+    members of the input range sets then the concrete result is a member of
+    the result range set — probabilities are the heuristic layer, membership
+    is not. When a result is not exactly representable the operation widens
+    or returns ⊥; it never drops possible values. *)
+
+module Var = Vrp_ir.Var
+
+type t = Top | Ranges of Srange.t list | Bottom
+
+val top : t
+val bottom : t
+val const_int : int -> t
+
+(** The pure-copy value [1[v:v:0]] (paper §6: such a value marks a copy). *)
+val copy_of_var : Var.t -> t
+
+val of_ranges : Srange.t list -> t
+val is_bottom : t -> bool
+val is_top : t -> bool
+
+(** Total probability mass (≈1 after normalisation; 0 for ⊤/⊥). *)
+val mass : t -> float
+
+(** [Some k] when the value is the probability-1 numeric singleton [k]. *)
+val as_constant : t -> int option
+
+(** [Some v] when the value is the pure copy of variable [v]. *)
+val as_copy : t -> Var.t option
+
+(** Structural equality with probability tolerance {!Config.eps} — the
+    fixed-point test of the propagation engine. *)
+val equal : t -> t -> bool
+
+(** Canonicalise a weighted range list: coalesce, rescale mass to 1, compact
+    to the range budget (merging cheapest hulls first); ⊥ at the give-up
+    point. *)
+val normalize : Srange.t list -> t
+
+(** Evaluate a binary operator; ⊥ absorbs, ⊤ is propagated optimistically. *)
+val binop : Vrp_lang.Ast.binop -> t -> t -> t
+
+val unop : Vrp_ir.Ir.unop -> t -> t
+
+(** Probability that [a rel b] holds; [None] when the ranges are not
+    comparable (caller falls back to heuristics). *)
+val cmp_prob : Vrp_lang.Ast.relop -> t -> t -> float option
+
+(** The 0/1 value of a materialised comparison. *)
+val cmp_value : Vrp_lang.Ast.relop -> t -> t -> t
+
+(** [assert_narrow a rel b] refines [a] to the sub-ranges satisfying
+    [a rel b], scaling probability mass by the kept fraction; returns [a]
+    unchanged when no information can be extracted. Sound: uses the loosest
+    available bound of [b]. *)
+val assert_narrow : t -> Vrp_lang.Ast.relop -> t -> t
+
+(** Weighted φ-merge; weights are normalised internally. ⊥ with non-zero
+    weight absorbs; ⊤ contributions are ignored. *)
+val union_weighted : (float * t) list -> t
+
+(** [purely_numeric v] is [v] when every bound is numeric, otherwise ⊥ —
+    applied at function boundaries, where SSA names must not leak. *)
+val purely_numeric : t -> t
+
+(** Resolve symbolic bases against current variable values.
+    [only_singleton:true] substitutes exactly-known bases only — required
+    before probability queries, because a range derived from a base is
+    correlated with it and the independence assumption would mispredict;
+    the default full hull is for set-based clients (bounds checks,
+    aliasing). *)
+val subst : ?only_singleton:bool -> t -> lookup:(Var.t -> t) -> t
+
+val to_string : t -> string

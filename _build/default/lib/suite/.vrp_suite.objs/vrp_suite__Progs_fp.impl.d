@@ -1,0 +1,1 @@
+lib/suite/progs_fp.ml: Progs_int

@@ -1,0 +1,1 @@
+lib/suite/progs_int.ml:

@@ -1,0 +1,1 @@
+lib/suite/suite.ml: List Progs_fp Progs_int String

@@ -1,0 +1,1 @@
+lib/suite/synth.ml: Buffer Printf Progs_int Vrp_util

@@ -1,0 +1,538 @@
+(** The numeric benchmark suite: MiniC programs whose branch mix mirrors
+    SPECfp92 — kernels dominated by counted loops over arrays, where almost
+    every branch is controlled by an induction variable. This is the regime
+    in which the paper reports value range propagation doing markedly better
+    than on integer code ("numeric code often has a very simple branching
+    structure, with most branches depending on loop control variables",
+    §5). *)
+
+let rng_preamble = Progs_int.rng_preamble
+
+(* Fixed-size float data; [frand] yields values in [0, 1). *)
+let frand_preamble =
+  rng_preamble
+  ^ {|
+float frand() {
+  int r = rand_below(1000000);
+  return r / 1000000.0;
+}
+|}
+
+let matmul =
+  frand_preamble
+  ^ {|
+// Fixed 40x40 matrices (like SPECfp kernels with compiled-in dimensions);
+// n selects the number of multiply rounds.
+float a[1600];
+float b[1600];
+float c[1600];
+
+int main(int n, int seed) {
+  if (n < 1) { n = 1; }
+  if (n > 8) { n = 8; }
+  rng = seed % 65536 + 1;
+  for (int i = 0; i < 1600; i++) {
+    a[i] = frand();
+    b[i] = frand();
+  }
+  int above = 0;
+  for (int round = 0; round < n; round++) {
+    for (int i = 0; i < 40; i++) {
+      for (int j = 0; j < 40; j++) {
+        float acc = 0.0;
+        for (int k = 0; k < 40; k++) {
+          acc = acc + a[i * 40 + k] * b[k * 40 + j];
+        }
+        c[i * 40 + j] = acc;
+      }
+    }
+    // Checksum and feedback so the rounds are not idempotent.
+    float threshold = 10.0;
+    for (int i = 0; i < 1600; i++) {
+      if (c[i] > threshold) { above++; }
+      a[i] = c[i] / 16.0;
+    }
+  }
+  return above;
+}
+|}
+
+let jacobi =
+  frand_preamble
+  ^ {|
+float grid[2500];
+float next[2500];
+
+// Fixed 48x48 interior on a 50-wide grid; n selects the sweep count.
+int main(int n, int seed) {
+  if (n < 4) { n = 4; }
+  if (n > 80) { n = 80; }
+  rng = seed % 65536 + 1;
+  // Hot boundary on one edge, cold elsewhere.
+  for (int i = 0; i < 2500; i++) { grid[i] = 0.0; }
+  for (int j = 0; j < 50; j++) { grid[j] = 100.0; }
+  float delta = 0.0;
+  for (int s = 0; s < n; s++) {
+    delta = 0.0;
+    for (int i = 1; i <= 48; i++) {
+      for (int j = 1; j <= 48; j++) {
+        float v = (grid[(i - 1) * 50 + j] + grid[(i + 1) * 50 + j]
+          + grid[i * 50 + j - 1] + grid[i * 50 + j + 1]) / 4.0;
+        next[i * 50 + j] = v;
+        float d = v - grid[i * 50 + j];
+        if (d < 0.0) { d = 0.0 - d; }
+        if (d > delta) { delta = d; }
+      }
+    }
+    for (int i = 1; i <= 48; i++) {
+      for (int j = 1; j <= 48; j++) {
+        grid[i * 50 + j] = next[i * 50 + j];
+      }
+    }
+    if (delta < 0.001) { break; }
+  }
+  // Quantised checksum.
+  float total = 0.0;
+  for (int i = 1; i <= 48; i++) {
+    for (int j = 1; j <= 48; j++) { total = total + grid[i * 50 + j]; }
+  }
+  int q = 0;
+  while (total > 1.0) {
+    total = total - 1.0;
+    q++;
+    if (q > 100000) { break; }
+  }
+  return q;
+}
+|}
+
+let nbody =
+  frand_preamble
+  ^ {|
+float px[256];
+float py[256];
+float vx[256];
+float vy[256];
+
+// Fixed 80-body system; n selects the number of time steps.
+int main(int n, int seed) {
+  if (n < 2) { n = 2; }
+  if (n > 40) { n = 40; }
+  rng = seed % 65536 + 1;
+  for (int i = 0; i < 80; i++) {
+    px[i] = frand() * 10.0;
+    py[i] = frand() * 10.0;
+    vx[i] = 0.0;
+    vy[i] = 0.0;
+  }
+  float dt = 0.01;
+  float eps = 0.05;
+  for (int s = 0; s < n; s++) {
+    for (int i = 0; i < 80; i++) {
+      float ax = 0.0;
+      float ay = 0.0;
+      for (int j = 0; j < 80; j++) {
+        if (j != i) {
+          float dx = px[j] - px[i];
+          float dy = py[j] - py[i];
+          float d2 = dx * dx + dy * dy + eps;
+          // inverse by Newton iteration (no math library)
+          float inv = 1.0;
+          if (d2 > 1.0) { inv = 0.1; }
+          for (int it = 0; it < 5; it++) {
+            inv = inv * (2.0 - d2 * inv);
+          }
+          ax = ax + dx * inv;
+          ay = ay + dy * inv;
+        }
+      }
+      vx[i] = vx[i] + ax * dt;
+      vy[i] = vy[i] + ay * dt;
+    }
+    for (int i = 0; i < 80; i++) {
+      px[i] = px[i] + vx[i] * dt;
+      py[i] = py[i] + vy[i] * dt;
+    }
+  }
+  // Count particles that drifted out of the 10x10 box.
+  int out = 0;
+  for (int i = 0; i < 80; i++) {
+    if (px[i] < 0.0 || px[i] > 10.0 || py[i] < 0.0 || py[i] > 10.0) { out++; }
+  }
+  return out * 1000 + n;
+}
+|}
+
+let fir =
+  frand_preamble
+  ^ {|
+float signal[8192];
+float output[8192];
+float taps[16];
+
+int main(int n, int seed) {
+  if (n < 32) { n = 32; }
+  if (n > 8192) { n = 8192; }
+  rng = seed % 65536 + 1;
+  int ntaps = 12;
+  for (int t = 0; t < ntaps; t++) {
+    taps[t] = (frand() - 0.5) / ntaps;
+  }
+  for (int i = 0; i < n; i++) {
+    signal[i] = frand() * 2.0 - 1.0;
+  }
+  for (int i = 0; i < n; i++) {
+    float acc = 0.0;
+    for (int t = 0; t < ntaps; t++) {
+      if (i - t >= 0) {
+        acc = acc + taps[t] * signal[i - t];
+      }
+    }
+    output[i] = acc;
+  }
+  // Count zero crossings of the filtered signal.
+  int crossings = 0;
+  for (int i = 1; i < n; i++) {
+    if (output[i - 1] < 0.0 && output[i] >= 0.0) { crossings++; }
+    if (output[i - 1] >= 0.0 && output[i] < 0.0) { crossings++; }
+  }
+  return crossings;
+}
+|}
+
+let gauss =
+  frand_preamble
+  ^ {|
+float m[1056];
+float x[32];
+
+// Fixed 24x24 systems; n selects how many systems are solved.
+int main(int n, int seed) {
+  if (n < 1) { n = 1; }
+  if (n > 24) { n = 24; }
+  rng = seed % 65536 + 1;
+  int good = 0;
+  for (int solve = 0; solve < n; solve++) {
+    good = good + solve_one();
+  }
+  return good;
+}
+
+int solve_one() {
+  int n = 24;
+  int w = n + 1;
+  // Diagonally dominant system (always solvable).
+  for (int i = 0; i < n; i++) {
+    float rowsum = 0.0;
+    for (int j = 0; j < n; j++) {
+      float v = frand() - 0.5;
+      m[i * w + j] = v;
+      if (v < 0.0) { rowsum = rowsum - v; } else { rowsum = rowsum + v; }
+    }
+    m[i * w + i] = rowsum + 1.0;
+    m[i * w + n] = frand() * 4.0;
+  }
+  // Forward elimination with partial pivoting.
+  for (int col = 0; col < n; col++) {
+    int pivot = col;
+    float best = m[col * w + col];
+    if (best < 0.0) { best = 0.0 - best; }
+    for (int r = col + 1; r < n; r++) {
+      float cand = m[r * w + col];
+      if (cand < 0.0) { cand = 0.0 - cand; }
+      if (cand > best) { best = cand; pivot = r; }
+    }
+    if (pivot != col) {
+      for (int j = col; j <= n; j++) {
+        float t = m[col * w + j];
+        m[col * w + j] = m[pivot * w + j];
+        m[pivot * w + j] = t;
+      }
+    }
+    float diag = m[col * w + col];
+    for (int r = col + 1; r < n; r++) {
+      float factor = m[r * w + col] / diag;
+      for (int j = col; j <= n; j++) {
+        m[r * w + j] = m[r * w + j] - factor * m[col * w + j];
+      }
+    }
+  }
+  // Back substitution.
+  for (int i = n - 1; i >= 0; i = i - 1) {
+    float acc = m[i * w + n];
+    for (int j = i + 1; j < n; j++) {
+      acc = acc - m[i * w + j] * x[j];
+    }
+    x[i] = acc / m[i * w + i];
+  }
+  // Sanity: every solution component should be bounded.
+  int good = 0;
+  for (int i = 0; i < n; i++) {
+    if (x[i] > 0.0 - 100.0 && x[i] < 100.0) { good++; }
+  }
+  return good;
+}
+|}
+
+let rk4 =
+  frand_preamble
+  ^ {|
+// RK4 integration of the damped oscillator x'' = -k x - c x'.
+float trace[4096];
+
+int main(int n, int seed) {
+  if (n < 16) { n = 16; }
+  if (n > 4096) { n = 4096; }
+  rng = seed % 65536 + 1;
+  float k = 1.0 + frand();
+  float c = 0.1 + frand() * 0.2;
+  float x = 1.0;
+  float v = 0.0;
+  float h = 0.05;
+  for (int s = 0; s < n; s++) {
+    float k1x = v;
+    float k1v = 0.0 - k * x - c * v;
+    float k2x = v + h / 2.0 * k1v;
+    float k2v = 0.0 - k * (x + h / 2.0 * k1x) - c * (v + h / 2.0 * k1v);
+    float k3x = v + h / 2.0 * k2v;
+    float k3v = 0.0 - k * (x + h / 2.0 * k2x) - c * (v + h / 2.0 * k2v);
+    float k4x = v + h * k3v;
+    float k4v = 0.0 - k * (x + h * k3x) - c * (v + h * k3v);
+    x = x + h / 6.0 * (k1x + 2.0 * k2x + 2.0 * k3x + k4x);
+    v = v + h / 6.0 * (k1v + 2.0 * k2v + 2.0 * k3v + k4v);
+    trace[s] = x;
+  }
+  // Count oscillation peaks in the trace.
+  int peaks = 0;
+  for (int s = 1; s + 1 < n; s++) {
+    if (trace[s] > trace[s - 1] && trace[s] > trace[s + 1]) { peaks++; }
+  }
+  return peaks;
+}
+|}
+
+let dft =
+  frand_preamble
+  ^ {|
+// Naive DFT magnitude spectrum with Taylor sin/cos (no math library).
+float signal[512];
+float re[512];
+float im[512];
+
+float poly_sin(float t) {
+  // reduce to [-pi, pi] by repeated subtraction
+  while (t > 3.14159265) { t = t - 6.2831853; }
+  while (t < 0.0 - 3.14159265) { t = t + 6.2831853; }
+  float t2 = t * t;
+  return t * (1.0 - t2 / 6.0 * (1.0 - t2 / 20.0 * (1.0 - t2 / 42.0)));
+}
+
+float poly_cos(float t) {
+  return poly_sin(t + 1.5707963);
+}
+
+// Fixed 64-point transform; n selects how many frames are analysed.
+int main(int n, int seed) {
+  if (n < 1) { n = 1; }
+  if (n > 16) { n = 16; }
+  rng = seed % 65536 + 1;
+  int bins = 0;
+  for (int frame = 0; frame < n; frame++) {
+    // Two embedded tones plus noise, fresh per frame.
+    int f1 = 1 + rand_below(16);
+    int f2 = 1 + rand_below(16);
+    for (int i = 0; i < 64; i++) {
+      float t = i * 6.2831853 / 64.0;
+      signal[i] = poly_sin (f1 * t) + 0.5 * poly_sin (f2 * t) + (frand() - 0.5) * 0.1;
+    }
+    for (int k = 0; k < 64; k++) {
+      float sr = 0.0;
+      float si = 0.0;
+      for (int i = 0; i < 64; i++) {
+        int ki = (k * i) % 64;
+        float ang = 0.0 - ki * 6.2831853 / 64.0;
+        sr = sr + signal[i] * poly_cos (ang);
+        si = si + signal[i] * poly_sin (ang);
+      }
+      re[k] = sr;
+      im[k] = si;
+    }
+    // Count significant bins (power above 4.0).
+    for (int k = 0; k < 64; k++) {
+      float power = re[k] * re[k] + im[k] * im[k];
+      if (power > 4.0) { bins++; }
+    }
+  }
+  return bins;
+}
+|}
+
+let cholesky =
+  frand_preamble
+  ^ {|
+// Cholesky-like LDL^T decomposition of a random SPD matrix, with
+// Newton-iteration reciprocals (data-dependent convergence loops).
+float a[1024];
+float l[1024];
+float d[32];
+
+float recip(float v) {
+  float inv = 1.0;
+  if (v > 1.0) { inv = 0.5; }
+  if (v > 4.0) { inv = 0.125; }
+  int it = 0;
+  float err = 1.0;
+  while (err > 0.000001 && it < 40) {
+    inv = inv * (2.0 - v * inv);
+    err = 1.0 - v * inv;
+    if (err < 0.0) { err = 0.0 - err; }
+    it++;
+  }
+  return inv;
+}
+
+int main(int n, int seed) {
+  if (n < 3) { n = 3; }
+  if (n > 32) { n = 32; }
+  rng = seed % 65536 + 1;
+  // SPD via A = B B^T + n I (computed directly).
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      a[i * n + j] = 0.0;
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j <= i; j++) {
+      float acc = 0.0;
+      for (int k = 0; k < n; k++) {
+        // pseudo row vectors from the generator, deterministic per (i,k)
+        int h1 = (i * 131 + k * 17 + seed) % 97;
+        int h2 = (j * 131 + k * 17 + seed) % 97;
+        acc = acc + (h1 - 48) * (h2 - 48) / 2304.0;
+      }
+      a[i * n + j] = acc;
+      a[j * n + i] = acc;
+    }
+    a[i * n + i] = a[i * n + i] + n;
+  }
+  // LDL^T decomposition.
+  for (int j = 0; j < n; j++) {
+    float dj = a[j * n + j];
+    for (int k = 0; k < j; k++) {
+      dj = dj - l[j * n + k] * l[j * n + k] * d[k];
+    }
+    d[j] = dj;
+    float inv_dj = recip(dj);
+    l[j * n + j] = 1.0;
+    for (int i = j + 1; i < n; i++) {
+      float acc = a[i * n + j];
+      for (int k = 0; k < j; k++) {
+        acc = acc - l[i * n + k] * l[j * n + k] * d[k];
+      }
+      l[i * n + j] = acc * inv_dj;
+    }
+  }
+  // All pivots of an SPD matrix must be positive.
+  int positive = 0;
+  for (int j = 0; j < n; j++) {
+    if (d[j] > 0.0) { positive++; }
+  }
+  return positive;
+}
+|}
+
+let conv2d =
+  frand_preamble
+  ^ {|
+// 5x5 convolution over a fixed 40x40 image; n selects the number of passes
+// (classic fixed-dimension image kernel).
+float image[1600];
+float out[1600];
+float kernel[25];
+
+int main(int n, int seed) {
+  if (n < 1) { n = 1; }
+  if (n > 10) { n = 10; }
+  rng = seed % 65536 + 1;
+  for (int i = 0; i < 1600; i++) { image[i] = frand(); }
+  for (int k = 0; k < 25; k++) { kernel[k] = (frand() - 0.5) / 5.0; }
+  kernel[12] = 1.0;
+  int bright = 0;
+  for (int pass = 0; pass < n; pass++) {
+    for (int y = 2; y < 38; y++) {
+      for (int x = 2; x < 38; x++) {
+        float acc = 0.0;
+        for (int ky = 0; ky < 5; ky++) {
+          for (int kx = 0; kx < 5; kx++) {
+            acc = acc + kernel[ky * 5 + kx] * image[(y + ky - 2) * 40 + (x + kx - 2)];
+          }
+        }
+        out[y * 40 + x] = acc;
+        if (acc > 0.75) { bright++; }
+      }
+    }
+    // Feed the result back (clamped) for the next pass.
+    for (int i = 0; i < 1600; i++) {
+      float v = out[i];
+      if (v < 0.0) { v = 0.0; }
+      if (v > 1.0) { v = 1.0; }
+      image[i] = v;
+    }
+  }
+  return bright;
+}
+|}
+
+let simpson =
+  frand_preamble
+  ^ {|
+// Composite Simpson integration of random cubic polynomials over [0,1]
+// with a fixed 128-panel rule; n selects how many integrals are computed.
+float coeff[4];
+
+float poly(float t) {
+  return coeff[0] + t * (coeff[1] + t * (coeff[2] + t * coeff[3]));
+}
+
+float integrate() {
+  float h = 1.0 / 128.0;
+  float acc = poly(0.0) + poly(1.0);
+  for (int i = 1; i < 128; i++) {
+    float t = i * h;
+    if (i % 2 == 1) { acc = acc + 4.0 * poly(t); }
+    else { acc = acc + 2.0 * poly(t); }
+  }
+  return acc * h / 3.0;
+}
+
+int main(int n, int seed) {
+  if (n < 4) { n = 4; }
+  if (n > 600) { n = 600; }
+  rng = seed % 65536 + 1;
+  int close = 0;
+  for (int trial = 0; trial < n; trial++) {
+    for (int k = 0; k < 4; k++) { coeff[k] = frand() * 2.0 - 1.0; }
+    float numeric = integrate();
+    // Exact antiderivative value for the cross-check.
+    float exact = coeff[0] + coeff[1] / 2.0 + coeff[2] / 3.0 + coeff[3] / 4.0;
+    float err = numeric - exact;
+    if (err < 0.0) { err = 0.0 - err; }
+    if (err < 0.0001) { close++; }
+  }
+  return close;
+}
+|}
+
+let all : (string * string) list =
+  [
+    ("matmul", matmul);
+    ("jacobi", jacobi);
+    ("nbody", nbody);
+    ("fir", fir);
+    ("gauss", gauss);
+    ("rk4", rk4);
+    ("dft", dft);
+    ("cholesky", cholesky);
+    ("conv2d", conv2d);
+    ("simpson", simpson);
+  ]

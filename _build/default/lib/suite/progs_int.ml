@@ -1,0 +1,733 @@
+(** The integer benchmark suite: MiniC programs whose branch mix mirrors
+    SPECint92 — data-structure traversal, comparisons on input data, state
+    machines, hashing — i.e. programs dominated by data-dependent non-loop
+    branches that static analysis cannot fully resolve. Every program is
+    self-contained: [main(n, seed)] generates its own input with an embedded
+    linear congruential generator, so "different inputs" = different
+    [(n, seed)] pairs, matching the paper's train-vs-reference regime. *)
+
+(* Shared PRNG preamble; the state is a global scalar, so every read is a
+   memory load with range ⊥, exactly like real input data. *)
+let rng_preamble =
+  {|
+int rng;
+
+int rand_step() {
+  rng = (rng * 1103515245 + 12345) % 2147483648;
+  return rng;
+}
+
+int rand_below(int m) {
+  int r = rand_step();
+  return r % m;
+}
+|}
+
+let qsort =
+  rng_preamble
+  ^ {|
+int data[4096];
+int stack_lo[64];
+int stack_hi[64];
+
+void fill(int n) {
+  for (int i = 0; i < n; i++) {
+    data[i] = rand_below(100000);
+  }
+}
+
+void insertion(int lo, int hi) {
+  for (int i = lo + 1; i <= hi; i++) {
+    int key = data[i];
+    int j = i - 1;
+    while (j >= lo && data[j] > key) {
+      data[j + 1] = data[j];
+      j = j - 1;
+    }
+    data[j + 1] = key;
+  }
+}
+
+int main(int n, int seed) {
+  if (n < 8) { n = 8; }
+  if (n > 4096) { n = 4096; }
+  rng = seed % 65536 + 1;
+  fill(n);
+  int sp = 1;
+  stack_lo[0] = 0;
+  stack_hi[0] = n - 1;
+  while (sp > 0) {
+    sp = sp - 1;
+    int lo = stack_lo[sp];
+    int hi = stack_hi[sp];
+    if (hi - lo < 12) {
+      insertion(lo, hi);
+    } else {
+      int pivot = data[(lo + hi) / 2];
+      int i = lo;
+      int j = hi;
+      while (i <= j) {
+        while (data[i] < pivot) { i++; }
+        while (data[j] > pivot) { j = j - 1; }
+        if (i <= j) {
+          int t = data[i];
+          data[i] = data[j];
+          data[j] = t;
+          i++;
+          j = j - 1;
+        }
+      }
+      if (sp < 60) {
+        if (lo < j) { stack_lo[sp] = lo; stack_hi[sp] = j; sp++; }
+        if (i < hi) { stack_lo[sp] = i; stack_hi[sp] = hi; sp++; }
+      } else {
+        insertion(lo, hi);
+      }
+    }
+  }
+  int bad = 0;
+  int sum = 0;
+  for (int i = 1; i < n; i++) {
+    if (data[i - 1] > data[i]) { bad++; }
+  }
+  for (int i = 0; i < n; i++) { sum = (sum + data[i]) % 1000003; }
+  return bad * 1000000 + (sum % 1000000);
+}
+|}
+
+let compress =
+  rng_preamble
+  ^ {|
+int input[4096];
+int packed[8192];
+int restored[4096];
+
+int main(int n, int seed) {
+  if (n < 16) { n = 16; }
+  if (n > 4096) { n = 4096; }
+  rng = seed % 65536 + 1;
+  // Generate runs: small alphabet with run-biased distribution.
+  int sym = 0;
+  for (int i = 0; i < n; i++) {
+    int roll = rand_below(100);
+    if (roll < 70) {
+      // extend the current run
+    } else {
+      sym = rand_below(16);
+    }
+    input[i] = sym;
+  }
+  // Run-length encode.
+  int out = 0;
+  int i = 0;
+  while (i < n) {
+    int v = input[i];
+    int run = 1;
+    while (i + run < n && input[i + run] == v && run < 255) {
+      run++;
+    }
+    packed[out] = v;
+    packed[out + 1] = run;
+    out = out + 2;
+    i = i + run;
+  }
+  // Decode.
+  int pos = 0;
+  for (int k = 0; k < out; k = k + 2) {
+    int v = packed[k];
+    int run = packed[k + 1];
+    for (int r = 0; r < run; r++) {
+      restored[pos] = v;
+      pos++;
+    }
+  }
+  // Verify.
+  int bad = 0;
+  if (pos != n) { bad = 1; }
+  for (int k = 0; k < n; k++) {
+    if (restored[k] != input[k]) { bad++; }
+  }
+  return bad * 100000 + out;
+}
+|}
+
+let huffman =
+  rng_preamble
+  ^ {|
+int text[4096];
+int freq[64];
+int weight[128];
+int left[128];
+int right[128];
+int alive[128];
+int depth[128];
+int code_len[64];
+
+int main(int n, int seed) {
+  if (n < 32) { n = 32; }
+  if (n > 4096) { n = 4096; }
+  rng = seed % 65536 + 1;
+  // Skewed symbol distribution over 32 symbols.
+  for (int i = 0; i < n; i++) {
+    int roll = rand_below(1000);
+    int sym;
+    if (roll < 500) { sym = rand_below(4); }
+    else {
+      if (roll < 800) { sym = 4 + rand_below(8); }
+      else { sym = 12 + rand_below(20); }
+    }
+    text[i] = sym;
+    freq[sym] = freq[sym] + 1;
+  }
+  // Leaves.
+  int count = 0;
+  for (int s = 0; s < 32; s++) {
+    if (freq[s] > 0) {
+      weight[count] = freq[s];
+      left[count] = 0 - 1;
+      right[count] = 0 - 1;
+      alive[count] = 1;
+      count++;
+    }
+  }
+  if (count < 2) { return 1; }
+  // Repeatedly join the two lightest alive nodes.
+  int nodes = count;
+  int remaining = count;
+  while (remaining > 1) {
+    int best1 = 0 - 1;
+    int best2 = 0 - 1;
+    for (int k = 0; k < nodes; k++) {
+      if (alive[k] == 1) {
+        if (best1 < 0 || weight[k] < weight[best1]) {
+          best2 = best1;
+          best1 = k;
+        } else {
+          if (best2 < 0 || weight[k] < weight[best2]) { best2 = k; }
+        }
+      }
+    }
+    alive[best1] = 0;
+    alive[best2] = 0;
+    weight[nodes] = weight[best1] + weight[best2];
+    left[nodes] = best1;
+    right[nodes] = best2;
+    alive[nodes] = 1;
+    nodes++;
+    remaining = remaining - 1;
+  }
+  // Depths by top-down sweep (children appear before parents).
+  depth[nodes - 1] = 0;
+  for (int k = nodes - 1; k >= 0; k = k - 1) {
+    if (left[k] >= 0) {
+      depth[left[k]] = depth[k] + 1;
+      depth[right[k]] = depth[k] + 1;
+    }
+  }
+  // Weighted code length = sum freq * depth over leaves.
+  int total = 0;
+  int leaf = 0;
+  for (int s = 0; s < 32; s++) {
+    if (freq[s] > 0) {
+      code_len[s] = depth[leaf];
+      leaf++;
+      total = total + (freq[s] * code_len[s]);
+    }
+  }
+  return total % 1000000;
+}
+|}
+
+let lexer =
+  rng_preamble
+  ^ {|
+// Token stream state machine over a synthetic "source file":
+// classes: 0=space 1=digit 2=alpha 3=punct 4=quote
+int stream[8192];
+int counts[8];
+
+int main(int n, int seed) {
+  if (n < 64) { n = 64; }
+  if (n > 8192) { n = 8192; }
+  rng = seed % 65536 + 1;
+  for (int i = 0; i < n; i++) {
+    int roll = rand_below(100);
+    int c;
+    if (roll < 30) { c = 0; }
+    else {
+      if (roll < 55) { c = 2; }
+      else {
+        if (roll < 75) { c = 1; }
+        else {
+          if (roll < 95) { c = 3; } else { c = 4; }
+        }
+      }
+    }
+    stream[i] = c;
+  }
+  // 0=start 1=in_number 2=in_ident 3=in_string
+  int state = 0;
+  int tokens = 0;
+  int errors = 0;
+  int i = 0;
+  while (i < n) {
+    int c = stream[i];
+    if (state == 0) {
+      if (c == 1) { state = 1; }
+      else {
+        if (c == 2) { state = 2; }
+        else {
+          if (c == 4) { state = 3; }
+          else {
+            if (c == 3) { tokens++; counts[3] = counts[3] + 1; }
+          }
+        }
+      }
+    } else {
+      if (state == 1) {
+        if (c == 1) {
+          // still in number
+        } else {
+          if (c == 2) { errors++; state = 0; }
+          else { tokens++; counts[1] = counts[1] + 1; state = 0; i = i - 1; }
+        }
+      } else {
+        if (state == 2) {
+          if (c == 1 || c == 2) {
+            // still in identifier
+          } else { tokens++; counts[2] = counts[2] + 1; state = 0; i = i - 1; }
+        } else {
+          // in string: ends at next quote
+          if (c == 4) { tokens++; counts[4] = counts[4] + 1; state = 0; }
+        }
+      }
+    }
+    i++;
+  }
+  if (state != 0) { errors++; }
+  return tokens * 100 + errors * 10 + (counts[2] % 10);
+}
+|}
+
+let hashtab =
+  rng_preamble
+  ^ {|
+int keys[8209];
+int vals[8209];
+int used[8209];
+
+int lookup_slot(int key) {
+  int h = (key * 2654435761) % 8209;
+  if (h < 0) { h = h + 8209; }
+  int probes = 0;
+  while (probes < 8209) {
+    if (used[h] == 0 || keys[h] == key) { return h; }
+    h = h + 1;
+    if (h == 8209) { h = 0; }
+    probes++;
+  }
+  return 0 - 1;
+}
+
+int main(int n, int seed) {
+  if (n < 16) { n = 16; }
+  if (n > 6000) { n = 6000; }
+  rng = seed % 65536 + 1;
+  int inserted = 0;
+  int updated = 0;
+  for (int i = 0; i < n; i++) {
+    int key = rand_below(n * 2) + 1;
+    int slot = lookup_slot(key);
+    if (slot < 0) { return 0 - 1; }
+    if (used[slot] == 0) {
+      used[slot] = 1;
+      keys[slot] = key;
+      vals[slot] = i;
+      inserted++;
+    } else {
+      vals[slot] = vals[slot] + i;
+      updated++;
+    }
+  }
+  // Lookup phase: half hits, half misses on average.
+  int hits = 0;
+  int sum = 0;
+  for (int i = 0; i < n; i++) {
+    int key = rand_below(n * 4) + 1;
+    int slot = lookup_slot(key);
+    if (slot >= 0 && used[slot] == 1 && keys[slot] == key) {
+      hits++;
+      sum = (sum + vals[slot]) % 1000003;
+    }
+  }
+  return inserted + updated * 7 + hits * 13 + sum % 97;
+}
+|}
+
+let bfs =
+  rng_preamble
+  ^ {|
+// Random digraph in compact adjacency arrays; BFS from node 0.
+int head[2048];
+int degree[2048];
+int edges[16384];
+int dist[2048];
+int queue[2048];
+
+int main(int n, int seed) {
+  if (n < 8) { n = 8; }
+  if (n > 2048) { n = 2048; }
+  rng = seed % 65536 + 1;
+  int avg_deg = 6;
+  int e = 0;
+  for (int v = 0; v < n; v++) {
+    head[v] = e;
+    int d = rand_below(avg_deg * 2) + 1;
+    if (e + d > 16384) { d = 0; }
+    degree[v] = d;
+    for (int k = 0; k < d; k++) {
+      edges[e] = rand_below(n);
+      e++;
+    }
+  }
+  for (int v = 0; v < n; v++) { dist[v] = 0 - 1; }
+  int qh = 0;
+  int qt = 0;
+  dist[0] = 0;
+  queue[0] = 0;
+  qt = 1;
+  int reached = 1;
+  int total = 0;
+  while (qh < qt) {
+    int v = queue[qh];
+    qh++;
+    int base = head[v];
+    int d = degree[v];
+    for (int k = 0; k < d; k++) {
+      int w = edges[base + k];
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        total = total + dist[w];
+        reached++;
+        if (qt < 2048) {
+          queue[qt] = w;
+          qt++;
+        }
+      }
+    }
+  }
+  return reached * 1000 + (total % 1000);
+}
+|}
+
+let kmp =
+  rng_preamble
+  ^ {|
+int text[8192];
+int pattern[32];
+int fail[32];
+
+int main(int n, int seed) {
+  if (n < 64) { n = 64; }
+  if (n > 8192) { n = 8192; }
+  rng = seed % 65536 + 1;
+  int alpha = 3;
+  int m = 8 + rand_below(8);
+  for (int i = 0; i < n; i++) { text[i] = rand_below(alpha); }
+  for (int j = 0; j < m; j++) { pattern[j] = rand_below(alpha); }
+  // Failure function.
+  fail[0] = 0;
+  int k = 0;
+  for (int j = 1; j < m; j++) {
+    while (k > 0 && pattern[j] != pattern[k]) { k = fail[k - 1]; }
+    if (pattern[j] == pattern[k]) { k++; }
+    fail[j] = k;
+  }
+  // Scan.
+  int matches = 0;
+  int q = 0;
+  for (int i = 0; i < n; i++) {
+    while (q > 0 && text[i] != pattern[q]) { q = fail[q - 1]; }
+    if (text[i] == pattern[q]) { q++; }
+    if (q == m) {
+      matches++;
+      q = fail[q - 1];
+    }
+  }
+  // Cross-check with the naive scan.
+  int naive = 0;
+  for (int i = 0; i + m <= n; i++) {
+    int ok = 1;
+    for (int j = 0; j < m; j++) {
+      if (text[i + j] != pattern[j]) { ok = 0; break; }
+    }
+    if (ok == 1) { naive++; }
+  }
+  if (naive != matches) { return 0 - 1; }
+  return matches;
+}
+|}
+
+let eqn =
+  rng_preamble
+  ^ {|
+// eqntott-style: sort truth-table rows (bit vectors packed in ints),
+// then count unique rows and cube merges.
+int rows[4096];
+int tmp[4096];
+
+void merge_sort(int n) {
+  int width = 1;
+  while (width < n) {
+    int i = 0;
+    while (i < n) {
+      int mid = i + width;
+      int hi = i + width * 2;
+      if (mid > n) { mid = n; }
+      if (hi > n) { hi = n; }
+      int a = i;
+      int b = mid;
+      int o = i;
+      while (a < mid && b < hi) {
+        if (rows[a] <= rows[b]) { tmp[o] = rows[a]; a++; }
+        else { tmp[o] = rows[b]; b++; }
+        o++;
+      }
+      while (a < mid) { tmp[o] = rows[a]; a++; o++; }
+      while (b < hi) { tmp[o] = rows[b]; b++; o++; }
+      for (int k = i; k < hi; k++) { rows[k] = tmp[k]; }
+      i = i + width * 2;
+    }
+    width = width * 2;
+  }
+}
+
+int main(int n, int seed) {
+  if (n < 8) { n = 8; }
+  if (n > 4096) { n = 4096; }
+  rng = seed % 65536 + 1;
+  // 12-bit rows with a few hot patterns (duplicates are common).
+  for (int i = 0; i < n; i++) {
+    int roll = rand_below(10);
+    if (roll < 4) { rows[i] = rand_below(16) * 257 % 4096; }
+    else { rows[i] = rand_below(4096); }
+  }
+  merge_sort(n);
+  int unique = 1;
+  int dup = 0;
+  for (int i = 1; i < n; i++) {
+    if (rows[i] == rows[i - 1]) { dup++; }
+    else { unique++; }
+  }
+  // Adjacent-cube merge count: rows differing in exactly one bit.
+  int merges = 0;
+  for (int i = 1; i < n; i++) {
+    int x = rows[i] ^ rows[i - 1];
+    if (x != 0 && (x & (x - 1)) == 0) { merges++; }
+  }
+  return unique * 1000 + dup + merges * 7;
+}
+|}
+
+let proto =
+  rng_preamble
+  ^ {|
+// Packet protocol handler: lengths are clamped at the edge, then re-checked
+// by defensive validation in helpers. The redundant checks are decidable
+// from value ranges (symbolic narrowing of unknown inputs + interprocedural
+// parameter ranges), which heuristics can only guess at.
+int packet[512];
+
+int validate(int len, int kind) {
+  if (len < 4) { return 0; }
+  if (len > 260) { return 0; }
+  if (kind > 3) { return 0; }
+  return 1;
+}
+
+int checksum(int base, int len) {
+  int sum = 0;
+  for (int i = 0; i < len; i++) {
+    sum = (sum + packet[(base + i) % 512]) % 65536;
+  }
+  return sum;
+}
+
+int main(int n, int seed) {
+  if (n < 16) { n = 16; }
+  if (n > 4000) { n = 4000; }
+  rng = seed % 65536 + 1;
+  for (int i = 0; i < 512; i++) { packet[i] = rand_below(256); }
+  int accepted = 0;
+  int even_sums = 0;
+  int total = 0;
+  for (int p = 0; p < n; p++) {
+    int len = rand_below(300);
+    // Edge clamping: every packet is forced into the valid window.
+    if (len < 4) { len = 4; }
+    if (len > 260) { len = 260; }
+    int kind = len & 3;
+    if (validate(len, kind) == 1) {
+      accepted++;
+      int sum = checksum(p * 4, len);
+      if (sum % 2 == 0) { even_sums++; }
+      total = (total + sum) % 100000;
+    }
+  }
+  return accepted * 1000 + even_sums % 1000 + total % 7;
+}
+|}
+
+let sieve =
+  rng_preamble
+  ^ {|
+// Sieve of Eratosthenes over a fixed window plus trial-division spot checks:
+// constant-bound loops for the sieve, data-dependent branching in the checks.
+int composite[8192];
+
+int main(int n, int s) {
+  if (n < 16) { n = 16; }
+  if (n > 4000) { n = 4000; }
+  rng = s % 65536 + 1;
+  for (int i = 0; i < 8192; i++) { composite[i] = 0; }
+  int primes = 0;
+  for (int p = 2; p < 8192; p++) {
+    if (composite[p] == 0) {
+      primes++;
+      for (int q = p + p; q < 8192; q = q + p) {
+        composite[q] = 1;
+      }
+    }
+  }
+  // Spot-check random numbers by trial division and cross-validate.
+  int mismatches = 0;
+  int found = 0;
+  for (int t = 0; t < n; t++) {
+    int v = 2 + rand_below(8190);
+    int divisor = 0;
+    for (int d = 2; d * d <= v; d++) {
+      if (v % d == 0) { divisor = d; break; }
+    }
+    int is_prime = 0;
+    if (divisor == 0) { is_prime = 1; }
+    if (is_prime == 1) { found++; }
+    if (is_prime == composite[v]) { mismatches++; }
+  }
+  return primes * 1000 + found - mismatches;
+}
+|}
+
+let calc =
+  rng_preamble
+  ^ {|
+// Recursive-descent evaluator over generated token streams (li/gcc-style):
+// tokens: 0=number 1=plus 2=times 3=lparen 4=rparen 5=end
+int toks[512];
+int vals[512];
+int pos;
+
+// (MiniC resolves calls program-wide, so mutual recursion needs no
+// forward declarations.)
+int parse_atom() {
+  int t = toks[pos];
+  if (t == 0) {
+    int v = vals[pos];
+    pos++;
+    return v;
+  }
+  if (t == 3) {
+    pos++;
+    int v = parse_expr();
+    if (toks[pos] == 4) { pos++; }
+    return v;
+  }
+  pos++;
+  return 1;
+}
+
+int parse_term() {
+  int acc = parse_atom();
+  while (toks[pos] == 2) {
+    pos++;
+    acc = (acc * parse_atom()) % 65536;
+  }
+  return acc;
+}
+
+int parse_expr() {
+  int acc = parse_term();
+  while (toks[pos] == 1) {
+    pos++;
+    acc = (acc + parse_term()) % 65536;
+  }
+  return acc;
+}
+
+int main(int n, int s) {
+  if (n < 8) { n = 8; }
+  if (n > 3000) { n = 3000; }
+  rng = s % 65536 + 1;
+  int total = 0;
+  for (int round = 0; round < n; round++) {
+    // Generate a small well-formed expression: num (op num)*, with
+    // occasional parenthesised sub-expressions.
+    int len = 0;
+    int depth = 0;
+    int want_operand = 1;
+    while (len < 500) {
+      if (want_operand == 1) {
+        int roll = rand_below(10);
+        if (roll < 2 && depth < 4) {
+          toks[len] = 3;
+          depth++;
+          len++;
+        } else {
+          toks[len] = 0;
+          vals[len] = rand_below(100);
+          len++;
+          want_operand = 0;
+        }
+      } else {
+        int roll = rand_below(10);
+        if (roll < 3 && depth > 0) {
+          toks[len] = 4;
+          depth = depth - 1;
+          len++;
+        } else {
+          if (roll < 7) {
+            if (rand_below(2) == 0) { toks[len] = 1; } else { toks[len] = 2; }
+            len++;
+            want_operand = 1;
+          } else {
+            break;
+          }
+        }
+      }
+    }
+    while (depth > 0) {
+      toks[len] = 4;
+      depth = depth - 1;
+      len++;
+    }
+    toks[len] = 5;
+    pos = 0;
+    total = (total + parse_expr()) % 100000;
+  }
+  return total;
+}
+|}
+
+let all : (string * string) list =
+  [
+    ("qsort", qsort);
+    ("compress", compress);
+    ("huffman", huffman);
+    ("lexer", lexer);
+    ("hashtab", hashtab);
+    ("bfs", bfs);
+    ("kmp", kmp);
+    ("eqn", eqn);
+    ("proto", proto);
+    ("sieve", sieve);
+    ("calc", calc);
+  ]

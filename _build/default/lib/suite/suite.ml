@@ -1,0 +1,54 @@
+(** The benchmark registry: programs, their suite, and their train/reference
+    inputs.
+
+    Mirrors the paper's experimental setup (§5): predictions are evaluated
+    against the behaviour observed on the {e reference} input, while the
+    profiling predictor is trained on the {e train} input — deliberately a
+    different, smaller input ("the SPEC feedback collection inputs
+    (input.short) are much shorter than the reference inputs (input.ref)"). *)
+
+type category = Int_suite | Fp_suite
+
+type benchmark = {
+  name : string;
+  category : category;
+  source : string;
+  train_args : int list;  (** (n, seed) for the profiling run *)
+  ref_args : int list;  (** (n, seed) for the observed behaviour *)
+}
+
+let category_to_string = function Int_suite -> "int" | Fp_suite -> "fp"
+
+let mk name category source ~train ~ref_ = { name; category; source; train_args = train; ref_args = ref_ }
+
+let benchmarks : benchmark list =
+  [
+    (* Integer suite: train inputs are much smaller than reference inputs
+       and use different seeds. *)
+    mk "qsort" Int_suite Progs_int.qsort ~train:[ 300; 11 ] ~ref_:[ 4000; 77 ];
+    mk "compress" Int_suite Progs_int.compress ~train:[ 400; 3 ] ~ref_:[ 4000; 59 ];
+    mk "huffman" Int_suite Progs_int.huffman ~train:[ 400; 23 ] ~ref_:[ 4000; 5 ];
+    mk "lexer" Int_suite Progs_int.lexer ~train:[ 600; 7 ] ~ref_:[ 8000; 91 ];
+    mk "hashtab" Int_suite Progs_int.hashtab ~train:[ 500; 19 ] ~ref_:[ 5000; 31 ];
+    mk "bfs" Int_suite Progs_int.bfs ~train:[ 200; 13 ] ~ref_:[ 2000; 43 ];
+    mk "kmp" Int_suite Progs_int.kmp ~train:[ 800; 29 ] ~ref_:[ 8000; 17 ];
+    mk "eqn" Int_suite Progs_int.eqn ~train:[ 300; 37 ] ~ref_:[ 4000; 3 ];
+    mk "proto" Int_suite Progs_int.proto ~train:[ 250; 47 ] ~ref_:[ 3500; 9 ];
+    mk "sieve" Int_suite Progs_int.sieve ~train:[ 60; 7 ] ~ref_:[ 900; 33 ];
+    mk "calc" Int_suite Progs_int.calc ~train:[ 60; 21 ] ~ref_:[ 800; 55 ];
+    (* Numeric suite. *)
+    mk "matmul" Fp_suite Progs_fp.matmul ~train:[ 2; 41 ] ~ref_:[ 6; 7 ];
+    mk "jacobi" Fp_suite Progs_fp.jacobi ~train:[ 10; 5 ] ~ref_:[ 60; 61 ];
+    mk "nbody" Fp_suite Progs_fp.nbody ~train:[ 3; 53 ] ~ref_:[ 12; 13 ];
+    mk "fir" Fp_suite Progs_fp.fir ~train:[ 500; 3 ] ~ref_:[ 8000; 97 ];
+    mk "gauss" Fp_suite Progs_fp.gauss ~train:[ 2; 67 ] ~ref_:[ 12; 29 ];
+    mk "rk4" Fp_suite Progs_fp.rk4 ~train:[ 200; 71 ] ~ref_:[ 4000; 19 ];
+    mk "dft" Fp_suite Progs_fp.dft ~train:[ 2; 83 ] ~ref_:[ 10; 11 ];
+    mk "cholesky" Fp_suite Progs_fp.cholesky ~train:[ 8; 89 ] ~ref_:[ 30; 23 ];
+    mk "conv2d" Fp_suite Progs_fp.conv2d ~train:[ 1; 31 ] ~ref_:[ 6; 3 ];
+    mk "simpson" Fp_suite Progs_fp.simpson ~train:[ 20; 17 ] ~ref_:[ 400; 73 ];
+  ]
+
+let find name = List.find_opt (fun b -> String.equal b.name name) benchmarks
+
+let by_category cat = List.filter (fun b -> b.category = cat) benchmarks

@@ -1,0 +1,17 @@
+(** The benchmark registry: programs, their suite, and their train/reference
+    inputs (paper §5's input.short vs input.ref regime). *)
+
+type category = Int_suite | Fp_suite
+
+type benchmark = {
+  name : string;
+  category : category;
+  source : string;
+  train_args : int list;  (** (n, seed) for the profiling run *)
+  ref_args : int list;  (** (n, seed) for the observed behaviour *)
+}
+
+val category_to_string : category -> string
+val benchmarks : benchmark list
+val find : string -> benchmark option
+val by_category : category -> benchmark list

@@ -1,0 +1,5 @@
+(** Synthetic MiniC program generator for the complexity study (Figures
+    5/6): structured programs of parametric size with the same ingredient
+    mix as the hand-written suite. Deterministic in [(units, seed)]. *)
+
+val generate : units:int -> seed:int -> string

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Used wherever reproducible randomness is needed — the random baseline
+    predictor, workload generation on the OCaml side and property tests —
+    so that every run of the benchmark harness prints identical numbers. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** [int t bound] returns a value in [[0, bound)]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let x = Int64.to_int (next_int64 t) land max_int in
+  x mod bound
+
+(** [float t] returns a value in [[0, 1)]. *)
+let float t =
+  let x = Int64.to_int (next_int64 t) land ((1 lsl 53) - 1) in
+  float_of_int x /. float_of_int (1 lsl 53)
+
+(** [range t lo hi] returns a value in [[lo, hi]] inclusive. *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range: empty range";
+  lo + int t (hi - lo + 1)

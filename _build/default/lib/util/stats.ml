@@ -1,0 +1,40 @@
+(** Small statistics helpers for the evaluation harness and the linearity
+    figures (least-squares fit, means). *)
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(** Ordinary least-squares fit of [y = a + b * x].
+    Returns [(intercept, slope, r2)]. *)
+let least_squares (points : (float * float) list) =
+  match points with
+  | [] | [ _ ] -> (0.0, 0.0, 0.0)
+  | _ ->
+    let n = float_of_int (List.length points) in
+    let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 points in
+    let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 points in
+    let sxx = List.fold_left (fun acc (x, _) -> acc +. (x *. x)) 0.0 points in
+    let sxy = List.fold_left (fun acc (x, y) -> acc +. (x *. y)) 0.0 points in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if Float.abs denom < 1e-12 then (0.0, 0.0, 0.0)
+    else begin
+      let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+      let intercept = (sy -. (slope *. sx)) /. n in
+      let ybar = sy /. n in
+      let ss_tot =
+        List.fold_left (fun acc (_, y) -> acc +. ((y -. ybar) ** 2.0)) 0.0 points
+      in
+      let ss_res =
+        List.fold_left
+          (fun acc (x, y) ->
+            let fit = intercept +. (slope *. x) in
+            acc +. ((y -. fit) ** 2.0))
+          0.0 points
+      in
+      let r2 = if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+      (intercept, slope, r2)
+    end
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x

@@ -1,0 +1,11 @@
+(** Small statistics helpers for the evaluation harness and the linearity
+    figures. *)
+
+(** Arithmetic mean; 0 for the empty list. *)
+val mean : float list -> float
+
+(** Ordinary least-squares fit of [y = a + b*x]: [(intercept, slope, r²)].
+    Degenerate inputs (fewer than two points, zero variance) give zeros. *)
+val least_squares : (float * float) list -> float * float * float
+
+val clamp : lo:float -> hi:float -> float -> float

@@ -1,0 +1,1 @@
+lib/vrp/alias.ml: Array Engine List String Vrp_ir Vrp_ranges

@@ -1,0 +1,1 @@
+lib/vrp/alias.mli: Engine Vrp_ir Vrp_ranges

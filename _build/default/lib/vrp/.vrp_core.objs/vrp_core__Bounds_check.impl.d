@@ -1,0 +1,1 @@
+lib/vrp/bounds_check.ml: Array Engine List Vrp_ir Vrp_ranges

@@ -1,0 +1,1 @@
+lib/vrp/bounds_check.mli: Engine Vrp_ir

@@ -1,0 +1,1 @@
+lib/vrp/clone.ml: Array Engine Hashtbl Interproc List Printf String Vrp_ir Vrp_ranges

@@ -1,0 +1,1 @@
+lib/vrp/clone.mli: Hashtbl Interproc Vrp_ir

@@ -1,0 +1,1 @@
+lib/vrp/derive.ml: Hashtbl List Option Vrp_ir Vrp_lang Vrp_ranges

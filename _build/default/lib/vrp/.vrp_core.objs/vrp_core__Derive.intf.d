@@ -1,0 +1,1 @@
+lib/vrp/derive.mli: Vrp_ir Vrp_ranges

@@ -1,0 +1,1 @@
+lib/vrp/engine.ml: Array Derive Float Hashtbl List Option Queue Vrp_ir Vrp_lang Vrp_predict Vrp_ranges

@@ -1,0 +1,1 @@
+lib/vrp/engine.mli: Hashtbl Vrp_ir Vrp_ranges

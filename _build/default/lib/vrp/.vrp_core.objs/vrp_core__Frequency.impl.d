@@ -1,0 +1,1 @@
+lib/vrp/frequency.ml: Array Engine Float Hashtbl Interproc List Option Vrp_ir Vrp_util

@@ -1,0 +1,1 @@
+lib/vrp/frequency.mli: Engine Hashtbl Interproc Vrp_ir

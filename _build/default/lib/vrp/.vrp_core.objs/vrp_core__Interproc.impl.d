@@ -1,0 +1,1 @@
+lib/vrp/interproc.ml: Array Engine Hashtbl List Queue Vrp_ir Vrp_ranges

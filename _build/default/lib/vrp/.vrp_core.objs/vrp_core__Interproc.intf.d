@@ -1,0 +1,1 @@
+lib/vrp/interproc.mli: Engine Hashtbl Vrp_ir Vrp_ranges

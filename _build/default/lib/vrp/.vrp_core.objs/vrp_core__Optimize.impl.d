@@ -1,0 +1,1 @@
+lib/vrp/optimize.ml: Array Buffer Engine Hashtbl List Printf Vrp_ir Vrp_ranges

@@ -1,0 +1,1 @@
+lib/vrp/optimize.mli: Engine Vrp_ir

@@ -1,0 +1,1 @@
+lib/vrp/pipeline.ml: Array Engine Hashtbl Interproc Lazy List Vrp_ir Vrp_lang Vrp_predict Vrp_profile Vrp_ranges

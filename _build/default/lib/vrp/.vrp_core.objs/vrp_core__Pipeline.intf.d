@@ -1,0 +1,1 @@
+lib/vrp/pipeline.mli: Engine Hashtbl Interproc Vrp_ir Vrp_lang Vrp_predict Vrp_profile

@@ -1,0 +1,1 @@
+lib/vrp/sccp.ml: Array Float Hashtbl Int List Option Printf Queue Vrp_ir Vrp_lang

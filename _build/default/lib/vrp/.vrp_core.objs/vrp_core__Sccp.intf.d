@@ -1,0 +1,1 @@
+lib/vrp/sccp.mli: Hashtbl Vrp_ir

@@ -1,0 +1,93 @@
+(** Array-access independence from value ranges (paper §6).
+
+    "Using value range propagation it is sometimes possible to show that the
+    ranges of the indices of two array accesses cannot overlap. As a result,
+    these two accesses cannot alias each other. This analysis is much more
+    limited than sophisticated data dependency analysis ... However it does
+    offer a simple false-dependency breaking mechanism."
+
+    Two accesses to the same array are declared independent when the
+    intersection of their (resolved, numeric) index range sets is provably
+    empty — exact over strided ranges via the progression CRT intersection. *)
+
+module Ir = Vrp_ir.Ir
+module Var = Vrp_ir.Var
+module Value = Vrp_ranges.Value
+module Srange = Vrp_ranges.Srange
+module Progression = Vrp_ranges.Progression
+
+type access = { block : int; index_value : Value.t; is_store : bool; array : string }
+
+type verdict = Disjoint | May_alias
+
+type pair = { a : access; b : access; verdict : verdict }
+
+type report = { accesses : access list; pairs : pair list; disjoint : int }
+
+(* Do two values certainly denote disjoint index sets? *)
+let certainly_disjoint (va : Value.t) (vb : Value.t) : bool =
+  match (va, vb) with
+  | Value.Ranges ra, Value.Ranges rb ->
+    List.for_all
+      (fun (x : Srange.t) ->
+        List.for_all
+          (fun (y : Srange.t) ->
+            match (Srange.kind x, Srange.kind y, Srange.prog x, Srange.prog y) with
+            | Srange.Numeric, Srange.Numeric, Some px, Some py ->
+              Progression.count_common px py = 0
+            | Srange.Same_base bx, Srange.Same_base by, Some px, Some py
+              when Var.equal bx by ->
+              Progression.count_common px py = 0
+            | _ -> false)
+          rb)
+      ra
+  | (Value.Top | Value.Bottom | Value.Ranges _), _ -> false
+
+(** Analyse all array accesses of the function in [res]; every pair touching
+    the same array is classified. *)
+let analyze (res : Engine.t) : report =
+  let fn = res.Engine.fn in
+  let lookup (v : Var.t) = res.Engine.values.(v.Var.id) in
+  let index_value (op : Ir.operand) : Value.t =
+    match op with
+    | Ir.Cint n -> Value.const_int n
+    | Ir.Cfloat _ -> Value.bottom
+    | Ir.Ovar v -> Value.subst (lookup v) ~lookup
+  in
+  let accesses = ref [] in
+  Ir.iter_blocks fn (fun b ->
+      if res.Engine.visited.(b.Ir.bid) then
+        List.iter
+          (fun instr ->
+            match instr with
+            | Ir.Def (_, Ir.Load (array, index)) ->
+              accesses :=
+                { block = b.Ir.bid; index_value = index_value index; is_store = false; array }
+                :: !accesses
+            | Ir.Store (array, index, _) ->
+              accesses :=
+                { block = b.Ir.bid; index_value = index_value index; is_store = true; array }
+                :: !accesses
+            | Ir.Def _ -> ())
+          b.Ir.instrs);
+  let accesses = List.rev !accesses in
+  let pairs = ref [] in
+  let rec all_pairs = function
+    | [] -> ()
+    | a :: rest ->
+      List.iter
+        (fun b ->
+          if String.equal a.array b.array && (a.is_store || b.is_store) then begin
+            let verdict =
+              if certainly_disjoint a.index_value b.index_value then Disjoint
+              else May_alias
+            in
+            pairs := { a; b; verdict } :: !pairs
+          end)
+        rest;
+      all_pairs rest
+  in
+  all_pairs accesses;
+  let pairs = List.rev !pairs in
+  let disjoint = List.length (List.filter (fun p -> p.verdict = Disjoint) pairs) in
+  { accesses; pairs; disjoint }

@@ -1,0 +1,19 @@
+(** Array-access independence from value ranges (paper §6): two accesses to
+    one array are independent when their index range sets have a provably
+    empty intersection (exact over strided ranges via CRT). *)
+
+module Ir = Vrp_ir.Ir
+module Value = Vrp_ranges.Value
+
+type access = { block : int; index_value : Value.t; is_store : bool; array : string }
+
+type verdict = Disjoint | May_alias
+
+type pair = { a : access; b : access; verdict : verdict }
+
+type report = { accesses : access list; pairs : pair list; disjoint : int }
+
+val certainly_disjoint : Value.t -> Value.t -> bool
+
+(** Classify every same-array pair involving at least one store. *)
+val analyze : Engine.t -> report

@@ -1,0 +1,92 @@
+(** Array-bounds-check elimination (paper §6).
+
+    "For languages which require (or compilers which implement) dynamic
+    array bounds checking, many array bounds checks can be shown to be
+    redundant by value range propagation."
+
+    MiniC semantics require a bounds check on every [Load]/[Store]; this
+    pass proves checks redundant when the index variable's range (with
+    symbolic bases resolved) lies within [0, size). *)
+
+module Ir = Vrp_ir.Ir
+module Var = Vrp_ir.Var
+module Value = Vrp_ranges.Value
+module Srange = Vrp_ranges.Srange
+module Sym = Vrp_ranges.Sym
+
+type check = {
+  block : int;
+  array : string;
+  index : Ir.operand;
+  is_store : bool;
+  provably_safe : bool;
+  lower_safe : bool;  (** index ≥ 0 proven *)
+  upper_safe : bool;  (** index < size proven *)
+}
+
+type report = { checks : check list; total : int; eliminated : int }
+
+(* Certainly-in-[lo_bound, hi_bound]? Needs every range's numeric bounds. *)
+let within (v : Value.t) ~(size : int) : bool * bool =
+  match v with
+  | Value.Top | Value.Bottom -> (false, false)
+  | Value.Ranges rs ->
+    let lower =
+      List.for_all
+        (fun (r : Srange.t) ->
+          match r.Srange.lo.Sym.base with None -> r.Srange.lo.Sym.off >= 0 | Some _ -> false)
+        rs
+    in
+    let upper =
+      List.for_all
+        (fun (r : Srange.t) ->
+          match r.Srange.hi.Sym.base with
+          | None -> r.Srange.hi.Sym.off < size
+          | Some _ -> false)
+        rs
+    in
+    (lower, upper)
+
+(** Analyse every array access of [res]'s function against the array tables
+    of [program]. *)
+let analyze (program : Ir.program) (res : Engine.t) : report =
+  let fn = res.Engine.fn in
+  let lookup (v : Var.t) = res.Engine.values.(v.Var.id) in
+  let index_value (op : Ir.operand) : Value.t =
+    match op with
+    | Ir.Cint n -> Value.const_int n
+    | Ir.Cfloat _ -> Value.bottom
+    | Ir.Ovar v -> Value.subst (lookup v) ~lookup
+  in
+  let checks = ref [] in
+  Ir.iter_blocks fn (fun b ->
+      if res.Engine.visited.(b.Ir.bid) then
+        List.iter
+          (fun instr ->
+            let record array index is_store =
+              match Ir.find_array program fn array with
+              | None -> ()
+              | Some info ->
+                let lower_safe, upper_safe =
+                  within (index_value index) ~size:info.Ir.size
+                in
+                checks :=
+                  {
+                    block = b.Ir.bid;
+                    array;
+                    index;
+                    is_store;
+                    provably_safe = lower_safe && upper_safe;
+                    lower_safe;
+                    upper_safe;
+                  }
+                  :: !checks
+            in
+            match instr with
+            | Ir.Def (_, Ir.Load (array, index)) -> record array index false
+            | Ir.Store (array, index, _) -> record array index true
+            | Ir.Def _ -> ())
+          b.Ir.instrs);
+  let checks = List.rev !checks in
+  let eliminated = List.length (List.filter (fun c -> c.provably_safe) checks) in
+  { checks; total = List.length checks; eliminated }

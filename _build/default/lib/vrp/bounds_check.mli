@@ -1,0 +1,21 @@
+(** Array-bounds-check elimination (paper §6): a check is redundant when the
+    index's range (with symbolic bases hull-resolved) provably lies within
+    [0, size). *)
+
+module Ir = Vrp_ir.Ir
+
+type check = {
+  block : int;
+  array : string;
+  index : Ir.operand;
+  is_store : bool;
+  provably_safe : bool;
+  lower_safe : bool;  (** index ≥ 0 proven *)
+  upper_safe : bool;  (** index < size proven *)
+}
+
+type report = { checks : check list; total : int; eliminated : int }
+
+(** Analyse every array access of the function analysed in [Engine.t]
+    against the array tables of the program. *)
+val analyze : Ir.program -> Engine.t -> report

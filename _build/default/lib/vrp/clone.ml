@@ -1,0 +1,135 @@
+(** Procedure cloning for value range propagation (paper §3.7).
+
+    "One particularly important extension of interprocedural value range
+    propagation is the judicious use of procedure cloning for critical
+    procedures ... Since the calling context has a large impact on the
+    branching behavior, this leads to substantially more accurate
+    predictions."
+
+    The pass clones a callee per distinct calling context (up to
+    [max_clones_per_fn]) when its call sites supply materially different
+    argument ranges — i.e. when merging the jump functions would lose
+    information. Call instructions in the callers are retargeted to the
+    clones, and the resulting program can be re-analysed; [origin_of] maps
+    clone names back to their source function for reporting. *)
+
+module Ir = Vrp_ir.Ir
+module Var = Vrp_ir.Var
+module Value = Vrp_ranges.Value
+
+type t = {
+  program : Ir.program;  (** the cloned program *)
+  origin_of : (string, string) Hashtbl.t;  (** clone name -> original name *)
+  clones_made : int;
+}
+
+let default_max_clones_per_fn = 4
+
+(* Deep copy of a function under a new name. Variable identities can be
+   shared: analyses never mutate variables, and each function's value table
+   is indexed independently. *)
+let copy_fn (fn : Ir.fn) ~(name : string) : Ir.fn =
+  let blocks =
+    Array.map
+      (fun (b : Ir.block) ->
+        { b with Ir.instrs = List.map (fun i -> i) b.Ir.instrs; preds = b.Ir.preds })
+      fn.Ir.blocks
+  in
+  { fn with Ir.fname = name; blocks }
+
+(* Group call sites by argument-value signature. *)
+let signature (args : Value.t list) = String.concat "|" (List.map Value.to_string args)
+
+(** Decide and apply cloning, driven by a prior interprocedural analysis.
+    Functions are cloned when at least two call-site groups disagree on some
+    argument's value. *)
+let run ?(max_clones_per_fn = default_max_clones_per_fn) (program : Ir.program)
+    (ipa : Interproc.t) : t =
+  let origin_of = Hashtbl.create 8 in
+  (* Collect, per callee, the signatures seen at executable call sites. *)
+  let contexts : (string, (string, Value.t list) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _caller (res : Engine.t) ->
+      List.iter
+        (fun (_site, (callee, args)) ->
+          if Ir.find_fn program callee <> None && callee <> "main" then begin
+            let groups =
+              match Hashtbl.find_opt contexts callee with
+              | Some g -> g
+              | None ->
+                let g = Hashtbl.create 4 in
+                Hashtbl.replace contexts callee g;
+                g
+            in
+            Hashtbl.replace groups (signature args) args
+          end)
+        res.Engine.calls_seen)
+    ipa.Interproc.results;
+  (* Choose clone targets: callee -> (signature -> clone name). *)
+  let clone_plan : (string, (string, string) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let clones = ref [] in
+  let n_clones = ref 0 in
+  Hashtbl.iter
+    (fun callee groups ->
+      let sigs = Hashtbl.fold (fun s args acc -> (s, args) :: acc) groups [] in
+      if List.length sigs > 1 && List.length sigs <= max_clones_per_fn then begin
+        match Ir.find_fn program callee with
+        | None -> ()
+        | Some fn ->
+          let plan = Hashtbl.create 4 in
+          List.iteri
+            (fun i (s, _args) ->
+              let cname = Printf.sprintf "%s$%d" callee (i + 1) in
+              Hashtbl.replace plan s cname;
+              Hashtbl.replace origin_of cname callee;
+              incr n_clones;
+              clones := copy_fn fn ~name:cname :: !clones)
+            (List.sort compare sigs);
+          Hashtbl.replace clone_plan callee plan
+      end)
+    contexts;
+  if !n_clones = 0 then { program; origin_of; clones_made = 0 }
+  else begin
+    (* Retarget calls in every caller according to the argument signature the
+       analysis observed at that site. *)
+    let retarget (caller : Ir.fn) =
+      match Hashtbl.find_opt ipa.Interproc.results caller.Ir.fname with
+      | None -> caller
+      | Some res ->
+        let site_map = Hashtbl.create 8 in
+        List.iter
+          (fun ((bid, idx), (callee, args)) ->
+            match Hashtbl.find_opt clone_plan callee with
+            | Some plan -> (
+              match Hashtbl.find_opt plan (signature args) with
+              | Some cname -> Hashtbl.replace site_map (bid, idx) cname
+              | None -> ())
+            | None -> ())
+          res.Engine.calls_seen;
+        if Hashtbl.length site_map = 0 then caller
+        else begin
+          let blocks =
+            Array.map
+              (fun (b : Ir.block) ->
+                let instrs =
+                  List.mapi
+                    (fun idx instr ->
+                      match instr with
+                      | Ir.Def (v, Ir.Call (name, args)) -> (
+                        match Hashtbl.find_opt site_map (b.Ir.bid, idx) with
+                        | Some cname when Hashtbl.find_opt origin_of cname = Some name ->
+                          Ir.Def (v, Ir.Call (cname, args))
+                        | _ -> instr)
+                      | instr -> instr)
+                    b.Ir.instrs
+                in
+                { b with Ir.instrs })
+              caller.Ir.blocks
+          in
+          { caller with Ir.blocks }
+        end
+    in
+    let fns = List.map retarget program.Ir.fns @ List.rev !clones in
+    ({ program with Ir.fns = fns }, origin_of, !n_clones)
+    |> fun (program, origin_of, clones_made) -> { program; origin_of; clones_made }
+  end

@@ -1,0 +1,16 @@
+(** Procedure cloning for calling-context-sensitive prediction (paper §3.7):
+    callees whose call sites supply materially different argument ranges are
+    duplicated per context and the call sites retargeted. *)
+
+module Ir = Vrp_ir.Ir
+
+type t = {
+  program : Ir.program;  (** the cloned program *)
+  origin_of : (string, string) Hashtbl.t;  (** clone name -> original name *)
+  clones_made : int;
+}
+
+val default_max_clones_per_fn : int
+
+(** Decide and apply cloning, driven by a prior interprocedural analysis. *)
+val run : ?max_clones_per_fn:int -> Ir.program -> Interproc.t -> t

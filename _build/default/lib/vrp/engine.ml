@@ -1,0 +1,606 @@
+(** The value range propagation engine (paper §3.3).
+
+    A sparse forward propagator in the style of Wegman–Zadeck conditional
+    constant propagation, generalised to weighted value ranges. Two
+    worklists are maintained — the FlowWorkList of CFG edges and the
+    SSAWorkList of def–use edges — and drained until a fixed point:
+
+    1. visiting a block for the first time evaluates every expression in
+       it; later visits re-evaluate only the φ-functions;
+    2. a changed definition enqueues its SSA out-edges;
+    3. loop-carried φ-functions are matched against induction templates
+       ({!Derive}) instead of being iterated;
+    4. a conditional branch is predicted from the value range of the tested
+       variable; its out-edges carry the resulting probabilities, and edges
+       with probability 0 stay unexecuted (unreachable-code detection, as in
+       SCCP);
+    5. branches whose range is ⊥ fall back to the Ball–Larus heuristics
+       (§5), or to 50/50 when heuristics are disabled.
+
+    Termination: the paper's argument is the finite range budget; because
+    probabilities fluctuate non-monotonically we add a per-variable
+    evaluation quota after which a value widens to ⊥ (a documented
+    safety-valve; see DESIGN.md). φ merge weights follow footnote 1: the
+    in-edge weight is the predecessor's relative frequency — computed
+    acyclically by ignoring back edges — times the edge's conditional
+    probability. *)
+
+module Ast = Vrp_lang.Ast
+module Ir = Vrp_ir.Ir
+module Var = Vrp_ir.Var
+module Loops = Vrp_ir.Loops
+module Value = Vrp_ranges.Value
+module Config = Vrp_ranges.Config
+module Heuristics = Vrp_predict.Heuristics
+
+type fallback = Heuristic | Even
+
+type config = {
+  symbolic : bool;  (** track symbolic ranges (paper's full configuration) *)
+  use_assertions : bool;  (** narrow through branch assertions *)
+  use_derivation : bool;  (** derive loop-carried φs instead of iterating *)
+  eval_quota : int;
+      (** per-variable value {e changes} before widening to ⊥. Implements
+          the paper's §4 observation operationally: ranges that keep
+          changing are the "problematic" loop-carried ones that "quickly
+          become ⊥"; a small quota lets tiny loops enumerate exactly while
+          cutting runaway iteration *)
+  trip_prior : float;
+      (** assumed relative frequency of a loop back edge versus loop entry
+          when merging at a loop-header φ; the classical ~10-iterations
+          prior. Without it the loop-exit value gets half the φ's mass and
+          loop-variable distributions are badly biased *)
+  flow_first : bool;  (** prefer the FlowWorkList (paper §3.3 step 2) *)
+  fallback : fallback;
+}
+
+let default_config =
+  {
+    symbolic = true;
+    use_assertions = true;
+    use_derivation = true;
+    eval_quota = 12;
+    trip_prior = 10.0;
+    flow_first = true;
+    fallback = Heuristic;
+  }
+
+let numeric_only_config = { default_config with symbolic = false }
+
+type site = Instr of int | Term
+
+(** Analysis result for one function. *)
+type t = {
+  fn : Ir.fn;
+  values : Value.t array;  (** final output assignment, indexed by var id *)
+  branch_probs : (int, float) Hashtbl.t;  (** block id -> P(true edge) *)
+  branch_fallback : (int, bool) Hashtbl.t;  (** did the branch use heuristics *)
+  visited : bool array;  (** executable blocks *)
+  evaluations : int;  (** expression evaluations (Figure 5 metric) *)
+  calls_seen : ((int * int) * (string * Value.t list)) list;
+      (** executable call sites (block, index) with latest argument values *)
+  return_value : Value.t;  (** merged over executable returns *)
+}
+
+let value t (v : Var.t) = t.values.(v.Var.id)
+
+let branch_prob t bid = Hashtbl.find_opt t.branch_probs bid
+
+let used_fallback t bid = Option.value ~default:false (Hashtbl.find_opt t.branch_fallback bid)
+
+(* --- Internal analysis state --- *)
+
+type state = {
+  cfg : config;
+  sfn : Ir.fn;
+  loops : Loops.t;
+  hctx : Heuristics.ctx;
+  dctx : Derive.ctx;
+  vals : Value.t array;
+  uses : (int, (int * site) list) Hashtbl.t;  (** var id -> use sites *)
+  extra_uses : (int, (int * site) list ref) Hashtbl.t;  (** derivation deps *)
+  def_site : (int, int * site) Hashtbl.t;  (** var id -> definition site *)
+  svisited : bool array;
+  edge_prob : (int * int, float) Hashtbl.t;  (** conditional edge probability *)
+  edge_exec : (int * int, bool) Hashtbl.t;
+  bprobs : (int, float) Hashtbl.t;
+  bfallback : (int, bool) Hashtbl.t;
+  freq : float array;  (** acyclic relative frequencies *)
+  mutable freq_dirty : bool;
+  flow_list : (int * int) Queue.t;
+  ssa_list : (int * site) Queue.t;  (** target block and site to re-evaluate *)
+  eval_counts : int array;  (** per-variable quota accounting *)
+  mutable evals : int;
+  mutable derived : (int, Value.t) Hashtbl.t;  (** derived φ variables *)
+  uneven : (int, unit) Hashtbl.t;
+      (** φs whose derived range hull is sound but unevenly visited
+          (geometric inductions): branches on them use heuristics *)
+  calls : (int * int, string * Value.t list) Hashtbl.t;
+  call_oracle : string -> Value.t list -> Value.t;
+  assert_root : (int, Var.t) Hashtbl.t;  (** memoised assertion-chain roots *)
+}
+
+let edge_probability st e = Option.value ~default:0.0 (Hashtbl.find_opt st.edge_prob e)
+
+let edge_executable st e = Option.value ~default:false (Hashtbl.find_opt st.edge_exec e)
+
+(* Relative block frequencies ignoring back edges (one RPO pass). Loop back
+   edges contribute no mass, so a join's in-edge weights are frequencies
+   relative to the enclosing region — exactly what normalised φ merging
+   needs (common outer factors cancel). *)
+let recompute_freq st =
+  let fn = st.sfn in
+  let order =
+    Vrp_ir.Dom.reverse_postorder ~nblocks:(Ir.num_blocks fn)
+      ~succs:(fun bid -> Ir.successors (Ir.block fn bid).Ir.term)
+      ~root:Ir.entry_bid
+  in
+  Array.fill st.freq 0 (Array.length st.freq) 0.0;
+  st.freq.(Ir.entry_bid) <- 1.0;
+  Array.iter
+    (fun bid ->
+      let b = Ir.block fn bid in
+      let f = st.freq.(bid) in
+      if f > 0.0 && st.svisited.(bid) then
+        List.iter
+          (fun succ ->
+            if not (Loops.is_back_edge st.loops ~src:bid ~dst:succ) then
+              st.freq.(succ) <-
+                st.freq.(succ) +. (f *. edge_probability st (bid, succ)))
+          (Ir.successors b.Ir.term))
+    order;
+  st.freq_dirty <- false
+
+(* Assertion-parent chain of a variable, starting with itself: used for the
+   paper's special φ rule (§3.8 note: merging assertion-derived variables of
+   a common parent yields the parent's range). *)
+let assert_chain st (v : Var.t) : Var.t list =
+  let rec go (v : Var.t) acc depth =
+    if depth > 64 then List.rev acc
+    else begin
+      match Hashtbl.find_opt st.def_site v.Var.id with
+      | Some (bid, Instr idx) -> (
+        match List.nth_opt (Ir.block st.sfn bid).Ir.instrs idx with
+        | Some (Ir.Def (_, Ir.Assertion { parent; _ })) ->
+          go parent (parent :: acc) (depth + 1)
+        | _ -> List.rev acc)
+      | Some (_, Term) | None -> List.rev acc
+    end
+  in
+  go v [ v ] 0
+
+(* Nearest common assertion ancestor of the φ arguments, when all arguments
+   are (transitive) assertion children of it. [phi_var] is the φ's own
+   definition: arguments whose assertion chain passes through it are
+   {e self-refinements} (narrowed copies of the φ flowing around a loop);
+   they carry no new information and are ignored, so a loop-invariant
+   variable that branch assertions re-version inside the loop keeps its
+   entry value instead of oscillating to ⊥. *)
+let nearest_common_ancestor st ~(phi_var : Var.t) (vars : Var.t list) : Var.t option =
+  let chains = List.map (fun v -> (v, assert_chain st v)) vars in
+  let external_chains, self_refs =
+    List.partition
+      (fun (_, chain) ->
+        not (List.exists (fun (a : Var.t) -> Var.equal a phi_var) chain))
+      chains
+  in
+  match external_chains with
+  | [] -> None
+  | (first, first_chain) :: rest ->
+    let candidate =
+      List.find_opt
+        (fun (a : Var.t) ->
+          List.for_all
+            (fun (_, chain) -> List.exists (fun (b : Var.t) -> Var.equal a b) chain)
+            rest)
+        first_chain
+    in
+    (* Require the rule to actually do something: either a self-refinement
+       was dropped, or some argument strictly narrows the ancestor. *)
+    (match candidate with
+    | Some a
+      when self_refs <> []
+           || List.exists (fun v -> not (Var.equal v a)) (first :: List.map fst rest) ->
+      Some a
+    | Some _ | None -> None)
+
+(* Value of an operand; [symbolic_copy] controls whether a ⊥ variable is
+   represented as a symbolic copy of itself (the paper's symbolic ranges). *)
+let operand_value st ~symbolic_copy (op : Ir.operand) : Value.t =
+  match op with
+  | Ir.Cint n -> Value.const_int n
+  | Ir.Cfloat _ -> Value.bottom
+  | Ir.Ovar v -> (
+    match st.vals.(v.Var.id) with
+    | Value.Bottom when symbolic_copy && st.cfg.symbolic && v.Var.ty = Ast.Tint ->
+      Value.copy_of_var v
+    | value -> value)
+
+let lookup_value st (v : Var.t) = st.vals.(v.Var.id)
+
+(* Resolve symbolic bases against current values (one level). Probability
+   queries must only substitute exactly-known bases: a derived loop range
+   [0:n:1] is correlated with n, and an independent-uniform comparison of
+   the two would badly mispredict the loop branch (see Value.subst_bound). *)
+let resolve st (v : Value.t) : Value.t =
+  Value.subst ~only_singleton:true v ~lookup:(lookup_value st)
+
+let enqueue_uses st (v : Var.t) =
+  List.iter
+    (fun site -> Queue.add site st.ssa_list)
+    (Option.value ~default:[] (Hashtbl.find_opt st.uses v.Var.id));
+  match Hashtbl.find_opt st.extra_uses v.Var.id with
+  | Some sites -> List.iter (fun site -> Queue.add site st.ssa_list) !sites
+  | None -> ()
+
+let register_extra_use st (dep : Var.t) site =
+  let sites =
+    match Hashtbl.find_opt st.extra_uses dep.Var.id with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace st.extra_uses dep.Var.id r;
+      r
+  in
+  if not (List.mem site !sites) then sites := site :: !sites
+
+(* Record a new value for [v]; returns true when it changed. The quota
+   counts *changes*: a value that keeps moving is a non-inductive
+   loop-carried range and is widened to ⊥ (after which it never changes
+   again), guaranteeing termination. *)
+let set_value st (v : Var.t) (value : Value.t) : bool =
+  let vid = v.Var.id in
+  if Value.equal st.vals.(vid) value then false
+  else begin
+    st.eval_counts.(vid) <- st.eval_counts.(vid) + 1;
+    let value =
+      if st.eval_counts.(vid) > st.cfg.eval_quota then Value.bottom else value
+    in
+    if Value.equal st.vals.(vid) value then false
+    else begin
+      st.vals.(vid) <- value;
+      enqueue_uses st v;
+      true
+    end
+  end
+
+(* --- Expression evaluation --- *)
+
+let eval_phi st ~bid (v : Var.t) (args : (int * Ir.operand) list) : Value.t =
+  (* Paper §3.8 note: merging assertion-derived variables of one parent (or
+     a parent with its own assertion children) yields the parent's range. *)
+  let exec_args =
+    List.filter (fun (pred, _) -> edge_executable st (pred, bid)) args
+  in
+  if exec_args = [] then Value.top
+  else begin
+    let arg_vars =
+      List.filter_map
+        (fun (_, op) -> match op with Ir.Ovar u -> Some u | Ir.Cint _ | Ir.Cfloat _ -> None)
+        exec_args
+    in
+    let common_root =
+      if List.length arg_vars = List.length exec_args then
+        nearest_common_ancestor st ~phi_var:v arg_vars
+      else None
+    in
+    match common_root with
+    | Some root -> operand_value st ~symbolic_copy:true (Ir.Ovar root)
+    | None ->
+      if st.freq_dirty then recompute_freq st;
+      let parts =
+        List.map
+          (fun (pred, op) ->
+            let base = st.freq.(pred) *. edge_probability st (pred, bid) in
+            let w =
+              if Loops.is_back_edge st.loops ~src:pred ~dst:bid then begin
+                (* the back edge fires once per iteration: weight it by the
+                   trip-count prior relative to the loop-entry mass *)
+                let latch_mass =
+                  if base > 0.0 then base
+                  else Float.max st.freq.(pred) (edge_probability st (pred, bid))
+                in
+                st.cfg.trip_prior *. latch_mass
+              end
+              else base
+            in
+            (w, operand_value st ~symbolic_copy:false op))
+          exec_args
+      in
+      ignore v;
+      Value.union_weighted parts
+  end
+
+let eval_rhs st ~bid ~site (v : Var.t) (rhs : Ir.rhs) : Value.t =
+  match rhs with
+  | Ir.Op op -> operand_value st ~symbolic_copy:true op
+  | Ir.Binop (op, a, b) ->
+    if v.Var.ty = Ast.Tfloat && (op = Ast.Div || op = Ast.Mod) then Value.bottom
+    else begin
+      let va = operand_value st ~symbolic_copy:true a in
+      let vb = operand_value st ~symbolic_copy:true b in
+      Value.binop op va vb
+    end
+  | Ir.Unop (op, a) -> Value.unop op (operand_value st ~symbolic_copy:false a)
+  | Ir.Cmp (rel, a, b) ->
+    let va = resolve st (operand_value st ~symbolic_copy:true a) in
+    let vb = resolve st (operand_value st ~symbolic_copy:true b) in
+    Value.cmp_value rel va vb
+  | Ir.Load _ -> Value.bottom  (* memory is opaque without alias analysis (§3.5) *)
+  | Ir.Call (name, args) ->
+    (* Argument ranges cross a function boundary: resolve symbolic bases
+       against current values, then drop anything still symbolic — a
+       caller's SSA names mean nothing inside the callee. *)
+    let arg_values =
+      List.map
+        (fun a ->
+          Value.purely_numeric (resolve st (operand_value st ~symbolic_copy:false a)))
+        args
+    in
+    let key = match site with Instr idx -> (bid, idx) | Term -> (bid, -1) in
+    Hashtbl.replace st.calls key (name, arg_values);
+    st.call_oracle name arg_values
+  | Ir.Phi args -> eval_phi st ~bid v args
+  | Ir.Assertion { parent; arel; abound } ->
+    let pv = operand_value st ~symbolic_copy:true (Ir.Ovar parent) in
+    if not st.cfg.use_assertions then pv
+    else begin
+      (* Singleton-resolve the bound: an exactly-known base becomes numeric,
+         anything else stays symbolic so same-base narrowing (i < n) keeps
+         the relation. *)
+      let bv = resolve st (operand_value st ~symbolic_copy:true abound) in
+      ignore site;
+      Value.assert_narrow pv arel bv
+    end
+
+(* Try to derive a loop-carried φ; true = handled (value recorded). *)
+let try_derive st ~bid ~site (v : Var.t) (args : (int * Ir.operand) list) : bool =
+  if not st.cfg.use_derivation then false
+  else begin
+    let has_back =
+      List.exists (fun (pred, _) -> Loops.is_back_edge st.loops ~src:pred ~dst:bid) args
+    in
+    if not has_back then false
+    else begin
+      match
+        Derive.attempt ~ctx:st.dctx ~values:(lookup_value st) ~symbolic:st.cfg.symbolic
+          ~phi_bid:bid ~phi_var:v ~args
+      with
+      | Some { value; depends; even_distribution } ->
+        List.iter (fun dep -> register_extra_use st dep (bid, site)) depends;
+        Hashtbl.replace st.derived v.Var.id value;
+        if even_distribution then Hashtbl.remove st.uneven v.Var.id
+        else Hashtbl.replace st.uneven v.Var.id ();
+        st.evals <- st.evals + 1;
+        ignore (set_value st v value);
+        true
+      | None ->
+        Hashtbl.remove st.derived v.Var.id;
+        false
+    end
+  end
+
+let eval_instr st ~bid ~idx (instr : Ir.instr) =
+  match instr with
+  | Ir.Store _ -> ()
+  | Ir.Def (v, rhs) ->
+    let handled =
+      match rhs with
+      | Ir.Phi args -> try_derive st ~bid ~site:(Instr idx) v args
+      | _ -> false
+    in
+    if not handled then begin
+      st.evals <- st.evals + 1;
+      let value = eval_rhs st ~bid ~site:(Instr idx) v rhs in
+      ignore (set_value st v value)
+    end
+
+(* Step 7: predict the branch from the tested variable's range and mark the
+   out-edges. *)
+let eval_term st ~bid (term : Ir.term) =
+  match term with
+  | Ir.Jump dst ->
+    if edge_probability st (bid, dst) <> 1.0 then begin
+      Hashtbl.replace st.edge_prob (bid, dst) 1.0;
+      st.freq_dirty <- true
+    end;
+    if not (edge_executable st (bid, dst)) then Queue.add (bid, dst) st.flow_list
+  | Ir.Ret _ -> ()
+  | Ir.Br { rel; ba; bb; tdst; fdst } ->
+    st.evals <- st.evals + 1;
+    let va = resolve st (operand_value st ~symbolic_copy:true ba) in
+    let vb = resolve st (operand_value st ~symbolic_copy:true bb) in
+    (* A branch on an unevenly-distributed derived range (geometric
+       induction) must not trust the even-distribution assumption. *)
+    let uneven_operand op =
+      match Ir.operand_var op with
+      | Some v ->
+        List.exists
+          (fun (a : Var.t) -> Hashtbl.mem st.uneven a.Var.id)
+          (assert_chain st v)
+      | None -> false
+    in
+    let prob, fallback =
+      match
+        (if uneven_operand ba || uneven_operand bb then None
+         else Value.cmp_prob rel va vb)
+      with
+      | Some p -> (p, false)
+      | None -> (
+        match st.cfg.fallback with
+        | Heuristic ->
+          (Heuristics.ball_larus st.hctx ~src:bid { rel; ba; bb; tdst; fdst }, true)
+        | Even -> (0.5, true))
+    in
+    Hashtbl.replace st.bprobs bid prob;
+    Hashtbl.replace st.bfallback bid fallback;
+    let update dst p =
+      let old = edge_probability st (bid, dst) in
+      let first = not (Hashtbl.mem st.edge_prob (bid, dst)) in
+      if first || Float.abs (old -. p) > Config.eps then begin
+        Hashtbl.replace st.edge_prob (bid, dst) p;
+        st.freq_dirty <- true;
+        if p > 0.0 then Queue.add (bid, dst) st.flow_list
+      end
+    in
+    update tdst prob;
+    update fdst (1.0 -. prob)
+
+let visit_block st bid =
+  let blk = Ir.block st.sfn bid in
+  if not st.svisited.(bid) then begin
+    st.svisited.(bid) <- true;
+    st.freq_dirty <- true;
+    List.iteri (fun idx instr -> eval_instr st ~bid ~idx instr) blk.Ir.instrs;
+    eval_term st ~bid blk.Ir.term
+  end
+  else
+    (* revisit: φ-functions only (step 3) *)
+    List.iteri
+      (fun idx instr ->
+        match instr with
+        | Ir.Def (_, Ir.Phi _) -> eval_instr st ~bid ~idx instr
+        | Ir.Def _ | Ir.Store _ -> ())
+      blk.Ir.instrs
+
+let process_flow_edge st (src, dst) =
+  if edge_probability st (src, dst) > 0.0 && st.svisited.(src) then begin
+    let first = not (edge_executable st (src, dst)) in
+    Hashtbl.replace st.edge_exec (src, dst) true;
+    if first || st.svisited.(dst) then visit_block st dst
+  end
+
+let process_ssa_site st (bid, site) =
+  if st.svisited.(bid) then begin
+    match site with
+    | Term -> eval_term st ~bid (Ir.block st.sfn bid).Ir.term
+    | Instr idx -> (
+      match List.nth_opt (Ir.block st.sfn bid).Ir.instrs idx with
+      | Some instr -> eval_instr st ~bid ~idx instr
+      | None -> ())
+  end
+
+(* --- Use lists --- *)
+
+let build_uses (fn : Ir.fn) =
+  let uses = Hashtbl.create 64 in
+  let def_site = Hashtbl.create 64 in
+  let add (v : Var.t) site =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt uses v.Var.id) in
+    Hashtbl.replace uses v.Var.id (site :: cur)
+  in
+  Ir.iter_blocks fn (fun b ->
+      List.iteri
+        (fun idx instr ->
+          (match Ir.instr_def instr with
+          | Some v -> Hashtbl.replace def_site v.Var.id (b.Ir.bid, Instr idx)
+          | None -> ());
+          List.iter (fun v -> add v (b.Ir.bid, Instr idx)) (Ir.instr_uses instr))
+        b.Ir.instrs;
+      List.iter (fun v -> add v (b.Ir.bid, Term)) (Ir.term_uses b.Ir.term));
+  (uses, def_site)
+
+(* --- Top-level driver --- *)
+
+(** Analyse one function. [param_values] are the ranges of the formal
+    parameters (⊥ by default, i.e. unknown input); [call_oracle] supplies
+    return-value ranges for calls (⊥ by default — the intraprocedural
+    setting). *)
+let analyze ?(config = default_config)
+    ?(call_oracle = fun _ _ -> Value.bottom)
+    ?(param_values : Value.t list option) (fn : Ir.fn) : t =
+  let loops = Loops.compute fn in
+  let uses, def_site = build_uses fn in
+  let st =
+    {
+      cfg = config;
+      sfn = fn;
+      loops;
+      hctx = Heuristics.make_ctx fn;
+      dctx = Derive.make_ctx fn loops;
+      vals = Array.make fn.Ir.nvars Value.top;
+      uses;
+      extra_uses = Hashtbl.create 16;
+      uneven = Hashtbl.create 8;
+      def_site;
+      svisited = Array.make (Ir.num_blocks fn) false;
+      edge_prob = Hashtbl.create 64;
+      edge_exec = Hashtbl.create 64;
+      bprobs = Hashtbl.create 16;
+      bfallback = Hashtbl.create 16;
+      freq = Array.make (Ir.num_blocks fn) 0.0;
+      freq_dirty = true;
+      flow_list = Queue.create ();
+      ssa_list = Queue.create ();
+      eval_counts = Array.make fn.Ir.nvars 0;
+      evals = 0;
+      derived = Hashtbl.create 16;
+      calls = Hashtbl.create 16;
+      call_oracle;
+      assert_root = Hashtbl.create 64;
+    }
+  in
+  (* Parameters: supplied ranges, or ⊥ (program input). *)
+  let pvals =
+    match param_values with
+    | Some vs -> vs
+    | None -> List.map (fun _ -> Value.bottom) fn.Ir.params
+  in
+  (try
+     List.iter2
+       (fun (p : Var.t) v -> st.vals.(p.Var.id) <- Value.purely_numeric v)
+       fn.Ir.params pvals
+   with Invalid_argument _ -> invalid_arg "Engine.analyze: arity mismatch");
+  visit_block st Ir.entry_bid;
+  (* Drain the worklists. *)
+  let budget = ref (max 100_000 (200 * Ir.fn_size fn)) in
+  let rec drain () =
+    if !budget <= 0 then ()
+    else begin
+      decr budget;
+      let take_flow () =
+        if Queue.is_empty st.flow_list then false
+        else begin
+          process_flow_edge st (Queue.pop st.flow_list);
+          true
+        end
+      in
+      let take_ssa () =
+        if Queue.is_empty st.ssa_list then false
+        else begin
+          process_ssa_site st (Queue.pop st.ssa_list);
+          true
+        end
+      in
+      let progressed =
+        if config.flow_first then take_flow () || take_ssa ()
+        else take_ssa () || take_flow ()
+      in
+      if progressed then drain ()
+    end
+  in
+  drain ();
+  (* Collect the merged return value over executable returns. *)
+  let returns = ref [] in
+  Ir.iter_blocks fn (fun b ->
+      if st.svisited.(b.Ir.bid) then
+        match b.Ir.term with
+        | Ir.Ret (Some op) ->
+          let v =
+            Value.purely_numeric (resolve st (operand_value st ~symbolic_copy:false op))
+          in
+          returns := (1.0, v) :: !returns
+        | Ir.Ret None | Ir.Jump _ | Ir.Br _ -> ());
+  let return_value =
+    match !returns with [] -> Value.bottom | parts -> Value.union_weighted parts
+  in
+  {
+    fn;
+    values = st.vals;
+    branch_probs = st.bprobs;
+    branch_fallback = st.bfallback;
+    visited = st.svisited;
+    evaluations = st.evals;
+    calls_seen = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.calls [];
+    return_value;
+  }

@@ -1,0 +1,53 @@
+(** The value range propagation engine (paper §3.3): a Wegman–Zadeck-style
+    two-worklist sparse propagator over weighted value ranges, with loop
+    derivation, branch assertions, heuristic fallback and edge
+    probabilities. See the implementation header for the full algorithm
+    description and the termination safety-valve. *)
+
+module Ir = Vrp_ir.Ir
+module Var = Vrp_ir.Var
+module Value = Vrp_ranges.Value
+
+type fallback = Heuristic | Even
+
+type config = {
+  symbolic : bool;  (** track symbolic ranges (paper's full configuration) *)
+  use_assertions : bool;  (** narrow through branch assertions *)
+  use_derivation : bool;  (** derive loop-carried φs instead of iterating *)
+  eval_quota : int;  (** per-variable value changes before widening to ⊥ *)
+  trip_prior : float;  (** assumed back-edge/entry frequency ratio at φs *)
+  flow_first : bool;  (** prefer the FlowWorkList (paper §3.3 step 2) *)
+  fallback : fallback;
+}
+
+val default_config : config
+
+(** The paper's "numeric ranges only" configuration (Figures 7/8). *)
+val numeric_only_config : config
+
+(** Analysis result for one function. *)
+type t = {
+  fn : Ir.fn;
+  values : Value.t array;  (** final output assignment, indexed by var id *)
+  branch_probs : (int, float) Hashtbl.t;  (** block id -> P(true edge) *)
+  branch_fallback : (int, bool) Hashtbl.t;  (** branch used heuristics *)
+  visited : bool array;  (** executable blocks *)
+  evaluations : int;  (** expression evaluations (Figure 5 metric) *)
+  calls_seen : ((int * int) * (string * Value.t list)) list;
+      (** executable call sites (block, index) with latest argument values *)
+  return_value : Value.t;  (** merged over executable returns *)
+}
+
+val value : t -> Var.t -> Value.t
+val branch_prob : t -> int -> float option
+val used_fallback : t -> int -> bool
+
+(** Analyse one function. [param_values] are the formal parameters' ranges
+    (⊥ by default = unknown program input); [call_oracle] supplies return
+    ranges for calls (⊥ by default — the intraprocedural setting). *)
+val analyze :
+  ?config:config ->
+  ?call_oracle:(string -> Value.t list -> Value.t) ->
+  ?param_values:Value.t list ->
+  Ir.fn ->
+  t

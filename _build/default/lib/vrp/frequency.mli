@@ -1,0 +1,29 @@
+(** Block, edge and function execution-frequency estimation from branch
+    probabilities (paper §6, Wu–Larus style): frequencies are propagated
+    around the CFG and the call graph to a (capped) fixed point, giving the
+    "apply optimizations in descending order of execution frequency"
+    ordering the paper describes. *)
+
+module Ir = Vrp_ir.Ir
+
+type fn_freq = {
+  fn : Ir.fn;
+  block_freq : float array;  (** executions per invocation of the function *)
+  edge_freq : (int * int, float) Hashtbl.t;
+}
+
+type t = {
+  per_fn : (string, fn_freq) Hashtbl.t;
+  call_freq : (string, float) Hashtbl.t;  (** invocations per run of main *)
+}
+
+(** Per-invocation frequencies of one analysed function. *)
+val of_engine : Engine.t -> fn_freq
+
+(** Whole-program frequencies from an interprocedural analysis. *)
+val of_interproc : Ir.program -> Interproc.t -> t
+
+val global_block_freq : t -> fname:string -> bid:int -> float option
+
+(** All blocks hottest-first: [(function, block, global frequency)]. *)
+val hottest_blocks : t -> (string * int * float) list

@@ -1,0 +1,167 @@
+(** Interprocedural value range propagation (paper §3.7).
+
+    "Interprocedural constant propagation is usually described in terms of a
+    set of jump functions associated with each call site ... In our case,
+    the jump functions map directly to the range representations for the
+    parameters in the call, and the propagation algorithm remains the same.
+    In essence, the entire program is treated almost as if it were one huge
+    control flow graph."
+
+    Implementation: a round-based whole-program driver. Each round analyses
+    every reachable function with (a) parameter ranges = the weighted merge
+    of the argument ranges observed at its executable call sites in the
+    previous round (the jump functions), and (b) a call oracle that returns
+    each callee's merged return range (the return-jump functions, footnote
+    3). [main]'s parameters are program input, hence ⊥. Rounds repeat until
+    the parameter/return environments stabilise or [max_rounds] is hit —
+    recursion makes the environments oscillate at most down to ⊥. *)
+
+module Ir = Vrp_ir.Ir
+module Value = Vrp_ranges.Value
+
+type t = {
+  results : (string, Engine.t) Hashtbl.t;  (** per reachable function *)
+  param_env : (string, Value.t list) Hashtbl.t;
+  return_env : (string, Value.t) Hashtbl.t;
+  rounds : int;  (** rounds actually executed *)
+}
+
+let result t fname = Hashtbl.find_opt t.results fname
+
+let default_max_rounds = 5
+
+let env_equal (a : (string, Value.t list) Hashtbl.t) (b : (string, Value.t list) Hashtbl.t) =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold
+       (fun name vs acc ->
+         acc
+         &&
+         match Hashtbl.find_opt b name with
+         | Some vs' -> List.length vs = List.length vs' && List.for_all2 Value.equal vs vs'
+         | None -> false)
+       a true
+
+(** Whole-program analysis, entered at [main]. *)
+let analyze ?(config = Engine.default_config) ?(max_rounds = default_max_rounds)
+    (program : Ir.program) : t =
+  let param_env : (string, Value.t list) Hashtbl.t = Hashtbl.create 16 in
+  let return_env : (string, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  (match Ir.find_fn program "main" with
+  | Some main ->
+    Hashtbl.replace param_env "main" (List.map (fun _ -> Value.bottom) main.Ir.params)
+  | None -> invalid_arg "Interproc.analyze: program has no main");
+  let results = ref (Hashtbl.create 16) in
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue && !rounds < max_rounds do
+    incr rounds;
+    let round_results = Hashtbl.create 16 in
+    (* Jump-function accumulation for the next round: one weighted entry per
+       executable call site. *)
+    let next_params : (string, (float * Value.t) list array option ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let record_call callee (args : Value.t list) =
+      match Ir.find_fn program callee with
+      | None -> () (* builtin *)
+      | Some cfn ->
+        let nparams = List.length cfn.Ir.params in
+        if List.length args = nparams then begin
+          let slot =
+            match Hashtbl.find_opt next_params callee with
+            | Some r -> r
+            | None ->
+              let r = ref None in
+              Hashtbl.replace next_params callee r;
+              r
+          in
+          let arr =
+            match !slot with
+            | Some arr -> arr
+            | None ->
+              let arr = Array.make nparams [] in
+              slot := Some arr;
+              arr
+          in
+          List.iteri (fun i v -> arr.(i) <- (1.0, v) :: arr.(i)) args
+        end
+    in
+    (* Analyse every function that currently has parameter ranges, in a BFS
+       order from main so callees see this round's caller information. *)
+    let analyzed = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Queue.add "main" queue;
+    while not (Queue.is_empty queue) do
+      let name = Queue.pop queue in
+      if not (Hashtbl.mem analyzed name) then begin
+        Hashtbl.replace analyzed name ();
+        match (Ir.find_fn program name, Hashtbl.find_opt param_env name) with
+        | Some fn, Some param_values ->
+          let call_oracle callee _args =
+            match Hashtbl.find_opt return_env callee with
+            | Some v -> v
+            | None -> Value.bottom
+          in
+          let res = Engine.analyze ~config ~call_oracle ~param_values fn in
+          Hashtbl.replace round_results name res;
+          List.iter
+            (fun (_site, (callee, args)) ->
+              record_call callee args;
+              if Ir.find_fn program callee <> None && not (Hashtbl.mem analyzed callee)
+              then begin
+                (* make the callee analysable this round if it only just
+                   became reachable *)
+                if not (Hashtbl.mem param_env callee) then begin
+                  match Ir.find_fn program callee with
+                  | Some cfn ->
+                    Hashtbl.replace param_env callee
+                      (List.map (fun _ -> Value.bottom) cfn.Ir.params)
+                  | None -> ()
+                end;
+                Queue.add callee queue
+              end)
+            res.Engine.calls_seen
+        | _ -> ()
+      end
+    done;
+    (* Build next round's environments. *)
+    let new_param_env = Hashtbl.create 16 in
+    (match Ir.find_fn program "main" with
+    | Some main ->
+      Hashtbl.replace new_param_env "main"
+        (List.map (fun _ -> Value.bottom) main.Ir.params)
+    | None -> ());
+    Hashtbl.iter
+      (fun callee slot ->
+        if callee <> "main" then begin
+          match !slot with
+          | Some arr ->
+            Hashtbl.replace new_param_env callee
+              (Array.to_list (Array.map Value.union_weighted arr))
+          | None -> ()
+        end)
+      next_params;
+    let new_return_env = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun name (res : Engine.t) -> Hashtbl.replace new_return_env name res.Engine.return_value)
+      round_results;
+    let ret_equal =
+      Hashtbl.length new_return_env = Hashtbl.length return_env
+      && Hashtbl.fold
+           (fun name v acc ->
+             acc
+             &&
+             match Hashtbl.find_opt return_env name with
+             | Some v' -> Value.equal v v'
+             | None -> false)
+           new_return_env true
+    in
+    let params_equal = env_equal new_param_env param_env in
+    results := round_results;
+    Hashtbl.reset param_env;
+    Hashtbl.iter (Hashtbl.replace param_env) new_param_env;
+    Hashtbl.reset return_env;
+    Hashtbl.iter (Hashtbl.replace return_env) new_return_env;
+    if params_equal && ret_equal then continue := false
+  done;
+  { results = !results; param_env; return_env; rounds = !rounds }

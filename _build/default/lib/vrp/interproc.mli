@@ -1,0 +1,22 @@
+(** Interprocedural value range propagation (paper §3.7): a round-based
+    whole-program driver where jump functions are the argument ranges
+    observed at executable call sites and return-jump functions flow callee
+    return ranges back. *)
+
+module Ir = Vrp_ir.Ir
+module Value = Vrp_ranges.Value
+
+type t = {
+  results : (string, Engine.t) Hashtbl.t;  (** per reachable function *)
+  param_env : (string, Value.t list) Hashtbl.t;
+  return_env : (string, Value.t) Hashtbl.t;
+  rounds : int;  (** rounds actually executed *)
+}
+
+val result : t -> string -> Engine.t option
+
+val default_max_rounds : int
+
+(** Whole-program analysis entered at [main].
+    @raise Invalid_argument if the program has no [main]. *)
+val analyze : ?config:Engine.config -> ?max_rounds:int -> Ir.program -> t

@@ -1,0 +1,172 @@
+(** VRP as an optimizer (paper §6).
+
+    "value range propagation subsumes both constant propagation and copy
+    propagation. If a variable's final value range is a single constant such
+    as [1[7:7:0]], then the variable's value is constant for all possible
+    executions ... Similarly, a variable x whose value range is the single
+    symbolic range of another variable such as [1[y:y:0]] is simply a copy
+    of y ... Just as constant and copy propagation identify unreachable
+    code, so does value range propagation — branches to unreachable code
+    have a probability of 0."
+
+    [report] extracts those facts from an analysis; [rewrite] applies them:
+    constants and copies are substituted into uses, statically-decided
+    branches are folded to jumps, and unreachable blocks are swept. The
+    result remains valid SSA (checked by the test suite). *)
+
+module Ir = Vrp_ir.Ir
+module Var = Vrp_ir.Var
+module Value = Vrp_ranges.Value
+module Config = Vrp_ranges.Config
+
+type report = {
+  constants : (Var.t * int) list;
+  copies : (Var.t * Var.t) list;  (** (variable, the variable it copies) *)
+  decided_branches : (int * bool) list;  (** block id, constant direction *)
+  unreachable_blocks : int list;
+}
+
+let find_report (res : Engine.t) : report =
+  let constants = ref [] and copies = ref [] in
+  Ir.iter_blocks res.Engine.fn (fun b ->
+      if res.Engine.visited.(b.Ir.bid) then
+        List.iter
+          (fun instr ->
+            match instr with
+            | Ir.Def (v, rhs) -> (
+              let value = res.Engine.values.(v.Var.id) in
+              match Value.as_constant value with
+              | Some n -> (
+                (* a def that was already a literal constant is not a find *)
+                match rhs with
+                | Ir.Op (Ir.Cint _) -> ()
+                | _ -> constants := (v, n) :: !constants)
+              | None -> (
+                match Value.as_copy value with
+                | Some src when not (Var.equal src v) -> copies := (v, src) :: !copies
+                | Some _ | None -> ()))
+            | Ir.Store _ -> ())
+          b.Ir.instrs);
+  let decided = ref [] in
+  Hashtbl.iter
+    (fun bid p ->
+      if p <= Config.eps then decided := (bid, false) :: !decided
+      else if p >= 1.0 -. Config.eps then decided := (bid, true) :: !decided)
+    res.Engine.branch_probs;
+  let unreachable = ref [] in
+  Array.iteri
+    (fun bid visited -> if not visited then unreachable := bid :: !unreachable)
+    res.Engine.visited;
+  {
+    constants = List.rev !constants;
+    copies = List.rev !copies;
+    decided_branches = List.sort compare !decided;
+    unreachable_blocks = List.sort compare !unreachable;
+  }
+
+(** Apply the report to a {e copy} of the function: substitute constants and
+    copies into operands, fold decided branches, drop unreachable blocks.
+    Returns the rewritten function. *)
+let rewrite (res : Engine.t) : Ir.fn =
+  let report = find_report res in
+  let const_tbl = Hashtbl.create 16 and copy_tbl = Hashtbl.create 16 in
+  List.iter (fun ((v : Var.t), n) -> Hashtbl.replace const_tbl v.Var.id n) report.constants;
+  List.iter (fun ((v : Var.t), src) -> Hashtbl.replace copy_tbl v.Var.id src) report.copies;
+  (* Resolve copy chains down to their final source. *)
+  let rec chase (v : Var.t) depth : Var.t =
+    if depth > 64 then v
+    else begin
+      match Hashtbl.find_opt copy_tbl v.Var.id with
+      | Some src -> chase src (depth + 1)
+      | None -> v
+    end
+  in
+  let subst_operand (op : Ir.operand) : Ir.operand =
+    match op with
+    | Ir.Ovar v -> (
+      match Hashtbl.find_opt const_tbl v.Var.id with
+      | Some n -> Ir.Cint n
+      | None ->
+        let root = chase v 0 in
+        if Var.equal root v then op else Ir.Ovar root)
+    | Ir.Cint _ | Ir.Cfloat _ -> op
+  in
+  let fn = res.Engine.fn in
+  let decided = Hashtbl.create 8 in
+  List.iter (fun (bid, dir) -> Hashtbl.replace decided bid dir) report.decided_branches;
+  let blocks =
+    Array.map
+      (fun (b : Ir.block) ->
+        let instrs =
+          List.map
+            (fun instr ->
+              match instr with
+              | Ir.Def (v, rhs) ->
+                let rhs =
+                  match rhs with
+                  | Ir.Op a -> Ir.Op (subst_operand a)
+                  | Ir.Binop (op, a, c) -> Ir.Binop (op, subst_operand a, subst_operand c)
+                  | Ir.Unop (op, a) -> Ir.Unop (op, subst_operand a)
+                  | Ir.Cmp (op, a, c) -> Ir.Cmp (op, subst_operand a, subst_operand c)
+                  | Ir.Load (arr, idx) -> Ir.Load (arr, subst_operand idx)
+                  | Ir.Call (name, args) -> Ir.Call (name, List.map subst_operand args)
+                  | Ir.Phi args ->
+                    Ir.Phi (List.map (fun (p, a) -> (p, subst_operand a)) args)
+                  | Ir.Assertion { parent; arel; abound } ->
+                    Ir.Assertion { parent; arel; abound = subst_operand abound }
+                in
+                Ir.Def (v, rhs)
+              | Ir.Store (arr, idx, v) -> Ir.Store (arr, subst_operand idx, subst_operand v))
+            b.Ir.instrs
+        in
+        let term =
+          match b.Ir.term with
+          | Ir.Br { rel; ba; bb; tdst; fdst } -> (
+            let ba = subst_operand ba and bb = subst_operand bb in
+            match Hashtbl.find_opt decided b.Ir.bid with
+            | Some true -> Ir.Jump tdst
+            | Some false -> Ir.Jump fdst
+            | None -> Ir.Br { rel; ba; bb; tdst; fdst })
+          | Ir.Jump _ as t -> t
+          | Ir.Ret (Some op) -> Ir.Ret (Some (subst_operand op))
+          | Ir.Ret None -> Ir.Ret None
+        in
+        { b with Ir.instrs; term; preds = [] })
+      fn.Ir.blocks
+  in
+  let fn' = { fn with Ir.blocks } in
+  Ir.recompute_preds fn';
+  (* Remove φ arguments for predecessors that no longer reach the block, then
+     sweep unreachable blocks. *)
+  Ir.iter_blocks fn' (fun b ->
+      b.Ir.instrs <-
+        List.filter_map
+          (fun instr ->
+            match instr with
+            | Ir.Def (v, Ir.Phi args) -> (
+              let args = List.filter (fun (p, _) -> List.mem p b.Ir.preds) args in
+              match args with
+              | [] -> None  (* block is unreachable; swept below *)
+              | [ (_, single) ] -> Some (Ir.Def (v, Ir.Op single))
+              | args -> Some (Ir.Def (v, Ir.Phi args)))
+            | instr -> Some instr)
+          b.Ir.instrs);
+  Vrp_ir.Build.cleanup fn'
+
+let report_to_string (r : report) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "constants: %d, copies: %d, decided branches: %d, unreachable blocks: %d\n"
+       (List.length r.constants) (List.length r.copies)
+       (List.length r.decided_branches)
+       (List.length r.unreachable_blocks));
+  List.iter
+    (fun ((v : Var.t), n) ->
+      Buffer.add_string buf (Printf.sprintf "  const %s = %d\n" (Var.to_string v) n))
+    r.constants;
+  List.iter
+    (fun ((v : Var.t), (src : Var.t)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  copy  %s = %s\n" (Var.to_string v) (Var.to_string src)))
+    r.copies;
+  Buffer.contents buf

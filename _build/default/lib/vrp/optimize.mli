@@ -1,0 +1,22 @@
+(** VRP as an optimizer (paper §6): probability-1 singleton ranges are
+    constants, singleton symbolic ranges are copies, probability-0 edges are
+    unreachable code. [rewrite] applies all three to a copy of the
+    function. *)
+
+module Ir = Vrp_ir.Ir
+module Var = Vrp_ir.Var
+
+type report = {
+  constants : (Var.t * int) list;
+  copies : (Var.t * Var.t) list;  (** (variable, the variable it copies) *)
+  decided_branches : (int * bool) list;  (** block id, constant direction *)
+  unreachable_blocks : int list;
+}
+
+val find_report : Engine.t -> report
+
+(** Substitute constants and copies into uses, fold decided branches, sweep
+    unreachable blocks. The result is valid SSA. *)
+val rewrite : Engine.t -> Ir.fn
+
+val report_to_string : report -> string

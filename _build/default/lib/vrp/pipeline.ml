@@ -1,0 +1,74 @@
+(** End-to-end convenience pipeline: MiniC source → canonical SSA CFG →
+    predictions. Shared by the CLI driver, the examples, the evaluation
+    harness and the tests so they all agree on what "the program" is. *)
+
+module Ir = Vrp_ir.Ir
+module Value = Vrp_ranges.Value
+module Predictor = Vrp_predict.Predictor
+module Heuristics = Vrp_predict.Heuristics
+
+type compiled = {
+  source : string;
+  ast : Vrp_lang.Ast.program;
+  ssa : Ir.program;  (** the canonical SSA program all consumers share *)
+  ssa_infos : (string, Vrp_ir.Ssa.info) Hashtbl.t;
+}
+
+(** Parse, check, lower, clean, split, convert to SSA and validate.
+    @raise Vrp_lang front-end errors or {!Vrp_ir.Check.Violation}. *)
+let compile (source : string) : compiled =
+  let ast = Vrp_lang.Front.parse_and_check source in
+  let cfg = Vrp_ir.Build.program ast in
+  let ssa, ssa_infos = Vrp_ir.Ssa.transform_program cfg in
+  Vrp_ir.Check.check_ssa_program ssa;
+  { source; ast; ssa; ssa_infos }
+
+(** Branch predictions from (interprocedural) value range propagation.
+    Unreachable branches fall back to the Ball–Larus estimate so the map is
+    total, like the other predictors'. *)
+let vrp_predictions ?(config = Engine.default_config) ?(interprocedural = true)
+    (ssa : Ir.program) : Predictor.prediction * Interproc.t option =
+  let out = Hashtbl.create 64 in
+  let fill (fn : Ir.fn) (res : Engine.t option) =
+    let hctx = lazy (Heuristics.make_ctx fn) in
+    Array.iter
+      (fun (b : Ir.block) ->
+        match b.Ir.term with
+        | Ir.Br br ->
+          let p =
+            match res with
+            | Some res -> (
+              match Engine.branch_prob res b.Ir.bid with
+              | Some p -> p
+              | None -> Heuristics.ball_larus (Lazy.force hctx) ~src:b.Ir.bid br)
+            | None -> Heuristics.ball_larus (Lazy.force hctx) ~src:b.Ir.bid br
+          in
+          Hashtbl.replace out (fn.Ir.fname, b.Ir.bid) p
+        | Ir.Jump _ | Ir.Ret _ -> ())
+      fn.Ir.blocks
+  in
+  if interprocedural then begin
+    let ipa = Interproc.analyze ~config ssa in
+    List.iter (fun fn -> fill fn (Interproc.result ipa fn.Ir.fname)) ssa.Ir.fns;
+    (out, Some ipa)
+  end
+  else begin
+    List.iter (fun fn -> fill fn (Some (Engine.analyze ~config fn))) ssa.Ir.fns;
+    (out, None)
+  end
+
+(** All the predictors of the paper's Figures 7/8, keyed by the legend names
+    used in the harness output. [train] is the profiling predictor's
+    training run. *)
+let all_predictors ~(train : Vrp_profile.Interp.profile) (ssa : Ir.program) :
+    (string * Predictor.prediction) list =
+  let vrp_full, _ = vrp_predictions ~config:Engine.default_config ssa in
+  let vrp_numeric, _ = vrp_predictions ~config:Engine.numeric_only_config ssa in
+  [
+    ("profiling", Predictor.profiling train ssa);
+    ("ball-larus", Predictor.ball_larus ssa);
+    ("vrp", vrp_full);
+    ("vrp-numeric", vrp_numeric);
+    ("90/50", Predictor.ninety_fifty ssa);
+    ("random", Predictor.random ssa);
+  ]

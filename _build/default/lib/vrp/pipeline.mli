@@ -1,0 +1,31 @@
+(** End-to-end convenience pipeline shared by the CLI, examples, harness and
+    tests: MiniC source → canonical SSA CFG → predictions. *)
+
+module Ir = Vrp_ir.Ir
+module Predictor = Vrp_predict.Predictor
+
+type compiled = {
+  source : string;
+  ast : Vrp_lang.Ast.program;
+  ssa : Ir.program;  (** the canonical SSA program all consumers share *)
+  ssa_infos : (string, Vrp_ir.Ssa.info) Hashtbl.t;
+}
+
+(** Parse, check, lower, clean, split, convert to SSA and validate.
+    @raise front-end errors or {!Vrp_ir.Check.Violation}. *)
+val compile : string -> compiled
+
+(** Branch predictions from (by default interprocedural) VRP; unreachable
+    branches fall back to Ball–Larus so the map is total. *)
+val vrp_predictions :
+  ?config:Engine.config ->
+  ?interprocedural:bool ->
+  Ir.program ->
+  Predictor.prediction * Interproc.t option
+
+(** The six predictors of the paper's Figures 7/8, keyed by legend name.
+    [train] is the profiling predictor's training profile. *)
+val all_predictors :
+  train:Vrp_profile.Interp.profile ->
+  Ir.program ->
+  (string * Predictor.prediction) list

@@ -1,0 +1,263 @@
+(** Sparse conditional constant propagation (Wegman & Zadeck 1991).
+
+    The paper builds value range propagation on SCCP's mechanism and claims
+    to subsume it ("value range propagation subsumes both constant
+    propagation and copy propagation", §1). This module is the classic
+    three-level-lattice algorithm, used as (a) the baseline the engine is
+    measured against, (b) a test oracle: every constant SCCP finds must come
+    out of VRP as a probability-1 singleton, and every block SCCP proves
+    unreachable must be unreachable under VRP. *)
+
+module Ast = Vrp_lang.Ast
+module Ir = Vrp_ir.Ir
+module Var = Vrp_ir.Var
+
+type clat = Ctop | Cint of int | Cfloat of float | Cbot
+
+let clat_equal a b =
+  match (a, b) with
+  | Ctop, Ctop | Cbot, Cbot -> true
+  | Cint x, Cint y -> x = y
+  | Cfloat x, Cfloat y -> Float.equal x y
+  | (Ctop | Cint _ | Cfloat _ | Cbot), _ -> false
+
+let meet a b =
+  match (a, b) with
+  | Ctop, x | x, Ctop -> x
+  | Cbot, _ | _, Cbot -> Cbot
+  | x, y -> if clat_equal x y then x else Cbot
+
+let clat_to_string = function
+  | Ctop -> "T"
+  | Cint n -> string_of_int n
+  | Cfloat f -> Printf.sprintf "%g" f
+  | Cbot -> "_|_"
+
+type t = {
+  fn : Ir.fn;
+  values : clat array;
+  executable_blocks : bool array;
+  decided_branches : (int, bool) Hashtbl.t;
+      (** branches SCCP folded: block id -> constant direction *)
+}
+
+let value t (v : Var.t) = t.values.(v.Var.id)
+
+type site = Instr of int | Term
+
+type state = {
+  sfn : Ir.fn;
+  vals : clat array;
+  uses : (int, (int * site) list) Hashtbl.t;
+  visited : bool array;
+  edge_exec : (int * int, bool) Hashtbl.t;
+  flow_list : (int * int) Queue.t;
+  ssa_list : (int * site) Queue.t;
+}
+
+let to_float = function Cint n -> Some (float_of_int n) | Cfloat f -> Some f | _ -> None
+
+let eval_binop op a b =
+  match (a, b) with
+  | Cbot, _ | _, Cbot -> Cbot
+  | Ctop, _ | _, Ctop -> Ctop
+  | Cint x, Cint y -> (
+    match op with
+    | Ast.Add -> Cint (x + y)
+    | Ast.Sub -> Cint (x - y)
+    | Ast.Mul -> Cint (x * y)
+    | Ast.Div -> if y = 0 then Cbot else Cint (x / y)
+    | Ast.Mod -> if y = 0 then Cbot else Cint (x mod y)
+    | Ast.Band -> Cint (x land y)
+    | Ast.Bor -> Cint (x lor y)
+    | Ast.Bxor -> Cint (x lxor y)
+    | Ast.Shl -> if y < 0 || y > 62 then Cbot else Cint (x lsl y)
+    | Ast.Shr -> if y < 0 || y > 62 then Cbot else Cint (x asr y))
+  | a, b -> (
+    (* mixed/float arithmetic *)
+    match (to_float a, to_float b) with
+    | Some x, Some y -> (
+      match op with
+      | Ast.Add -> Cfloat (x +. y)
+      | Ast.Sub -> Cfloat (x -. y)
+      | Ast.Mul -> Cfloat (x *. y)
+      | Ast.Div -> if y = 0.0 then Cbot else Cfloat (x /. y)
+      | Ast.Mod | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl | Ast.Shr -> Cbot)
+    | _ -> Cbot)
+
+let eval_rel rel a b : bool option =
+  let cmp =
+    match (a, b) with
+    | Cint x, Cint y -> Some (Int.compare x y)
+    | a, b -> (
+      match (to_float a, to_float b) with
+      | Some x, Some y -> Some (Float.compare x y)
+      | _ -> None)
+  in
+  Option.map
+    (fun c ->
+      match rel with
+      | Ast.Eq -> c = 0
+      | Ast.Ne -> c <> 0
+      | Ast.Lt -> c < 0
+      | Ast.Le -> c <= 0
+      | Ast.Gt -> c > 0
+      | Ast.Ge -> c >= 0)
+    cmp
+
+(** Run SCCP over [fn]. Parameters and loads are ⊥. *)
+let analyze (fn : Ir.fn) : t =
+  let uses = Hashtbl.create 64 in
+  let add_use (v : Var.t) site =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt uses v.Var.id) in
+    Hashtbl.replace uses v.Var.id (site :: cur)
+  in
+  Ir.iter_blocks fn (fun b ->
+      List.iteri
+        (fun idx instr -> List.iter (fun v -> add_use v (b.Ir.bid, Instr idx)) (Ir.instr_uses instr))
+        b.Ir.instrs;
+      List.iter (fun v -> add_use v (b.Ir.bid, Term)) (Ir.term_uses b.Ir.term));
+  let st =
+    {
+      sfn = fn;
+      vals = Array.make fn.Ir.nvars Ctop;
+      uses;
+      visited = Array.make (Ir.num_blocks fn) false;
+      edge_exec = Hashtbl.create 64;
+      flow_list = Queue.create ();
+      ssa_list = Queue.create ();
+    }
+  in
+  List.iter (fun (p : Var.t) -> st.vals.(p.Var.id) <- Cbot) fn.Ir.params;
+  let operand_value = function
+    | Ir.Cint n -> Cint n
+    | Ir.Cfloat f -> Cfloat f
+    | Ir.Ovar v -> st.vals.(v.Var.id)
+  in
+  let enqueue_uses (v : Var.t) =
+    List.iter
+      (fun site -> Queue.add site st.ssa_list)
+      (Option.value ~default:[] (Hashtbl.find_opt st.uses v.Var.id))
+  in
+  let set (v : Var.t) nv =
+    (* SCCP values only move down the lattice. *)
+    let merged = meet st.vals.(v.Var.id) nv in
+    let merged = if clat_equal st.vals.(v.Var.id) Ctop then nv else merged in
+    if not (clat_equal st.vals.(v.Var.id) merged) then begin
+      st.vals.(v.Var.id) <- merged;
+      enqueue_uses v
+    end
+  in
+  let eval_instr ~bid instr =
+    match instr with
+    | Ir.Store _ -> ()
+    | Ir.Def (v, rhs) -> (
+      match rhs with
+      | Ir.Op a -> set v (operand_value a)
+      | Ir.Binop (op, a, b) ->
+        if v.Var.ty = Ast.Tfloat && (op = Ast.Div || op = Ast.Mod) then set v Cbot
+        else begin
+          (* float-typed arithmetic must use float semantics *)
+          let va = operand_value a and vb = operand_value b in
+          let va =
+            if v.Var.ty = Ast.Tfloat then
+              match va with Cint n -> Cfloat (float_of_int n) | x -> x
+            else va
+          in
+          set v (eval_binop op va vb)
+        end
+      | Ir.Unop (Ir.Neg, a) -> (
+        match operand_value a with
+        | Cint n -> set v (Cint (-n))
+        | Cfloat f -> set v (Cfloat (-.f))
+        | x -> set v x)
+      | Ir.Unop (Ir.Bnot, a) -> (
+        match operand_value a with Cint n -> set v (Cint (lnot n)) | _ -> set v Cbot)
+      | Ir.Cmp (rel, a, b) -> (
+        let va = operand_value a and vb = operand_value b in
+        match (va, vb) with
+        | Ctop, _ | _, Ctop -> ()
+        | _ -> (
+          match eval_rel rel va vb with
+          | Some r -> set v (Cint (if r then 1 else 0))
+          | None -> set v Cbot))
+      | Ir.Load _ | Ir.Call _ -> set v Cbot
+      | Ir.Assertion { parent; _ } -> set v st.vals.(parent.Var.id)
+      | Ir.Phi args ->
+        let parts =
+          List.filter_map
+            (fun (pred, op) ->
+              if Option.value ~default:false (Hashtbl.find_opt st.edge_exec (pred, bid))
+              then Some (operand_value op)
+              else None)
+            args
+        in
+        if parts <> [] then set v (List.fold_left meet Ctop parts))
+  in
+  let eval_term ~bid term =
+    let enqueue_edge dst = Queue.add (bid, dst) st.flow_list in
+    match term with
+    | Ir.Jump dst -> enqueue_edge dst
+    | Ir.Ret _ -> ()
+    | Ir.Br { rel; ba; bb; tdst; fdst } -> (
+      let va = operand_value ba and vb = operand_value bb in
+      match (va, vb) with
+      | Ctop, _ | _, Ctop -> ()
+      | _ -> (
+        match eval_rel rel va vb with
+        | Some true -> enqueue_edge tdst
+        | Some false -> enqueue_edge fdst
+        | None ->
+          enqueue_edge tdst;
+          enqueue_edge fdst))
+  in
+  let visit bid =
+    let blk = Ir.block fn bid in
+    if not st.visited.(bid) then begin
+      st.visited.(bid) <- true;
+      List.iteri (fun _ instr -> eval_instr ~bid instr) blk.Ir.instrs;
+      eval_term ~bid blk.Ir.term
+    end
+    else
+      List.iter
+        (fun instr ->
+          match instr with
+          | Ir.Def (_, Ir.Phi _) -> eval_instr ~bid instr
+          | Ir.Def _ | Ir.Store _ -> ())
+        blk.Ir.instrs
+  in
+  st.visited.(Ir.entry_bid) <- false;
+  Queue.add (-1, Ir.entry_bid) st.flow_list;
+  let continue = ref true in
+  while !continue do
+    if not (Queue.is_empty st.flow_list) then begin
+      let src, dst = Queue.pop st.flow_list in
+      let first =
+        not (Option.value ~default:false (Hashtbl.find_opt st.edge_exec (src, dst)))
+      in
+      Hashtbl.replace st.edge_exec (src, dst) true;
+      if first then visit dst
+    end
+    else if not (Queue.is_empty st.ssa_list) then begin
+      let bid, site = Queue.pop st.ssa_list in
+      if st.visited.(bid) then begin
+        match site with
+        | Term -> eval_term ~bid (Ir.block fn bid).Ir.term
+        | Instr idx -> (
+          match List.nth_opt (Ir.block fn bid).Ir.instrs idx with
+          | Some instr -> eval_instr ~bid instr
+          | None -> ())
+      end
+    end
+    else continue := false
+  done;
+  let decided = Hashtbl.create 16 in
+  Ir.iter_blocks fn (fun b ->
+      if st.visited.(b.Ir.bid) then
+        match b.Ir.term with
+        | Ir.Br { rel; ba; bb; _ } -> (
+          match eval_rel rel (operand_value ba) (operand_value bb) with
+          | Some dir -> Hashtbl.replace decided b.Ir.bid dir
+          | None -> ())
+        | Ir.Jump _ | Ir.Ret _ -> ());
+  { fn; values = st.vals; executable_blocks = st.visited; decided_branches = decided }

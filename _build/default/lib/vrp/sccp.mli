@@ -1,0 +1,25 @@
+(** Sparse conditional constant propagation (Wegman & Zadeck 1991): the
+    mechanism VRP generalises, the baseline it is measured against, and a
+    subsumption oracle for the tests. *)
+
+module Ir = Vrp_ir.Ir
+module Var = Vrp_ir.Var
+
+type clat = Ctop | Cint of int | Cfloat of float | Cbot
+
+val clat_equal : clat -> clat -> bool
+val meet : clat -> clat -> clat
+val clat_to_string : clat -> string
+
+type t = {
+  fn : Ir.fn;
+  values : clat array;  (** indexed by variable id *)
+  executable_blocks : bool array;
+  decided_branches : (int, bool) Hashtbl.t;
+      (** branches SCCP folded: block id -> constant direction *)
+}
+
+val value : t -> Var.t -> clat
+
+(** Run SCCP over one function (parameters and loads are ⊥). *)
+val analyze : Ir.fn -> t

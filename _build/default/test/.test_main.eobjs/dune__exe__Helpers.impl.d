@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Float List QCheck2 QCheck_alcotest String Vrp_core Vrp_ir Vrp_profile Vrp_ranges

@@ -1,0 +1,1 @@
+test/test_cli_surface.ml: Alcotest Astring Helpers List Printf Vrp_core Vrp_evaluation Vrp_ir Vrp_suite

@@ -1,0 +1,1 @@
+test/test_clients.ml: Alcotest Helpers List Option String Vrp_core Vrp_ir Vrp_profile Vrp_ranges Vrp_suite

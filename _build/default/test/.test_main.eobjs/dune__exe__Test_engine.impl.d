@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Float Hashtbl Helpers List Option String Vrp_core Vrp_evaluation Vrp_ir Vrp_profile Vrp_ranges Vrp_suite

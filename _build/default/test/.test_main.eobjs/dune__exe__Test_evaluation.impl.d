@@ -1,0 +1,1 @@
+test/test_evaluation.ml: Alcotest Hashtbl Helpers List Vrp_evaluation Vrp_profile Vrp_util

@@ -1,0 +1,1 @@
+test/test_frequency.ml: Alcotest Array Astring Float Hashtbl Helpers Int List Option Printf Vrp_core Vrp_evaluation Vrp_ir Vrp_profile Vrp_suite

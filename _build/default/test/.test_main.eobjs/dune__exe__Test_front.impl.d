@@ -1,0 +1,1 @@
+test/test_front.ml: Alcotest Ast Astring Front Lexer List Option Parser Pretty Printexc Typecheck Vrp_lang Vrp_suite

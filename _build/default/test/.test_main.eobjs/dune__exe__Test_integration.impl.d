@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float Hashtbl Helpers Lazy List Option QCheck2 Vrp_core Vrp_evaluation Vrp_ir Vrp_profile Vrp_ranges Vrp_suite

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Astring Hashtbl Helpers List Option Printf Vrp_core Vrp_ir Vrp_profile Vrp_suite

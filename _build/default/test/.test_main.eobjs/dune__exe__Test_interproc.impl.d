@@ -1,0 +1,1 @@
+test/test_interproc.ml: Alcotest Hashtbl Helpers List Option String Vrp_core Vrp_ir Vrp_profile Vrp_ranges Vrp_suite

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Hashtbl Helpers List Option Vrp_ir Vrp_lang Vrp_suite

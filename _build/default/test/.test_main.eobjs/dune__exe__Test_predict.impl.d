@@ -1,0 +1,1 @@
+test/test_predict.ml: Alcotest Float Hashtbl Helpers List Option Vrp_core Vrp_evaluation Vrp_ir Vrp_predict Vrp_profile Vrp_suite

@@ -1,0 +1,1 @@
+test/test_ranges.ml: Alcotest Float Helpers Int List Option QCheck2 String Vrp_ir Vrp_lang Vrp_ranges

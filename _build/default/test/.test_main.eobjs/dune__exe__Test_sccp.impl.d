@@ -1,0 +1,1 @@
+test/test_sccp.ml: Alcotest Array Helpers List String Vrp_core Vrp_ir Vrp_ranges Vrp_suite

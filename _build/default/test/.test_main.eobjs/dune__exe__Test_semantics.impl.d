@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Array Float Hashtbl Helpers List Option Printexc Vrp_core Vrp_ir Vrp_profile Vrp_ranges

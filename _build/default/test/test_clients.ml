@@ -1,0 +1,197 @@
+(** Client-optimization tests (paper §6): constant/copy subsumption and the
+    rewriting pass, array-bounds-check elimination, array access
+    independence. The rewrite is validated semantically: the rewritten
+    function still passes the SSA checker and the whole rewritten program
+    computes the same results as the original. *)
+
+module Engine = Vrp_core.Engine
+module Optimize = Vrp_core.Optimize
+module Ir = Vrp_ir.Ir
+module Value = Vrp_ranges.Value
+
+let tc = Alcotest.test_case
+
+let subsumption_source =
+  {|
+int main(int n, int s) {
+  int base = 6 * 7;
+  int doubled;
+  if (n > 0) { doubled = base + base; } else { doubled = 84; }
+  int alias = doubled;
+  int alias2 = alias;
+  int dead = 0;
+  if (doubled < 50) { dead = s; }
+  return alias2 + dead;
+}
+|}
+
+let finds_constants_and_copies () =
+  let res = Helpers.analyze_main subsumption_source in
+  let report = Optimize.find_report res in
+  Alcotest.(check bool) "found the folded constant 84" true
+    (List.exists (fun (_, k) -> k = 84) report.Optimize.constants);
+  Alcotest.(check bool) "found copies" true (List.length report.Optimize.copies >= 1);
+  Alcotest.(check bool) "decided the impossible branch" true
+    (List.exists (fun (_, dir) -> dir = false) report.Optimize.decided_branches)
+
+let rewrite_is_valid_ssa () =
+  let res = Helpers.analyze_main subsumption_source in
+  let fn' = Optimize.rewrite res in
+  Vrp_ir.Check.check_ssa_fn fn';
+  Alcotest.(check bool) "rewrite shrinks the cfg" true
+    (Ir.num_blocks fn' < Ir.num_blocks res.Engine.fn)
+
+let rewrite_preserves_semantics () =
+  (* Rewrite main in several suite programs and compare executions.
+     Only intraprocedural facts are used, so the rewritten main is a
+     drop-in replacement. *)
+  List.iter
+    (fun name ->
+      let b = Option.get (Vrp_suite.Suite.find name) in
+      let c = Helpers.compile b.Vrp_suite.Suite.source in
+      let ssa = c.Vrp_core.Pipeline.ssa in
+      let fns' =
+        List.map
+          (fun (fn : Ir.fn) ->
+            let res = Engine.analyze fn in
+            let fn' = Optimize.rewrite res in
+            Vrp_ir.Check.check_ssa_fn fn';
+            fn')
+          ssa.Ir.fns
+      in
+      let rewritten = { ssa with Ir.fns = fns' } in
+      let r1 = Vrp_profile.Interp.run ssa ~args:b.Vrp_suite.Suite.train_args in
+      let r2 = Vrp_profile.Interp.run rewritten ~args:b.Vrp_suite.Suite.train_args in
+      match (r1.Vrp_profile.Interp.ret, r2.Vrp_profile.Interp.ret) with
+      | Vrp_profile.Interp.Vint a, Vrp_profile.Interp.Vint bb ->
+        Alcotest.(check int) (name ^ ": rewrite preserves result") a bb
+      | _ -> Alcotest.fail "int returns expected")
+    [ "qsort"; "lexer"; "huffman"; "proto"; "fir" ]
+
+let copy_chains_resolve () =
+  let src =
+    "int main(int n, int s) { int a = n; int b = a; int c = b; return c; }"
+  in
+  let res = Helpers.analyze_main src in
+  let fn' = Optimize.rewrite res in
+  (* after rewriting, the return must reference n directly *)
+  let returns_param = ref false in
+  Ir.iter_blocks fn' (fun b ->
+      match b.Ir.term with
+      | Ir.Ret (Some (Ir.Ovar v)) when String.equal v.Vrp_ir.Var.base "n" ->
+        returns_param := true
+      | _ -> ());
+  Alcotest.(check bool) "copy chain collapsed to n" true !returns_param
+
+(* --- bounds checks --- *)
+
+let bounds_report src =
+  let c = Helpers.compile src in
+  let ipa = Vrp_core.Interproc.analyze c.Vrp_core.Pipeline.ssa in
+  let res = Option.get (Vrp_core.Interproc.result ipa "main") in
+  Vrp_core.Bounds_check.analyze c.Vrp_core.Pipeline.ssa res
+
+let bounds_counted_loop () =
+  let r =
+    bounds_report
+      "int a[100]; int main(int n, int s) { int t = 0; for (int i = 0; i < 100; i++) { t = \
+       t + a[i]; } return t; }"
+  in
+  Alcotest.(check (pair int int)) "all eliminated" (1, 1)
+    (r.Vrp_core.Bounds_check.total, r.Vrp_core.Bounds_check.eliminated)
+
+let bounds_clamped_index () =
+  let r =
+    bounds_report
+      "int a[100]; int main(int n, int s) { int i = n; if (i < 0) { i = 0; } if (i > 99) { \
+       i = 99; } return a[i]; }"
+  in
+  Alcotest.(check int) "clamped access eliminated" 1 r.Vrp_core.Bounds_check.eliminated
+
+let bounds_unknown_kept () =
+  let r = bounds_report "int a[100]; int main(int n, int s) { return a[n]; }" in
+  Alcotest.(check int) "raw index kept" 0 r.Vrp_core.Bounds_check.eliminated
+
+let bounds_off_by_one_kept () =
+  let r =
+    bounds_report
+      "int a[100]; int main(int n, int s) { int t = 0; for (int i = 0; i <= 100; i++) { t = \
+       t + a[i % 101]; } return t; }"
+  in
+  (* the modulus yields [0:100], which overflows a[100]: must be kept *)
+  Alcotest.(check int) "kept" 0 r.Vrp_core.Bounds_check.eliminated
+
+let bounds_symbolic_loop_bound () =
+  (* i < n with n <= 100 asserted: needs symbolic narrowing + substitution *)
+  let r =
+    bounds_report
+      "int a[100]; int main(int n, int s) { if (n > 100) { n = 100; } int t = 0; for (int i \
+       = 0; i < n; i++) { t = t + a[i]; } return t; }"
+  in
+  Alcotest.(check int) "eliminated through symbolic bound" 1
+    r.Vrp_core.Bounds_check.eliminated
+
+(* --- aliasing --- *)
+
+let alias_report src =
+  let c = Helpers.compile src in
+  let ipa = Vrp_core.Interproc.analyze c.Vrp_core.Pipeline.ssa in
+  let res = Option.get (Vrp_core.Interproc.result ipa "main") in
+  Vrp_core.Alias.analyze res
+
+let alias_disjoint_halves () =
+  let r =
+    alias_report
+      "int a[200]; int main(int n, int s) {\n\
+       int t = 0;\n\
+       for (int i = 0; i < 100; i++) {\n\
+       a[i] = i;\n\
+       t = t + a[i + 100];\n\
+       }\n\
+       return t; }"
+  in
+  Alcotest.(check bool) "halves are disjoint" true (r.Vrp_core.Alias.disjoint >= 1)
+
+let alias_parity_strides () =
+  let r =
+    alias_report
+      "int a[200]; int main(int n, int s) {\n\
+       int t = 0;\n\
+       for (int i = 0; i < 99; i = i + 2) {\n\
+       a[i] = i;\n\
+       t = t + a[i + 1];\n\
+       }\n\
+       return t; }"
+  in
+  (* even store vs odd load: CRT proves disjointness despite overlap *)
+  Alcotest.(check bool) "parity-disjoint" true (r.Vrp_core.Alias.disjoint >= 1)
+
+let alias_overlap_detected () =
+  let r =
+    alias_report
+      "int a[200]; int main(int n, int s) {\n\
+       int t = 0;\n\
+       for (int i = 0; i < 100; i++) {\n\
+       a[i] = i;\n\
+       t = t + a[i + 50];\n\
+       }\n\
+       return t; }"
+  in
+  Alcotest.(check int) "overlapping windows may alias" 0 r.Vrp_core.Alias.disjoint
+
+let suite =
+  ( "clients",
+    [
+      tc "subsumption: constants and copies" `Quick finds_constants_and_copies;
+      tc "rewrite: valid ssa" `Quick rewrite_is_valid_ssa;
+      tc "rewrite: preserves semantics" `Quick rewrite_preserves_semantics;
+      tc "rewrite: copy chains resolve" `Quick copy_chains_resolve;
+      tc "bounds: counted loop" `Quick bounds_counted_loop;
+      tc "bounds: clamped index" `Quick bounds_clamped_index;
+      tc "bounds: unknown kept" `Quick bounds_unknown_kept;
+      tc "bounds: off-by-one kept" `Quick bounds_off_by_one_kept;
+      tc "bounds: symbolic loop bound" `Quick bounds_symbolic_loop_bound;
+      tc "alias: disjoint halves" `Quick alias_disjoint_halves;
+      tc "alias: parity strides" `Quick alias_parity_strides;
+      tc "alias: overlap detected" `Quick alias_overlap_detected;
+    ] )

@@ -1,0 +1,79 @@
+(** Evaluation-harness tests: error-margin mathematics and curve properties. *)
+
+module E = Vrp_evaluation.Error_analysis
+module Interp = Vrp_profile.Interp
+
+let tc = Alcotest.test_case
+
+let mk_errors specs =
+  List.map
+    (fun (err, count) -> { E.key = ("f", 0); error_pp = err; count })
+    specs
+
+let margins_are_paper_margins () =
+  Alcotest.(check (list int)) "margins <1..<39" (List.init 20 (fun i -> (2 * i) + 1)) E.margins
+
+let percent_within_unweighted () =
+  let errs = mk_errors [ (0.5, 1); (2.0, 100); (10.0, 1); (50.0, 1) ] in
+  Helpers.check_prob "within 1" 25.0 (E.percent_within ~weighted:false errs 1);
+  Helpers.check_prob "within 3" 50.0 (E.percent_within ~weighted:false errs 3);
+  Helpers.check_prob "within 11" 75.0 (E.percent_within ~weighted:false errs 11);
+  Helpers.check_prob "within 51" 100.0 (E.percent_within ~weighted:false errs 51)
+
+let percent_within_weighted () =
+  let errs = mk_errors [ (0.5, 90); (20.0, 10) ] in
+  Helpers.check_prob "weighted within 1" 90.0 (E.percent_within ~weighted:true errs 1);
+  Helpers.check_prob "weighted within 21" 100.0 (E.percent_within ~weighted:true errs 21)
+
+let mean_error_math () =
+  let errs = mk_errors [ (10.0, 1); (20.0, 3) ] in
+  Helpers.check_prob "unweighted mean" 15.0 (E.mean_error ~weighted:false errs);
+  Helpers.check_prob "weighted mean" 17.5 (E.mean_error ~weighted:true errs)
+
+let curves_are_monotone () =
+  let errs = mk_errors [ (0.2, 5); (4.0, 2); (12.0, 9); (33.0, 1) ] in
+  let curve = E.curve ~weighted:false errs in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if a > b +. 1e-9 then Alcotest.fail "curve must be non-decreasing";
+      check rest
+    | _ -> ()
+  in
+  check curve
+
+let average_curves_math () =
+  let c1 = List.map (fun _ -> 100.0) E.margins in
+  let c2 = List.map (fun _ -> 0.0) E.margins in
+  List.iter (fun v -> Helpers.check_prob "average" 50.0 v) (E.average_curves [ c1; c2 ])
+
+let unexecuted_branches_excluded () =
+  let observed = Interp.fresh_profile () in
+  Hashtbl.replace observed.Interp.branches ("f", 0) { Interp.taken = 5; total = 10 };
+  Hashtbl.replace observed.Interp.branches ("f", 1) { Interp.taken = 0; total = 0 };
+  let prediction = Hashtbl.create 4 in
+  Hashtbl.replace prediction ("f", 0) 0.5;
+  Hashtbl.replace prediction ("f", 1) 0.9;
+  let errs = E.branch_errors ~observed prediction in
+  Alcotest.(check int) "only executed branches" 1 (List.length errs);
+  Helpers.check_prob "exact error" 0.0 (List.hd errs).E.error_pp
+
+let stats_least_squares () =
+  let intercept, slope, r2 =
+    Vrp_util.Stats.least_squares [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0); (3.0, 7.0) ]
+  in
+  Helpers.check_prob "intercept" 1.0 intercept;
+  Helpers.check_prob "slope" 2.0 slope;
+  Helpers.check_prob "r2" 1.0 r2
+
+let suite =
+  ( "evaluation",
+    [
+      tc "paper margins" `Quick margins_are_paper_margins;
+      tc "percent within (unweighted)" `Quick percent_within_unweighted;
+      tc "percent within (weighted)" `Quick percent_within_weighted;
+      tc "mean error" `Quick mean_error_math;
+      tc "curves monotone" `Quick curves_are_monotone;
+      tc "average curves" `Quick average_curves_math;
+      tc "unexecuted branches excluded" `Quick unexecuted_branches_excluded;
+      tc "least squares" `Quick stats_least_squares;
+    ] )

@@ -1,0 +1,242 @@
+(** Front-end tests: lexer, parser, pretty-printer round trips, type
+    checker acceptance and diagnostics. *)
+
+open Vrp_lang
+
+let tc = Alcotest.test_case
+
+(* --- Lexer --- *)
+
+let tokens src =
+  List.map (fun (l : Lexer.lexed) -> l.Lexer.tok) (Lexer.tokenize src)
+
+let lex_ints () =
+  Alcotest.(check bool)
+    "ints and floats" true
+    (tokens "42 3.5 0" = [ INT 42; FLOAT 3.5; INT 0; EOF ])
+
+let lex_operators () =
+  Alcotest.(check bool)
+    "compound operators" true
+    (tokens "<= >= == != << >> && || += ++"
+    = [ LE; GE; EQEQ; NEQ; SHL; SHR; ANDAND; OROR; PLUSEQ; PLUSPLUS; EOF ])
+
+let lex_keywords_vs_idents () =
+  Alcotest.(check bool)
+    "keywords vs identifiers" true
+    (tokens "if iffy for fortune int integer"
+    = [ KW_IF; IDENT "iffy"; KW_FOR; IDENT "fortune"; KW_INT; IDENT "integer"; EOF ])
+
+let lex_comments () =
+  Alcotest.(check bool)
+    "line and block comments" true
+    (tokens "a // comment\nb /* multi\nline */ c" = [ IDENT "a"; IDENT "b"; IDENT "c"; EOF ])
+
+let lex_positions () =
+  match Lexer.tokenize "x\n  y" with
+  | [ a; b; _eof ] ->
+    Alcotest.(check (pair int int)) "x at 1:1" (1, 1) (a.Lexer.line, a.Lexer.col);
+    Alcotest.(check (pair int int)) "y at 2:3" (2, 3) (b.Lexer.line, b.Lexer.col)
+  | _ -> Alcotest.fail "expected two tokens"
+
+let lex_error_char () =
+  match Lexer.tokenize "a $ b" with
+  | exception Lexer.Error (_, 1, 3) -> ()
+  | exception Lexer.Error (m, l, c) -> Alcotest.failf "wrong position %s %d:%d" m l c
+  | _ -> Alcotest.fail "expected lexical error"
+
+let lex_unterminated_comment () =
+  match Lexer.tokenize "a /* never closed" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lexical error"
+
+(* --- Parser --- *)
+
+let parse src = Parser.parse_program src
+
+let expr_of src =
+  match (List.hd (parse ("int f() { return " ^ src ^ "; }")).funcs).body with
+  | [ { sdesc = Ast.Sreturn (Some e); _ } ] -> e
+  | _ -> Alcotest.fail "unexpected shape"
+
+let parse_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  (match expr_of "1 + 2 * 3" with
+  | Ast.Binop (Ast.Add, Ast.Int 1, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Int 3)) -> ()
+  | e -> Alcotest.failf "bad precedence: %s" (Pretty.expr_to_string e));
+  (* comparisons bind looser than arithmetic *)
+  (match expr_of "a + 1 < b * 2" with
+  | Ast.Rel (Ast.Lt, Ast.Binop (Ast.Add, _, _), Ast.Binop (Ast.Mul, _, _)) -> ()
+  | e -> Alcotest.failf "bad precedence: %s" (Pretty.expr_to_string e));
+  (* && binds looser than == *)
+  match expr_of "a == 1 && b == 2" with
+  | Ast.And (Ast.Rel (Ast.Eq, _, _), Ast.Rel (Ast.Eq, _, _)) -> ()
+  | e -> Alcotest.failf "bad precedence: %s" (Pretty.expr_to_string e)
+
+let parse_associativity () =
+  match expr_of "10 - 3 - 2" with
+  | Ast.Binop (Ast.Sub, Ast.Binop (Ast.Sub, Ast.Int 10, Ast.Int 3), Ast.Int 2) -> ()
+  | e -> Alcotest.failf "subtraction must be left-associative: %s" (Pretty.expr_to_string e)
+
+let parse_unary_minus_folds () =
+  match expr_of "-5" with
+  | Ast.Int (-5) -> ()
+  | e -> Alcotest.failf "-5 should fold to a literal: %s" (Pretty.expr_to_string e)
+
+let parse_compound_assign () =
+  let p = parse "int f() { int x = 1; x += 2; x++; return x; }" in
+  match (List.hd p.funcs).body with
+  | [ _; { sdesc = Ast.Sassign (Ast.Lvar "x", Ast.Binop (Ast.Add, Ast.Var "x", Ast.Int 2)); _ };
+      { sdesc = Ast.Sassign (Ast.Lvar "x", Ast.Binop (Ast.Add, Ast.Var "x", Ast.Int 1)); _ };
+      _ ] ->
+    ()
+  | _ -> Alcotest.fail "compound assignment desugaring"
+
+let parse_dangling_else () =
+  let p = parse "int f(int a, int b) { if (a) if (b) return 1; else return 2; return 3; }" in
+  match (List.hd p.funcs).body with
+  | [ { sdesc = Ast.Sif (_, [ { sdesc = Ast.Sif (_, _, Some _); _ } ], None); _ }; _ ] -> ()
+  | _ -> Alcotest.fail "else must attach to the nearest if"
+
+let parse_for_variants () =
+  let p = parse "int f() { for (;;) { break; } for (int i = 0; i < 3; i++) {} return 0; }" in
+  match (List.hd p.funcs).body with
+  | [ { sdesc = Ast.Sfor (None, None, None, _); _ };
+      { sdesc = Ast.Sfor (Some _, Some _, Some _, _); _ }; _ ] ->
+    ()
+  | _ -> Alcotest.fail "for-loop header variants"
+
+let parse_globals () =
+  let p = parse "int g;\nfloat arr[10];\nint main(int a, int b) { return 0; }" in
+  Alcotest.(check int) "two globals" 2 (List.length p.globals);
+  match p.globals with
+  | [ { Ast.gsize = None; _ }; { Ast.gsize = Some 10; gty = Ast.Tfloat; _ } ] -> ()
+  | _ -> Alcotest.fail "global shapes"
+
+let parse_error_position () =
+  match parse "int f() { return 1 + ; }" with
+  | exception Parser.Error (_, 1, _) -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let parse_error_missing_brace () =
+  match parse "int f() { return 1;" with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+(* Round trip: pretty output re-parses to a structurally equal program
+   (modulo source lines, which the printer does not preserve). *)
+let rec strip_stmt (s : Ast.stmt) = { Ast.sline = 0; sdesc = strip_desc s.Ast.sdesc }
+
+and strip_desc = function
+  | Ast.Sif (c, a, b) ->
+    Ast.Sif (c, List.map strip_stmt a, Option.map (List.map strip_stmt) b)
+  | Ast.Swhile (c, body) -> Ast.Swhile (c, List.map strip_stmt body)
+  | Ast.Sfor (i, c, st, body) ->
+    Ast.Sfor (Option.map strip_stmt i, c, Option.map strip_stmt st, List.map strip_stmt body)
+  | d -> d
+
+let strip (p : Ast.program) =
+  {
+    Ast.globals = List.map (fun g -> { g with Ast.gline = 0 }) p.globals;
+    funcs =
+      List.map
+        (fun (f : Ast.func) ->
+          { f with Ast.fline = 0; Ast.body = List.map strip_stmt f.Ast.body })
+        p.funcs;
+  }
+
+let roundtrip_suite () =
+  List.iter
+    (fun (b : Vrp_suite.Suite.benchmark) ->
+      let p1 = Front.parse_and_check b.source in
+      let printed = Pretty.program_to_string p1 in
+      let p2 =
+        try Front.parse_and_check printed
+        with e ->
+          Alcotest.failf "%s: reprinted source does not parse: %s" b.name
+            (Option.value ~default:(Printexc.to_string e) (Front.describe_error e))
+      in
+      if strip p1 <> strip p2 then Alcotest.failf "%s: round trip not structural" b.name)
+    Vrp_suite.Suite.benchmarks
+
+(* --- Type checker --- *)
+
+let accepts src =
+  match Front.parse_and_check src with
+  | _ -> ()
+  | exception e ->
+    Alcotest.failf "should type-check: %s"
+      (Option.value ~default:(Printexc.to_string e) (Front.describe_error e))
+
+let rejects ?fragment src =
+  match Front.parse_and_check src with
+  | _ -> Alcotest.fail "should be rejected"
+  | exception Typecheck.Error (msg, _) -> (
+    match fragment with
+    | Some f ->
+      if not (Astring.String.is_infix ~affix:f msg) then
+        Alcotest.failf "wrong message %S (wanted %S)" msg f
+    | None -> ())
+  | exception e ->
+    Alcotest.failf "wrong exception: %s"
+      (Option.value ~default:(Printexc.to_string e) (Front.describe_error e))
+
+let ty_good () =
+  accepts "int main(int n, int s) { float f = n; f = f * 2.0; return n; }";
+  accepts "int g[4]; int main(int n, int s) { g[0] = n; return g[0]; }";
+  accepts "int f(int x) { return x; } int main(int n, int s) { return f(n); }";
+  accepts "int main(int n, int s) { for (int i = 0; i < n; i++) { int i2 = i; } return 0; }"
+
+let ty_scoping () =
+  (* redeclaration in disjoint scopes and shadowing are both legal *)
+  accepts
+    "int main(int n, int s) { for (int i = 0; i < 2; i++) {} for (int i = 0; i < 2; i++) {} \
+     return 0; }";
+  accepts "int main(int n, int s) { int x = 1; if (n) { int x = 2; x = x + 1; } return x; }";
+  rejects ~fragment:"duplicate"
+    "int main(int n, int s) { int x = 1; int x = 2; return x; }";
+  (* a scoped variable is not visible outside its block *)
+  rejects ~fragment:"undeclared"
+    "int main(int n, int s) { if (n) { int y = 1; } return y; }"
+
+let ty_errors () =
+  rejects ~fragment:"undeclared" "int main(int n, int s) { return zz; }";
+  rejects ~fragment:"int operands" "int main(int n, int s) { float f = 1.0; return n % 2 + (f % 2.0 > 0.0); }";
+  rejects ~fragment:"cannot assign" "int main(int n, int s) { int x = 0; float f = 1.5; x = f; return x; }";
+  rejects ~fragment:"argument" "int f(int x) { return x; } int main(int n, int s) { float g = 1.5; return f(g); }";
+  rejects ~fragment:"expects" "int f(int x) { return x; } int main(int n, int s) { return f(n, s); }";
+  rejects ~fragment:"index" "int a[4]; int main(int n, int s) { float f = 0.5; return a[f]; }";
+  rejects ~fragment:"scalar, not an array" "int main(int n, int s) { return n[0]; }";
+  rejects ~fragment:"without an index" "int a[4]; int main(int n, int s) { return a; }";
+  rejects ~fragment:"break" "int main(int n, int s) { break; return 0; }";
+  rejects ~fragment:"continue" "int main(int n, int s) { continue; return 0; }";
+  rejects ~fragment:"return a value" "void f() { return 1; } int main(int n, int s) { return 0; }";
+  rejects ~fragment:"must return" "int f() { return; } int main(int n, int s) { return 0; }";
+  rejects ~fragment:"positive size" "int a[0]; int main(int n, int s) { return 0; }";
+  rejects ~fragment:"duplicate function" "int f() { return 0; } int f() { return 1; } int main(int n, int s) { return 0; }";
+  rejects ~fragment:"condition" "void p() {} int main(int n, int s) { if (p()) { return 1; } return 0; }"
+
+let suite =
+  ( "front",
+    [
+      tc "lex: ints and floats" `Quick lex_ints;
+      tc "lex: operators" `Quick lex_operators;
+      tc "lex: keywords vs identifiers" `Quick lex_keywords_vs_idents;
+      tc "lex: comments" `Quick lex_comments;
+      tc "lex: positions" `Quick lex_positions;
+      tc "lex: bad character" `Quick lex_error_char;
+      tc "lex: unterminated comment" `Quick lex_unterminated_comment;
+      tc "parse: precedence" `Quick parse_precedence;
+      tc "parse: associativity" `Quick parse_associativity;
+      tc "parse: unary minus folds" `Quick parse_unary_minus_folds;
+      tc "parse: compound assignment" `Quick parse_compound_assign;
+      tc "parse: dangling else" `Quick parse_dangling_else;
+      tc "parse: for variants" `Quick parse_for_variants;
+      tc "parse: globals" `Quick parse_globals;
+      tc "parse: error position" `Quick parse_error_position;
+      tc "parse: missing brace" `Quick parse_error_missing_brace;
+      tc "pretty: suite round-trips" `Quick roundtrip_suite;
+      tc "types: accepted programs" `Quick ty_good;
+      tc "types: lexical scoping" `Quick ty_scoping;
+      tc "types: rejected programs" `Quick ty_errors;
+    ] )

@@ -1,0 +1,184 @@
+(** Interpreter tests: language semantics, traps, profiling counters. *)
+
+module Interp = Vrp_profile.Interp
+
+let tc = Alcotest.test_case
+
+let eval_int ?(args = [ 0; 0 ]) src = Helpers.ret_int (Helpers.run_main ~args src)
+
+let ret_main body = Printf.sprintf "int main(int n, int s) { %s }" body
+
+let arithmetic_semantics () =
+  (* C-style truncating division and remainder. *)
+  Alcotest.(check int) "7/2" 3 (eval_int (ret_main "return 7 / 2;"));
+  Alcotest.(check int) "-7/2" (-3) (eval_int (ret_main "return (0 - 7) / 2;"));
+  Alcotest.(check int) "-7%2" (-1) (eval_int (ret_main "return (0 - 7) % 2;"));
+  Alcotest.(check int) "7%-2" 1 (eval_int (ret_main "return 7 % (0 - 2);"));
+  Alcotest.(check int) "shifts" 40 (eval_int (ret_main "return (5 << 3) % 100 + (1 >> 1);"));
+  Alcotest.(check int) "bitwise" 6 (eval_int (ret_main "return (12 & 7) ^ (2 | 0);"));
+  Alcotest.(check int) "bnot" (-6) (eval_int (ret_main "return ~5;"))
+
+let float_semantics () =
+  Alcotest.(check int) "float division is not truncated" 1
+    (eval_int (ret_main "float f = 1.0; f = f / 2.0; if (f > 0.4) { return 1; } return 0;"));
+  Alcotest.(check int) "int promotes to float" 1
+    (eval_int (ret_main "float f = 3; f = f / 2; if (f == 1.5) { return 1; } return 0;"))
+
+let short_circuit_effects () =
+  (* && must not evaluate its right operand when the left is false. *)
+  let src =
+    {|
+int hits;
+int bump() { hits = hits + 1; return 1; }
+int main(int n, int s) {
+  if (n > 0 && bump() == 1) { }
+  if (n > 0 || bump() == 1) { }
+  return hits;
+}
+|}
+  in
+  Alcotest.(check int) "n=0: one bump via ||" 1 (eval_int ~args:[ 0; 0 ] src);
+  Alcotest.(check int) "n=1: one bump via &&" 1 (eval_int ~args:[ 1; 0 ] src)
+
+let loops_and_break () =
+  Alcotest.(check int) "for with break" 5
+    (eval_int (ret_main "int i; for (i = 0; i < 100; i++) { if (i == 5) { break; } } return i;"));
+  Alcotest.(check int) "continue skips" 25
+    (eval_int
+       (ret_main
+          "int acc = 0; for (int i = 0; i < 10; i++) { if (i % 2 == 0) { continue; } acc = \
+           acc + i; } return acc;"))
+
+let recursion () =
+  let src =
+    {|
+int fib(int k) {
+  if (k < 2) { return k; }
+  return fib(k - 1) + fib(k - 2);
+}
+int main(int n, int s) { return fib(15); }
+|}
+  in
+  Alcotest.(check int) "fib 15" 610 (eval_int src)
+
+let arrays_and_globals () =
+  let src =
+    {|
+int g;
+int buf[8];
+void setg(int v) { g = v; }
+int main(int n, int s) {
+  for (int i = 0; i < 8; i++) { buf[i] = i * i; }
+  setg(buf[3]);
+  return g + buf[7];
+}
+|}
+  in
+  Alcotest.(check int) "global + array" 58 (eval_int src)
+
+let local_arrays_per_frame () =
+  let src =
+    {|
+int leak(int v) {
+  int scratch[4];
+  int old = scratch[0];
+  scratch[0] = v;
+  return old;
+}
+int main(int n, int s) { int a = leak(7); return leak(9) * 10 + a; }
+|}
+  in
+  (* fresh zeroed array per activation: both calls see 0 *)
+  Alcotest.(check int) "frames isolated" 0 (eval_int src)
+
+let trap_division_by_zero () =
+  match Helpers.run_main (ret_main "return 1 / (n - n);") with
+  | exception Interp.Trap msg ->
+    Alcotest.(check bool) "mentions zero" true (Astring.String.is_infix ~affix:"zero" msg)
+  | _ -> Alcotest.fail "expected trap"
+
+let trap_out_of_bounds () =
+  match Helpers.run_main (ret_main "int a[4]; return a[n + 10];") with
+  | exception Interp.Trap msg ->
+    Alcotest.(check bool) "mentions bounds" true
+      (Astring.String.is_infix ~affix:"bounds" msg)
+  | _ -> Alcotest.fail "expected trap"
+
+let trap_step_budget () =
+  let src = ret_main "while (1 == 1) { n = n + 1; } return n;" in
+  let c = Helpers.compile src in
+  match Vrp_profile.Interp.run ~max_steps:10_000 c.Vrp_core.Pipeline.ssa ~args:[ 0; 0 ] with
+  | exception Interp.Trap msg ->
+    Alcotest.(check bool) "mentions budget" true
+      (Astring.String.is_infix ~affix:"budget" msg)
+  | _ -> Alcotest.fail "expected trap"
+
+let profile_counts_exact () =
+  let src =
+    ret_main
+      "int acc = 0; for (int i = 0; i < 10; i++) { if (i > 7) { acc = acc + 1; } } return acc;"
+  in
+  let r = Helpers.run_main ~args:[ 0; 0 ] src in
+  let profile = r.Interp.profile in
+  (* Find the branch executed 10 times: the i>7 test; 11 times: loop header. *)
+  let totals =
+    Hashtbl.fold (fun _ (st : Interp.branch_stats) acc -> (st.total, st.taken) :: acc)
+      profile.Interp.branches []
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int))) "branch counts" [ (10, 2); (11, 10) ] totals
+
+let edge_counts_consistent () =
+  let b = Option.get (Vrp_suite.Suite.find "lexer") in
+  let c = Helpers.compile b.source in
+  let r = Vrp_profile.Interp.run c.Vrp_core.Pipeline.ssa ~args:b.train_args in
+  (* For every branch, taken + not-taken must equal the sum of its two edge
+     counts. *)
+  Hashtbl.iter
+    (fun (fname, bid) (st : Interp.branch_stats) ->
+      let fn = Option.get (Vrp_ir.Ir.find_fn c.Vrp_core.Pipeline.ssa fname) in
+      match (Vrp_ir.Ir.block fn bid).Vrp_ir.Ir.term with
+      | Vrp_ir.Ir.Br { tdst; fdst; _ } ->
+        let edge d =
+          Option.value ~default:0
+            (Hashtbl.find_opt r.Interp.profile.Interp.edges (fname, bid, d))
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "%s B%d edges sum" fname bid)
+          st.Interp.total
+          (edge tdst + edge fdst)
+      | _ -> Alcotest.fail "branch stats on a non-branch")
+    r.Interp.profile.Interp.branches
+
+let determinism () =
+  let b = Option.get (Vrp_suite.Suite.find "bfs") in
+  let r1 = Helpers.run_main ~args:b.train_args b.source in
+  let r2 = Helpers.run_main ~args:b.train_args b.source in
+  Alcotest.(check int) "same result" (Helpers.ret_int r1) (Helpers.ret_int r2);
+  Alcotest.(check int) "same steps" r1.Interp.profile.Interp.steps
+    r2.Interp.profile.Interp.steps
+
+let output_capture () =
+  let src = ret_main "print_int(42); print_int(n); return 0;" in
+  let c = Helpers.compile src in
+  let r = Vrp_profile.Interp.run ~capture_output:true c.Vrp_core.Pipeline.ssa ~args:[ 7; 0 ] in
+  Alcotest.(check string) "captured" "42\n7\n" r.Interp.output
+
+let suite =
+  ( "interp",
+    [
+      tc "arithmetic semantics" `Quick arithmetic_semantics;
+      tc "float semantics" `Quick float_semantics;
+      tc "short-circuit effects" `Quick short_circuit_effects;
+      tc "loops, break, continue" `Quick loops_and_break;
+      tc "recursion" `Quick recursion;
+      tc "arrays and globals" `Quick arrays_and_globals;
+      tc "local arrays per frame" `Quick local_arrays_per_frame;
+      tc "trap: division by zero" `Quick trap_division_by_zero;
+      tc "trap: out of bounds" `Quick trap_out_of_bounds;
+      tc "trap: step budget" `Quick trap_step_budget;
+      tc "profile counts exact" `Quick profile_counts_exact;
+      tc "edge counts consistent" `Quick edge_counts_consistent;
+      tc "determinism" `Quick determinism;
+      tc "output capture" `Quick output_capture;
+    ] )

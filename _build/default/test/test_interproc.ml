@@ -1,0 +1,211 @@
+(** Interprocedural analysis tests: jump functions, return functions,
+    recursion, reachability, cloning. *)
+
+module Interproc = Vrp_core.Interproc
+module Engine = Vrp_core.Engine
+module Value = Vrp_ranges.Value
+module Ir = Vrp_ir.Ir
+
+let tc = Alcotest.test_case
+
+let ipa src = Interproc.analyze (Helpers.compile src).Vrp_core.Pipeline.ssa
+
+let param_value t fname idx =
+  match Interproc.result t fname with
+  | None -> Alcotest.failf "%s not analysed" fname
+  | Some res ->
+    let p = List.nth res.Engine.fn.Ir.params idx in
+    Engine.value res p
+
+let constant_jump_function () =
+  let t =
+    ipa
+      {|
+int f(int x) { return x + 1; }
+int main(int n, int s) { return f(41); }
+|}
+  in
+  Alcotest.(check (option int)) "x = 41" (Some 41) (Value.as_constant (param_value t "f" 0))
+
+let merged_jump_functions () =
+  let t =
+    ipa
+      {|
+int f(int x) { return x; }
+int main(int n, int s) { return f(10) + f(20); }
+|}
+  in
+  let v = param_value t "f" 0 in
+  Alcotest.(check bool) "contains both" true
+    (Helpers.contains_int v 10 && Helpers.contains_int v 20);
+  Alcotest.(check (option int)) "not a single constant" None (Value.as_constant v)
+
+let return_ranges_flow_back () =
+  let t =
+    ipa
+      {|
+int pick(int c) {
+  if (c > 0) { return 3; }
+  return 7;
+}
+int main(int n, int s) {
+  int v = pick(n);
+  if (v > 10) { return 1; }
+  return 0;
+}
+|}
+  in
+  let res = Option.get (Interproc.result t "main") in
+  (* v in {3,7}: the v > 10 test is decided false *)
+  let decided =
+    Hashtbl.fold (fun _ p acc -> acc || p < 1e-9) res.Engine.branch_probs false
+  in
+  Alcotest.(check bool) "v > 10 decided impossible" true decided
+
+let unknown_args_stay_bottom () =
+  let t =
+    ipa
+      {|
+int f(int x) { return x; }
+int main(int n, int s) { return f(n); }
+|}
+  in
+  Alcotest.(check bool) "param is bottom" true (Value.is_bottom (param_value t "f" 0))
+
+let recursion_terminates () =
+  let t =
+    ipa
+      {|
+int fact(int k) {
+  if (k <= 1) { return 1; }
+  return k * fact(k - 1);
+}
+int main(int n, int s) { return fact(10); }
+|}
+  in
+  Alcotest.(check bool) "bounded rounds" true (t.Interproc.rounds <= Interproc.default_max_rounds);
+  match Interproc.result t "fact" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "fact must be analysed"
+
+let unreachable_functions_skipped () =
+  let t =
+    ipa
+      {|
+int dead(int x) { return x; }
+int main(int n, int s) { return n; }
+|}
+  in
+  Alcotest.(check bool) "dead not analysed" true (Interproc.result t "dead" = None)
+
+let call_through_chain () =
+  (* constants should survive two levels of calls *)
+  let t =
+    ipa
+      {|
+int inner(int x) { return x * 2; }
+int outer(int x) { return inner(x); }
+int main(int n, int s) { return outer(21); }
+|}
+  in
+  Alcotest.(check (option int)) "inner sees 21" (Some 21)
+    (Value.as_constant (param_value t "inner" 0));
+  let res = Option.get (Interproc.result t "main") in
+  Alcotest.(check (option int)) "main's return is 42" (Some 42)
+    (Value.as_constant res.Engine.return_value)
+
+let proto_validation_decided () =
+  (* the flagship interprocedural + symbolic case from the suite *)
+  let b = Option.get (Vrp_suite.Suite.find "proto") in
+  let t = ipa b.Vrp_suite.Suite.source in
+  let res = Option.get (Interproc.result t "validate") in
+  Ir.iter_blocks res.Engine.fn (fun blk ->
+      match blk.Ir.term with
+      | Ir.Br _ -> (
+        match Engine.branch_prob res blk.Ir.bid with
+        | Some p -> Helpers.check_prob "validate branch impossible" 0.0 p
+        | None -> Alcotest.fail "missing probability")
+      | Ir.Jump _ | Ir.Ret _ -> ())
+
+let symbolic_does_not_leak () =
+  (* callee parameter values must be purely numeric or bottom *)
+  let b = Option.get (Vrp_suite.Suite.find "qsort") in
+  let t = ipa b.Vrp_suite.Suite.source in
+  Hashtbl.iter
+    (fun _ (res : Engine.t) ->
+      List.iter
+        (fun (p : Vrp_ir.Var.t) ->
+          match Engine.value res p with
+          | Value.Ranges rs ->
+            if not (List.for_all Vrp_ranges.Srange.is_numeric rs) then
+              Alcotest.failf "symbolic parameter leaked into %s" res.Engine.fn.Ir.fname
+          | Value.Top | Value.Bottom -> ())
+        res.Engine.fn.Ir.params)
+    t.Interproc.results
+
+(* --- cloning --- *)
+
+let clone_source =
+  {|
+int work(int mode, int reps) {
+  int acc = 0;
+  for (int i = 0; i < reps; i++) {
+    if (mode > 4) { acc = acc + 2; } else { acc = acc + 1; }
+  }
+  return acc;
+}
+int main(int n, int s) {
+  return work(1, 10) + work(9, 100);
+}
+|}
+
+let cloning_specialises () =
+  let ssa = (Helpers.compile clone_source).Vrp_core.Pipeline.ssa in
+  let t = Interproc.analyze ssa in
+  let cloned = Vrp_core.Clone.run ssa t in
+  Alcotest.(check int) "two clones" 2 cloned.Vrp_core.Clone.clones_made;
+  let t' = Interproc.analyze cloned.Vrp_core.Clone.program in
+  (* each clone's mode branch is decided one way *)
+  let decided_dirs = ref [] in
+  Hashtbl.iter
+    (fun cname origin ->
+      if String.equal origin "work" then begin
+        match Interproc.result t' cname with
+        | None -> Alcotest.failf "clone %s not analysed" cname
+        | Some res ->
+          Hashtbl.iter
+            (fun _bid p ->
+              if p < 1e-9 then decided_dirs := false :: !decided_dirs
+              else if p > 1.0 -. 1e-9 then decided_dirs := true :: !decided_dirs)
+            res.Engine.branch_probs
+      end)
+    cloned.Vrp_core.Clone.origin_of;
+  Alcotest.(check bool) "one clone decides true, the other false" true
+    (List.mem true !decided_dirs && List.mem false !decided_dirs)
+
+let cloned_program_still_runs () =
+  let ssa = (Helpers.compile clone_source).Vrp_core.Pipeline.ssa in
+  let t = Interproc.analyze ssa in
+  let cloned = Vrp_core.Clone.run ssa t in
+  let before = Vrp_profile.Interp.run ssa ~args:[ 0; 0 ] in
+  let after = Vrp_profile.Interp.run cloned.Vrp_core.Clone.program ~args:[ 0; 0 ] in
+  match (before.Vrp_profile.Interp.ret, after.Vrp_profile.Interp.ret) with
+  | Vrp_profile.Interp.Vint a, Vrp_profile.Interp.Vint b ->
+    Alcotest.(check int) "cloning preserves semantics" a b
+  | _ -> Alcotest.fail "int returns expected"
+
+let suite =
+  ( "interproc",
+    [
+      tc "constant jump function" `Quick constant_jump_function;
+      tc "merged jump functions" `Quick merged_jump_functions;
+      tc "return ranges flow back" `Quick return_ranges_flow_back;
+      tc "unknown arguments stay bottom" `Quick unknown_args_stay_bottom;
+      tc "recursion terminates" `Quick recursion_terminates;
+      tc "unreachable functions skipped" `Quick unreachable_functions_skipped;
+      tc "constants through call chain" `Quick call_through_chain;
+      tc "proto validation decided" `Quick proto_validation_decided;
+      tc "no symbolic leakage across calls" `Quick symbolic_does_not_leak;
+      tc "cloning specialises contexts" `Quick cloning_specialises;
+      tc "cloning preserves semantics" `Quick cloned_program_still_runs;
+    ] )

@@ -1,0 +1,303 @@
+(** IR tests: lowering shapes, dominators (vs a naive reference), loops,
+    SSA construction invariants, assertion insertion. *)
+
+module Ir = Vrp_ir.Ir
+module Dom = Vrp_ir.Dom
+module Loops = Vrp_ir.Loops
+
+let tc = Alcotest.test_case
+
+let build src =
+  let ast = Vrp_lang.Front.parse_and_check src in
+  Vrp_ir.Build.program ast
+
+let build_main src =
+  match Ir.find_fn (build src) "main" with
+  | Some fn -> fn
+  | None -> Alcotest.fail "no main"
+
+(* --- Lowering --- *)
+
+let straight_line_is_one_block () =
+  let fn = build_main "int main(int n, int s) { int x = n + 1; int y = x * 2; return y; }" in
+  Alcotest.(check int) "single block" 1 (Ir.num_blocks fn)
+
+let if_produces_diamond () =
+  let fn = build_main "int main(int n, int s) { int x = 0; if (n > 0) { x = 1; } else { x = 2; } return x; }" in
+  (* entry + then + else + join = 4 *)
+  Alcotest.(check int) "diamond" 4 (Ir.num_blocks fn)
+
+let branch_successors_single_pred () =
+  (* After critical-edge splitting every Br successor has one predecessor. *)
+  List.iter
+    (fun (b : Vrp_suite.Suite.benchmark) ->
+      let p = build b.source in
+      List.iter
+        (fun (fn : Ir.fn) ->
+          Ir.iter_blocks fn (fun blk ->
+              match blk.Ir.term with
+              | Ir.Br { tdst; fdst; _ } ->
+                List.iter
+                  (fun d ->
+                    if List.length (Ir.block fn d).Ir.preds <> 1 then
+                      Alcotest.failf "%s/%s: B%d has several preds" b.name fn.Ir.fname d)
+                  [ tdst; fdst ]
+              | Ir.Jump _ | Ir.Ret _ -> ()))
+        p.Ir.fns)
+    Vrp_suite.Suite.benchmarks
+
+let no_unreachable_blocks () =
+  let fn =
+    build_main
+      "int main(int n, int s) { return 1; n = n + 1; while (n > 0) { n = n - 1; } return n; }"
+  in
+  (* everything after the first return is swept by cleanup *)
+  Ir.iter_blocks fn (fun b ->
+      if b.Ir.bid <> Ir.entry_bid && b.Ir.preds = [] then
+        Alcotest.failf "unreachable block B%d survived cleanup" b.Ir.bid)
+
+let short_circuit_branches () =
+  let fn =
+    build_main "int main(int n, int s) { if (n > 0 && s > 0) { return 1; } return 0; }"
+  in
+  let branches = ref 0 in
+  Ir.iter_blocks fn (fun b ->
+      match b.Ir.term with Ir.Br _ -> incr branches | Ir.Jump _ | Ir.Ret _ -> ());
+  Alcotest.(check int) "two conditional branches for &&" 2 !branches
+
+let global_scalars_are_memory () =
+  let p = build "int g; int main(int n, int s) { g = n; return g; }" in
+  let fn = Option.get (Ir.find_fn p "main") in
+  let loads = ref 0 and stores = ref 0 in
+  Ir.iter_blocks fn (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Ir.Def (_, Ir.Load ("g", _)) -> incr loads
+          | Ir.Store ("g", _, _) -> incr stores
+          | _ -> ())
+        b.Ir.instrs);
+  Alcotest.(check (pair int int)) "load/store pair" (1, 1) (!loads, !stores)
+
+(* --- Dominators: compare against a naive O(n^2) fixpoint --- *)
+
+let naive_dominators (fn : Ir.fn) : bool array array =
+  let n = Ir.num_blocks fn in
+  let dom = Array.init n (fun _ -> Array.make n true) in
+  dom.(Ir.entry_bid) <- Array.init n (fun j -> j = Ir.entry_bid);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Ir.iter_blocks fn (fun b ->
+        if b.Ir.bid <> Ir.entry_bid then begin
+          let inter = Array.make n true in
+          (match b.Ir.preds with
+          | [] -> Array.fill inter 0 n false
+          | preds ->
+            List.iter (fun p -> Array.iteri (fun i v -> inter.(i) <- inter.(i) && v) dom.(p)) preds);
+          inter.(b.Ir.bid) <- true;
+          if inter <> dom.(b.Ir.bid) then begin
+            dom.(b.Ir.bid) <- inter;
+            changed := true
+          end
+        end)
+  done;
+  dom
+
+let dominators_match_reference () =
+  List.iter
+    (fun (b : Vrp_suite.Suite.benchmark) ->
+      let p = build b.source in
+      List.iter
+        (fun (fn : Ir.fn) ->
+          let fast = Dom.compute fn in
+          let naive = naive_dominators fn in
+          let n = Ir.num_blocks fn in
+          for a = 0 to n - 1 do
+            for bb = 0 to n - 1 do
+              let reachable = fast.Dom.rpo_index.(bb) >= 0 in
+              if reachable && Dom.dominates fast a bb <> naive.(bb).(a) then
+                Alcotest.failf "%s/%s: dominates %d %d disagrees" b.name fn.Ir.fname a bb
+            done
+          done)
+        p.Ir.fns)
+    Vrp_suite.Suite.benchmarks
+
+let idom_is_strict_dominator () =
+  let fn = build_main (Option.get (Vrp_suite.Suite.find "qsort")).source in
+  let d = Dom.compute fn in
+  Array.iteri
+    (fun node idom ->
+      if idom >= 0 && not (Dom.strictly_dominates d idom node) then
+        Alcotest.failf "idom(%d)=%d is not a strict dominator" node idom)
+    d.Dom.idom
+
+let postdominators_sane () =
+  let fn =
+    build_main "int main(int n, int s) { int x = 0; if (n > 0) { x = 1; } else { x = 2; } return x; }"
+  in
+  let pd = Dom.compute_post fn in
+  (* The join block (the one ending in Ret) postdominates everything. *)
+  let ret_block = ref (-1) in
+  Ir.iter_blocks fn (fun b ->
+      match b.Ir.term with Ir.Ret _ -> ret_block := b.Ir.bid | _ -> ());
+  Ir.iter_blocks fn (fun b ->
+      if not (Dom.postdominates pd !ret_block b.Ir.bid) then
+        Alcotest.failf "return block must postdominate B%d" b.Ir.bid);
+  (* The then-arm does not postdominate the entry. *)
+  let entry_succs = Ir.successors (Ir.block fn Ir.entry_bid).Ir.term in
+  List.iter
+    (fun s ->
+      if Dom.postdominates pd s Ir.entry_bid then
+        Alcotest.failf "branch arm B%d must not postdominate entry" s)
+    entry_succs
+
+(* --- Loops --- *)
+
+let loop_detection () =
+  let fn =
+    build_main
+      "int main(int n, int s) {\n\
+       int acc = 0;\n\
+       for (int i = 0; i < n; i++) {\n\
+       for (int j = 0; j < i; j++) { acc = acc + j; }\n\
+       }\n\
+       while (acc > 10) { acc = acc / 2; }\n\
+       return acc; }"
+  in
+  let l = Loops.compute fn in
+  Alcotest.(check int) "three natural loops" 3 (Array.length l.Loops.loops);
+  let max_depth = Array.fold_left (fun acc lo -> max acc lo.Loops.depth) 0 l.Loops.loops in
+  Alcotest.(check int) "nesting depth two" 2 max_depth
+
+let back_edges_vs_headers () =
+  let fn = build_main (Option.get (Vrp_suite.Suite.find "kmp")).source in
+  let l = Loops.compute fn in
+  List.iter
+    (fun (latch, header) ->
+      if not (Loops.is_loop_header l header) then
+        Alcotest.failf "back edge target B%d is not a loop header" header;
+      if not (Loops.is_back_edge l ~src:latch ~dst:header) then Alcotest.fail "inconsistent")
+    l.Loops.back_edges
+
+let loop_exit_edges () =
+  let fn = build_main "int main(int n, int s) { int i = 0; while (i < n) { i++; } return i; }" in
+  let l = Loops.compute fn in
+  let header = (Array.get l.Loops.loops 0).Loops.header in
+  match (Ir.block fn header).Ir.term with
+  | Ir.Br { tdst; fdst; _ } ->
+    let t_exit = Loops.is_loop_exit_edge l ~src:header ~dst:tdst in
+    let f_exit = Loops.is_loop_exit_edge l ~src:header ~dst:fdst in
+    Alcotest.(check (pair bool bool)) "true edge stays, false edge exits" (false, true)
+      (t_exit, f_exit)
+  | _ -> Alcotest.fail "loop header must end in a conditional branch"
+
+(* --- SSA --- *)
+
+let ssa_of src =
+  let p = build src in
+  let ssa, _ = Vrp_ir.Ssa.transform_program p in
+  ssa
+
+let ssa_checker_passes_suite () =
+  List.iter
+    (fun (b : Vrp_suite.Suite.benchmark) ->
+      let ssa = ssa_of b.source in
+      try Vrp_ir.Check.check_ssa_program ssa
+      with Vrp_ir.Check.Violation msg -> Alcotest.failf "%s: %s" b.name msg)
+    Vrp_suite.Suite.benchmarks
+
+let ssa_assertions_on_both_edges () =
+  let ssa = ssa_of "int main(int n, int s) { if (n < 10) { return 1; } return 0; }" in
+  let fn = Option.get (Ir.find_fn ssa "main") in
+  let asserts = ref [] in
+  Ir.iter_blocks fn (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Ir.Def (_, Ir.Assertion { arel; _ }) -> asserts := arel :: !asserts
+          | _ -> ())
+        b.Ir.instrs);
+  let sorted = List.sort compare !asserts in
+  Alcotest.(check bool) "Lt and Ge assertions present" true
+    (sorted = List.sort compare [ Vrp_lang.Ast.Lt; Vrp_lang.Ast.Ge ])
+
+let ssa_assertions_on_both_operands () =
+  let ssa = ssa_of "int main(int n, int s) { if (n < s) { return 1; } return 0; }" in
+  let fn = Option.get (Ir.find_fn ssa "main") in
+  let count = ref 0 in
+  Ir.iter_blocks fn (fun b ->
+      List.iter
+        (fun i -> match i with Ir.Def (_, Ir.Assertion _) -> incr count | _ -> ())
+        b.Ir.instrs);
+  Alcotest.(check int) "two assertions per edge, two edges" 4 !count
+
+let ssa_phi_for_merged_variable () =
+  let ssa =
+    ssa_of "int main(int n, int s) { int x = 0; if (n) { x = 1; } else { x = 2; } return x; }"
+  in
+  let fn = Option.get (Ir.find_fn ssa "main") in
+  let found = ref false in
+  Ir.iter_blocks fn (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Ir.Def (v, Ir.Phi args) when v.Vrp_ir.Var.base = "x" ->
+            found := true;
+            Alcotest.(check int) "phi arity" (List.length b.Ir.preds) (List.length args)
+          | _ -> ())
+        b.Ir.instrs);
+  Alcotest.(check bool) "x has a phi at the join" true !found
+
+let ssa_never_assigned_reads_zero () =
+  (* A use on a path where the variable was never assigned reads 0; the SSA
+     construction must realise that as a constant operand, and the
+     interpreter agrees. *)
+  let src =
+    "int main(int n, int s) {\n\
+     int y;\n\
+     if (n > 0) { y = 7; }\n\
+     return y; }"
+  in
+  let r = Helpers.run_main ~args:[ 0; 0 ] src in
+  Alcotest.(check int) "unassigned path reads 0" 0 (Helpers.ret_int r);
+  let r = Helpers.run_main ~args:[ 5; 0 ] src in
+  Alcotest.(check int) "assigned path reads 7" 7 (Helpers.ret_int r)
+
+let ssa_versions_are_fresh () =
+  let ssa = ssa_of (Option.get (Vrp_suite.Suite.find "huffman")).source in
+  List.iter
+    (fun (fn : Ir.fn) ->
+      let seen = Hashtbl.create 64 in
+      let defd (v : Vrp_ir.Var.t) =
+        if Hashtbl.mem seen v.Vrp_ir.Var.id then
+          Alcotest.failf "%s: %s defined twice" fn.Ir.fname (Vrp_ir.Var.to_string v);
+        Hashtbl.replace seen v.Vrp_ir.Var.id ()
+      in
+      List.iter defd fn.Ir.params;
+      Ir.iter_blocks fn (fun b ->
+          List.iter (fun i -> Option.iter defd (Ir.instr_def i)) b.Ir.instrs))
+    ssa.Ir.fns
+
+let suite =
+  ( "ir",
+    [
+      tc "lower: straight line" `Quick straight_line_is_one_block;
+      tc "lower: if diamond" `Quick if_produces_diamond;
+      tc "lower: branch targets have one pred" `Quick branch_successors_single_pred;
+      tc "lower: unreachable code swept" `Quick no_unreachable_blocks;
+      tc "lower: short-circuit becomes branches" `Quick short_circuit_branches;
+      tc "lower: global scalars are memory" `Quick global_scalars_are_memory;
+      tc "dom: matches naive reference" `Quick dominators_match_reference;
+      tc "dom: idom strictness" `Quick idom_is_strict_dominator;
+      tc "dom: postdominators" `Quick postdominators_sane;
+      tc "loops: detection and nesting" `Quick loop_detection;
+      tc "loops: back edges vs headers" `Quick back_edges_vs_headers;
+      tc "loops: exit edges" `Quick loop_exit_edges;
+      tc "ssa: checker passes on the suite" `Quick ssa_checker_passes_suite;
+      tc "ssa: assertions on both edges" `Quick ssa_assertions_on_both_edges;
+      tc "ssa: assertions on both operands" `Quick ssa_assertions_on_both_operands;
+      tc "ssa: phi at join" `Quick ssa_phi_for_merged_variable;
+      tc "ssa: unassigned reads zero" `Quick ssa_never_assigned_reads_zero;
+      tc "ssa: single assignment" `Quick ssa_versions_are_fresh;
+    ] )

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "vrp"
+    [
+      Test_front.suite;
+      Test_ir.suite;
+      Test_ranges.suite;
+      Test_interp.suite;
+      Test_sccp.suite;
+      Test_engine.suite;
+      Test_interproc.suite;
+      Test_clients.suite;
+      Test_predict.suite;
+      Test_evaluation.suite;
+      Test_util.suite;
+      Test_semantics.suite;
+      Test_cli_surface.suite;
+      Test_frequency.suite;
+      Test_integration.suite;
+    ]

@@ -1,0 +1,453 @@
+(** Range-domain tests: exact progression mathematics, the §3.5 worked
+    example, and QCheck soundness properties — membership must be preserved
+    by every operation, probability mass conserved, comparison probabilities
+    exact against brute force on small ranges. *)
+
+module P = Vrp_ranges.Progression
+module Sym = Vrp_ranges.Sym
+module Srange = Vrp_ranges.Srange
+module Value = Vrp_ranges.Value
+module Ast = Vrp_lang.Ast
+
+let tc = Alcotest.test_case
+
+(* --- generators --- *)
+
+let gen_prog : P.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* lo = int_range (-50) 50 in
+  let* len = int_range 0 40 in
+  let* stride = int_range 1 7 in
+  return (P.make lo (lo + len) stride)
+
+let elements (pr : P.t) =
+  List.init (P.count pr) (fun i -> pr.P.lo + (i * pr.P.stride))
+
+let gen_value : Value.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* n = int_range 1 3 in
+  let* progs = list_size (return n) gen_prog in
+  let k = List.length progs in
+  return
+    (Value.of_ranges
+       (List.map (fun pr -> Srange.numeric ~p:(1.0 /. float_of_int k) pr) progs))
+
+(* all concrete members of a numeric value *)
+let members (v : Value.t) : int list =
+  match v with
+  | Value.Ranges rs ->
+    List.concat_map
+      (fun (r : Srange.t) ->
+        match Srange.prog r with Some pr -> elements pr | None -> [])
+      rs
+  | Value.Top | Value.Bottom -> []
+
+let print_value v = Value.to_string v
+
+(* --- exact progression tests --- *)
+
+let prog_count () =
+  Alcotest.(check int) "count [0:10:2]" 6 (P.count (P.make 0 10 2));
+  Alcotest.(check int) "count singleton" 1 (P.count (P.singleton 5));
+  Alcotest.(check int) "count clamps hi" 3 (P.count (P.make 0 7 3))
+
+let prog_mem () =
+  let pr = P.make 3 21 3 in
+  Alcotest.(check bool) "9 in [3:21:3]" true (P.mem 9 pr);
+  Alcotest.(check bool) "10 not in [3:21:3]" false (P.mem 10 pr);
+  Alcotest.(check bool) "24 out of bounds" false (P.mem 24 pr)
+
+let prog_count_below () =
+  let pr = P.make 0 20 5 in
+  Alcotest.(check int) "below 0" 0 (P.count_below pr 0);
+  Alcotest.(check int) "below 6" 2 (P.count_below pr 6);
+  Alcotest.(check int) "below 100" 5 (P.count_below pr 100)
+
+let prog_common () =
+  (* CRT intersection: multiples of 3 and of 4 in [0,100] -> multiples of 12 *)
+  Alcotest.(check int) "3-step meets 4-step" 9
+    (P.count_common (P.make 0 99 3) (P.make 0 100 4));
+  Alcotest.(check int) "disjoint parity" 0 (P.count_common (P.make 0 20 2) (P.make 1 21 2));
+  Alcotest.(check int) "offset congruence" 4
+    (P.count_common (P.make 1 100 6) (P.make 7 43 12))
+
+let paper_section_3_5_example () =
+  (* { 0.7[32:256:1], 0.3[3:21:3] } + { 0.6[16:100:4], 0.4[8:8:0] } *)
+  let a =
+    Value.of_ranges
+      [ Srange.numeric ~p:0.7 (P.make 32 256 1); Srange.numeric ~p:0.3 (P.make 3 21 3) ]
+  in
+  let b =
+    Value.of_ranges
+      [ Srange.numeric ~p:0.6 (P.make 16 100 4); Srange.numeric ~p:0.4 (P.make 8 8 0) ]
+  in
+  Vrp_ranges.Config.with_max_ranges 8 (fun () ->
+      match Value.binop Ast.Add a b with
+      | Value.Ranges rs ->
+        let strs = List.map Srange.to_string rs in
+        List.iter
+          (fun expected ->
+            if not (List.mem expected strs) then
+              Alcotest.failf "missing %s in { %s }" expected (String.concat ", " strs))
+          [ "0.42[48:356:1]"; "0.28[40:264:1]"; "0.18[19:121:1]"; "0.12[11:29:3]" ]
+      | v -> Alcotest.failf "unexpected %s" (print_value v))
+
+let figure4_probabilities () =
+  let x = Value.of_ranges [ Srange.numeric ~p:1.0 (P.make 0 10 1) ] in
+  (match Value.cmp_prob Ast.Lt x (Value.const_int 10) with
+  | Some p -> Helpers.check_prob "P(x<10)" (10.0 /. 11.0) p
+  | None -> Alcotest.fail "must be computable");
+  let y =
+    Value.of_ranges
+      [ Srange.numeric ~p:0.8 (P.make 0 7 1); Srange.numeric ~p:0.2 (P.singleton 1) ]
+  in
+  match Value.cmp_prob Ast.Eq y (Value.const_int 1) with
+  | Some p -> Helpers.check_prob "P(y=1)" 0.3 p
+  | None -> Alcotest.fail "must be computable"
+
+let narrowing_basics () =
+  let x = Value.of_ranges [ Srange.numeric ~p:1.0 (P.make 0 10 1) ] in
+  Alcotest.(check string) "narrow <10" "{ 1[0:9:1] }"
+    (print_value (Value.assert_narrow x Ast.Lt (Value.const_int 10)));
+  Alcotest.(check string) "narrow >7" "{ 1[8:10:1] }"
+    (print_value (Value.assert_narrow x Ast.Gt (Value.const_int 7)));
+  Alcotest.(check string) "narrow ==3" "{ 1[3:3:0] }"
+    (print_value (Value.assert_narrow x Ast.Eq (Value.const_int 3)));
+  (* stride-aware: [0:12:3] with >= 4 starts at 6 *)
+  let s = Value.of_ranges [ Srange.numeric ~p:1.0 (P.make 0 12 3) ] in
+  Alcotest.(check string) "stride-aligned lower trim" "{ 1[6:12:3] }"
+    (print_value (Value.assert_narrow s Ast.Ge (Value.const_int 4)))
+
+let narrowing_keeps_contradictions () =
+  (* Narrowing to an empty set returns the input unchanged (dead path). *)
+  let x = Value.const_int 5 in
+  Alcotest.(check string) "contradictory assert is a no-op" "{ 1[5:5:0] }"
+    (print_value (Value.assert_narrow x Ast.Gt (Value.const_int 10)))
+
+let symbolic_copy_and_narrow () =
+  let v : Vrp_ir.Var.t = { Vrp_ir.Var.id = 0; base = "n"; version = 1; ty = Ast.Tint } in
+  let c = Value.copy_of_var v in
+  Alcotest.(check string) "copy" "{ 1[n.1:n.1:0] }" (print_value c);
+  Alcotest.(check (option bool)) "as_copy" (Some true)
+    (Option.map (Vrp_ir.Var.equal v) (Value.as_copy c));
+  (* Numeric narrowing replaces the incomparable bound. *)
+  let narrowed = Value.assert_narrow c Ast.Ge (Value.const_int 8) in
+  Alcotest.(check string) "lo replaced" "{ 1[8:n.1:1] }" (print_value narrowed);
+  let narrowed2 = Value.assert_narrow narrowed Ast.Le (Value.const_int 100) in
+  Alcotest.(check string) "both sides numeric now" "{ 1[8:100:1] }" (print_value narrowed2)
+
+let symbolic_one_sided_certainty () =
+  let v : Vrp_ir.Var.t = { Vrp_ir.Var.id = 0; base = "n"; version = 1; ty = Ast.Tint } in
+  let r = Option.get (Srange.make ~p:1.0 ~lo:(Sym.num 1) ~hi:(Sym.of_var v) ~stride:1) in
+  let mixed = Value.of_ranges [ r ] in
+  (* [1:n] > 0 is certain; [1:n] > 5 is unknown. *)
+  (match Value.cmp_prob Ast.Gt mixed (Value.const_int 0) with
+  | Some p -> Helpers.check_prob "certainly positive" 1.0 p
+  | None -> Alcotest.fail "one-sided certainty must resolve");
+  (match Value.cmp_prob Ast.Gt mixed (Value.const_int 5) with
+  | None -> ()
+  | Some p -> Alcotest.failf "must be unknown, got %f" p);
+  (* same-base comparison: [1:n] <= [n:n] is certain *)
+  let copy = Value.copy_of_var v in
+  match Value.cmp_prob Ast.Le mixed copy with
+  | Some p -> Helpers.check_prob "le than own bound" 1.0 p
+  | None -> Alcotest.fail "same-base comparison must resolve"
+
+let subst_resolves_bases () =
+  let v : Vrp_ir.Var.t = { Vrp_ir.Var.id = 0; base = "n"; version = 1; ty = Ast.Tint } in
+  let r = Option.get (Srange.make ~p:1.0 ~lo:(Sym.num 0) ~hi:(Sym.of_var v) ~stride:1) in
+  let mixed = Value.of_ranges [ r ] in
+  let lookup _ = Value.const_int 10 in
+  Alcotest.(check string) "subst singleton" "{ 1[0:10:1] }"
+    (print_value (Value.subst ~only_singleton:true mixed ~lookup));
+  let lookup_wide _ = Value.of_ranges [ Srange.numeric ~p:1.0 (P.make 5 20 1) ] in
+  (* hull substitution takes the loosest bound *)
+  Alcotest.(check string) "subst hull" "{ 1[0:20:1] }"
+    (print_value (Value.subst mixed ~lookup:lookup_wide));
+  (* singleton-only substitution refuses a non-singleton base *)
+  Alcotest.(check string) "subst only-singleton refuses" "{ 1[0:n.1:1] }"
+    (print_value (Value.subst ~only_singleton:true mixed ~lookup:lookup_wide))
+
+let compaction_respects_budget () =
+  let rs = List.init 10 (fun i -> Srange.numeric ~p:0.1 (P.singleton (i * 10))) in
+  match Value.union_weighted [ (1.0, Value.of_ranges rs) ] with
+  | Value.Ranges out ->
+    Alcotest.(check bool) "within budget" true
+      (List.length out <= !Vrp_ranges.Config.max_ranges);
+    (* all original members must still be covered *)
+    List.iteri
+      (fun i _ ->
+        if not (Helpers.contains_int (Value.Ranges out) (i * 10)) then
+          Alcotest.failf "lost member %d" (i * 10))
+      rs
+  | v -> Alcotest.failf "unexpected %s" (print_value v)
+
+let union_weighted_masses () =
+  let a = Value.const_int 1 and b = Value.const_int 2 in
+  match Value.union_weighted [ (0.25, a); (0.75, b) ] with
+  | Value.Ranges [ r1; r2 ] ->
+    Helpers.check_prob "mass 1" 0.25 r1.Srange.p;
+    Helpers.check_prob "mass 2" 0.75 r2.Srange.p
+  | v -> Alcotest.failf "unexpected %s" (print_value v)
+
+let union_with_bottom_is_bottom () =
+  Alcotest.(check bool) "bottom absorbs" true
+    (Value.is_bottom (Value.union_weighted [ (0.5, Value.const_int 1); (0.5, Value.bottom) ]))
+
+let cmp_value_materialises () =
+  let x = Value.of_ranges [ Srange.numeric ~p:1.0 (P.make 0 9 1) ] in
+  match Value.cmp_value Ast.Lt x (Value.const_int 5) with
+  | Value.Ranges [ zero; one ] ->
+    Helpers.check_prob "P(0)" 0.5 zero.Srange.p;
+    Helpers.check_prob "P(1)" 0.5 one.Srange.p
+  | v -> Alcotest.failf "unexpected %s" (print_value v)
+
+(* --- QCheck properties --- *)
+
+let brute_prob rel xs ys =
+  let holds =
+    List.fold_left
+      (fun acc x ->
+        acc
+        + List.length
+            (List.filter
+               (fun y ->
+                 match rel with
+                 | Ast.Eq -> x = y
+                 | Ast.Ne -> x <> y
+                 | Ast.Lt -> x < y
+                 | Ast.Le -> x <= y
+                 | Ast.Gt -> x > y
+                 | Ast.Ge -> x >= y)
+               ys))
+      0 xs
+  in
+  float_of_int holds /. float_of_int (List.length xs * List.length ys)
+
+let gen_rel =
+  QCheck2.Gen.oneofl [ Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ]
+
+let prop_prob_rel_exact =
+  Helpers.qtest ~count:500 "prob_rel matches brute force"
+    QCheck2.Gen.(triple gen_rel gen_prog gen_prog)
+    (fun (rel, a, b) ->
+      let got = P.prob_rel rel a b in
+      let want = brute_prob rel (elements a) (elements b) in
+      Float.abs (got -. want) < 1e-9)
+
+let gen_binop =
+  QCheck2.Gen.oneofl
+    [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Band; Ast.Bor; Ast.Bxor; Ast.Shl; Ast.Shr ]
+
+let apply_concrete op x y =
+  match op with
+  | Ast.Add -> Some (x + y)
+  | Ast.Sub -> Some (x - y)
+  | Ast.Mul -> Some (x * y)
+  | Ast.Div -> if y = 0 then None else Some (x / y)
+  | Ast.Mod -> if y = 0 then None else Some (x mod y)
+  | Ast.Band -> Some (x land y)
+  | Ast.Bor -> Some (x lor y)
+  | Ast.Bxor -> Some (x lxor y)
+  | Ast.Shl -> if y < 0 || y > 40 then None else Some (x lsl y)
+  | Ast.Shr -> if y < 0 || y > 40 then None else Some (x asr y)
+
+let prop_binop_sound =
+  Helpers.qtest ~count:800 "binop result contains all concrete results"
+    QCheck2.Gen.(triple gen_binop gen_value gen_value)
+    (fun (op, a, b) ->
+      let result = Value.binop op a b in
+      List.for_all
+        (fun x ->
+          List.for_all
+            (fun y ->
+              match apply_concrete op x y with
+              | None -> true (* concrete trap; any result is fine *)
+              | Some z -> Helpers.contains_int result z)
+            (members b))
+        (members a))
+
+let prop_mass_normalised =
+  Helpers.qtest ~count:500 "binop preserves unit mass"
+    QCheck2.Gen.(triple gen_binop gen_value gen_value)
+    (fun (op, a, b) ->
+      match Value.binop op a b with
+      | Value.Ranges _ as v -> Float.abs (Value.mass v -. 1.0) < 1e-6
+      | Value.Top | Value.Bottom -> true)
+
+let prop_narrow_sound =
+  Helpers.qtest ~count:800 "assert_narrow keeps every satisfying member"
+    QCheck2.Gen.(triple gen_rel gen_value gen_prog)
+    (fun (rel, a, bound) ->
+      let bv = Value.of_ranges [ Srange.numeric ~p:1.0 bound ] in
+      let narrowed = Value.assert_narrow a rel bv in
+      let bs = elements bound in
+      List.for_all
+        (fun x ->
+          let satisfiable =
+            List.exists
+              (fun y ->
+                match rel with
+                | Ast.Eq -> x = y
+                | Ast.Ne -> x <> y
+                | Ast.Lt -> x < y
+                | Ast.Le -> x <= y
+                | Ast.Gt -> x > y
+                | Ast.Ge -> x >= y)
+              bs
+          in
+          (not satisfiable) || Helpers.contains_int narrowed x)
+        (members a))
+
+let prop_cmp_prob_range =
+  Helpers.qtest ~count:500 "cmp_prob stays in [0,1] and complements"
+    QCheck2.Gen.(triple gen_rel gen_value gen_value)
+    (fun (rel, a, b) ->
+      match (Value.cmp_prob rel a b, Value.cmp_prob (Ast.relop_negate rel) a b) with
+      | Some p, Some q -> p >= 0.0 && p <= 1.0 && Float.abs (p +. q -. 1.0) < 1e-6
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+let prop_union_contains_parts =
+  Helpers.qtest ~count:500 "union contains both operands' members"
+    QCheck2.Gen.(pair gen_value gen_value)
+    (fun (a, b) ->
+      let u = Value.union_weighted [ (0.5, a); (0.5, b) ] in
+      List.for_all (Helpers.contains_int u) (members a)
+      && List.for_all (Helpers.contains_int u) (members b))
+
+let prop_unop_sound =
+  Helpers.qtest ~count:400 "unop soundness"
+    QCheck2.Gen.(pair (oneofl [ Vrp_ir.Ir.Neg; Vrp_ir.Ir.Bnot ]) gen_value)
+    (fun (op, a) ->
+      let result = Value.unop op a in
+      List.for_all
+        (fun x ->
+          let z = match op with Vrp_ir.Ir.Neg -> -x | Vrp_ir.Ir.Bnot -> lnot x in
+          Helpers.contains_int result z)
+        (members a))
+
+(* Continuous approximation quality: for large progressions prob_lt switches
+   to the closed form; its error against brute force must stay small. *)
+let prop_prob_lt_approximation =
+  Helpers.qtest ~count:100 "prob_lt continuous approximation is accurate"
+    QCheck2.Gen.(pair (int_range (-2000) 2000) (int_range (-2000) 2000))
+    (fun (lo1, lo2) ->
+      (* ranges wide enough to force the approximation path *)
+      let a = P.make lo1 (lo1 + 9000) 1 in
+      let b = P.make lo2 (lo2 + 8000) 1 in
+      let exact =
+        (* brute force via counting formula rather than enumeration *)
+        let total = ref 0.0 in
+        let v = ref b.P.lo in
+        for _ = 1 to P.count b do
+          total := !total +. float_of_int (P.count_below a !v);
+          v := !v + b.P.stride
+        done;
+        !total /. (float_of_int (P.count a) *. float_of_int (P.count b))
+      in
+      Float.abs (P.prob_lt a b -. exact) < 0.01)
+
+let prop_normalize_idempotent =
+  Helpers.qtest ~count:300 "normalize is idempotent"
+    QCheck2.Gen.(pair gen_value gen_value)
+    (fun (a, b) ->
+      match Value.union_weighted [ (0.3, a); (0.7, b) ] with
+      | Value.Ranges rs as v -> Value.equal v (Value.normalize rs)
+      | Value.Top | Value.Bottom -> true)
+
+let prop_narrow_never_gains_mass =
+  Helpers.qtest ~count:400 "narrowing keeps unit mass"
+    QCheck2.Gen.(triple gen_rel gen_value gen_prog)
+    (fun (rel, a, bound) ->
+      let bv = Value.of_ranges [ Srange.numeric ~p:1.0 bound ] in
+      match Value.assert_narrow a rel bv with
+      | Value.Ranges _ as v -> Float.abs (Value.mass v -. 1.0) < 1e-6
+      | Value.Top | Value.Bottom -> true)
+
+let prop_cmp_value_consistent_with_cmp_prob =
+  Helpers.qtest ~count:300 "cmp_value mass matches cmp_prob"
+    QCheck2.Gen.(triple gen_rel gen_value gen_value)
+    (fun (rel, a, b) ->
+      match (Value.cmp_prob rel a b, Value.cmp_value rel a b) with
+      | Some p, Value.Ranges rs ->
+        let mass_at_one =
+          List.fold_left
+            (fun acc (r : Srange.t) ->
+              if r.Srange.lo.Sym.off = 1 then acc +. r.Srange.p else acc)
+            0.0 rs
+        in
+        Float.abs (mass_at_one -. p) < 1e-6
+      | None, (Value.Bottom | Value.Top) -> true
+      | None, _ -> false
+      | Some _, (Value.Top | Value.Bottom) -> false)
+
+let ne_narrowing_with_strides () =
+  (* [0:12:3] minus the endpoint 12 -> [0:9:3]; minus interior 6 keeps the
+     shape but rescales mass *)
+  let s = Value.of_ranges [ Srange.numeric ~p:1.0 (P.make 0 12 3) ] in
+  Alcotest.(check string) "endpoint removed" "{ 1[0:9:3] }"
+    (print_value (Value.assert_narrow s Ast.Ne (Value.const_int 12)));
+  match Value.assert_narrow s Ast.Ne (Value.const_int 6) with
+  | Value.Ranges [ r ] ->
+    Alcotest.(check bool) "same shape" true
+      (Srange.same_shape r (Srange.numeric ~p:1.0 (P.make 0 12 3)))
+  | v -> Alcotest.failf "unexpected %s" (print_value v)
+
+let mul_singleton_strides () =
+  (* [0:10:2] * 3 keeps a stride of 6 *)
+  let a = Value.of_ranges [ Srange.numeric ~p:1.0 (P.make 0 10 2) ] in
+  Alcotest.(check string) "scaled stride" "{ 1[0:30:6] }"
+    (print_value (Value.binop Ast.Mul a (Value.const_int 3)));
+  Alcotest.(check string) "shift left" "{ 1[0:40:8] }"
+    (print_value (Value.binop Ast.Shl a (Value.const_int 2)))
+
+let mod_stride_residue () =
+  (* [4:20:4] mod 8 = {4, 0, 4, 0, 4} -> residue class 0 mod 4 within [0,7] *)
+  let a = Value.of_ranges [ Srange.numeric ~p:1.0 (P.make 4 20 4) ] in
+  Alcotest.(check string) "residues" "{ 1[0:4:4] }"
+    (print_value (Value.binop Ast.Mod a (Value.const_int 8)))
+
+let prop_sym_algebra =
+  Helpers.qtest ~count:300 "sym add/sub on numerics"
+    QCheck2.Gen.(pair (int_range (-1000) 1000) (int_range (-1000) 1000))
+    (fun (a, b) ->
+      let sa = Sym.num a and sb = Sym.num b in
+      Sym.add sa sb = Some (Sym.num (a + b))
+      && Sym.sub sa sb = Some (Sym.num (a - b))
+      && Sym.cmp sa sb = Some (Int.compare a b))
+
+let suite =
+  ( "ranges",
+    [
+      tc "progression: count" `Quick prog_count;
+      tc "progression: mem" `Quick prog_mem;
+      tc "progression: count_below" `Quick prog_count_below;
+      tc "progression: CRT intersection" `Quick prog_common;
+      tc "paper 3.5 addition example" `Quick paper_section_3_5_example;
+      tc "figure 4 probabilities" `Quick figure4_probabilities;
+      tc "narrowing basics" `Quick narrowing_basics;
+      tc "narrowing contradictions" `Quick narrowing_keeps_contradictions;
+      tc "symbolic copy and narrowing" `Quick symbolic_copy_and_narrow;
+      tc "symbolic one-sided certainty" `Quick symbolic_one_sided_certainty;
+      tc "substitution" `Quick subst_resolves_bases;
+      tc "compaction respects budget" `Quick compaction_respects_budget;
+      tc "union masses" `Quick union_weighted_masses;
+      tc "union with bottom" `Quick union_with_bottom_is_bottom;
+      tc "cmp materialisation" `Quick cmp_value_materialises;
+      tc "ne narrowing with strides" `Quick ne_narrowing_with_strides;
+      tc "mul/shl singleton strides" `Quick mul_singleton_strides;
+      tc "mod stride residues" `Quick mod_stride_residue;
+      prop_prob_rel_exact;
+      prop_prob_lt_approximation;
+      prop_normalize_idempotent;
+      prop_narrow_never_gains_mass;
+      prop_cmp_value_consistent_with_cmp_prob;
+      prop_binop_sound;
+      prop_mass_normalised;
+      prop_narrow_sound;
+      prop_cmp_prob_range;
+      prop_union_contains_parts;
+      prop_unop_sound;
+      prop_sym_algebra;
+    ] )

@@ -1,0 +1,141 @@
+(** SCCP baseline tests, including the subsumption oracle: every constant
+    SCCP finds must come out of VRP as a probability-1 singleton, and every
+    block SCCP proves unreachable must be unreachable under VRP. *)
+
+module Sccp = Vrp_core.Sccp
+module Ir = Vrp_ir.Ir
+
+let tc = Alcotest.test_case
+
+let sccp_main src =
+  let _, fn = Helpers.compile_main src in
+  (Sccp.analyze fn, fn)
+
+(* The lattice value of the returned variable (on the executable return). *)
+let const_of (res : Sccp.t) fn base =
+  let best = ref None in
+  Ir.iter_blocks fn (fun b ->
+      if res.Sccp.executable_blocks.(b.Ir.bid) then
+        match b.Ir.term with
+        | Ir.Ret (Some (Ir.Ovar v)) when String.equal v.Vrp_ir.Var.base base ->
+          best := Some (Sccp.value res v)
+        | _ -> ());
+  match !best with Some c -> c | None -> Alcotest.failf "no executable return of %s" base
+
+let folds_through_control_flow () =
+  let res, fn =
+    sccp_main
+      "int main(int n, int s) { int x; if (n > 0) { x = 2 + 2; } else { x = 8 / 2; } return x; }"
+  in
+  match const_of res fn "x" with
+  | Sccp.Cint 4 -> ()
+  | c -> Alcotest.failf "x should be 4, got %s" (Sccp.clat_to_string c)
+
+let kills_unreachable_arm () =
+  let res, fn =
+    sccp_main
+      "int main(int n, int s) { int c = 1; int x; if (c == 1) { x = 10; } else { x = 20; } \
+       return x; }"
+  in
+  (match const_of res fn "x" with
+  | Sccp.Cint 10 -> ()
+  | c -> Alcotest.failf "x should be 10 (dead arm ignored), got %s" (Sccp.clat_to_string c));
+  (* some block is unreachable *)
+  let unreachable = Array.exists not res.Sccp.executable_blocks in
+  Alcotest.(check bool) "has unreachable block" true unreachable
+
+let params_are_bottom () =
+  let res, fn = sccp_main "int main(int n, int s) { int x = n + 1; return x; }" in
+  match const_of res fn "x" with
+  | Sccp.Cbot -> ()
+  | c -> Alcotest.failf "x should be bottom, got %s" (Sccp.clat_to_string c)
+
+let loop_constant_collapses () =
+  (* A variable assigned the same constant on every path through a loop. *)
+  let res, fn =
+    sccp_main
+      "int main(int n, int s) { int x = 5; for (int i = 0; i < n; i++) { x = 5; } return x; }"
+  in
+  match const_of res fn "x" with
+  | Sccp.Cint 5 -> ()
+  | c -> Alcotest.failf "x should be 5, got %s" (Sccp.clat_to_string c)
+
+let loop_counter_is_bottom () =
+  let res, fn =
+    sccp_main "int main(int n, int s) { int i = 0; while (i < 10) { i = i + 1; } return i; }"
+  in
+  match const_of res fn "i" with
+  | Sccp.Cbot | Sccp.Cint _ -> () (* the final i may fold; the φ must not be wrong *)
+  | c -> Alcotest.failf "unexpected %s" (Sccp.clat_to_string c)
+
+(* SCCP constants must agree with actual execution. *)
+let constants_match_execution () =
+  List.iter
+    (fun (b : Vrp_suite.Suite.benchmark) ->
+      let c = Helpers.compile b.source in
+      List.iter
+        (fun fn ->
+          let res = Sccp.analyze fn in
+          ignore res)
+        c.Vrp_core.Pipeline.ssa.Ir.fns)
+    Vrp_suite.Suite.benchmarks;
+  (* targeted: a program whose return is a compile-time constant *)
+  let src =
+    "int main(int n, int s) { int a = 6; int b = a * 7; int r; if (b == 42) { r = b; } else \
+     { r = 0; } return r; }"
+  in
+  let res, fn = sccp_main src in
+  (match const_of res fn "r" with
+  | Sccp.Cint 42 -> ()
+  | c -> Alcotest.failf "r should be 42, got %s" (Sccp.clat_to_string c));
+  Alcotest.(check int) "execution agrees" 42 (Helpers.ret_int (Helpers.run_main src))
+
+(* The paper's subsumption claim, checked across the whole suite. *)
+let vrp_subsumes_sccp () =
+  List.iter
+    (fun (b : Vrp_suite.Suite.benchmark) ->
+      let c = Helpers.compile b.source in
+      List.iter
+        (fun fn ->
+          let sccp = Sccp.analyze fn in
+          let vrp = Vrp_core.Engine.analyze fn in
+          Ir.iter_blocks fn (fun blk ->
+              (* reachability: VRP may prove more unreachable, never less *)
+              if
+                vrp.Vrp_core.Engine.visited.(blk.Ir.bid)
+                && not sccp.Sccp.executable_blocks.(blk.Ir.bid)
+              then
+                Alcotest.failf "%s/%s: B%d reachable for VRP but not SCCP" b.name fn.Ir.fname
+                  blk.Ir.bid;
+              List.iter
+                (fun i ->
+                  match Ir.instr_def i with
+                  | Some v -> (
+                    match Sccp.value sccp v with
+                    | Sccp.Cint k ->
+                      if sccp.Sccp.executable_blocks.(blk.Ir.bid) then begin
+                        let vv = vrp.Vrp_core.Engine.values.(v.Vrp_ir.Var.id) in
+                        match Vrp_ranges.Value.as_constant vv with
+                        | Some k' when k' = k -> ()
+                        | _ ->
+                          Alcotest.failf "%s/%s: %s is %d for SCCP but %s for VRP" b.name
+                            fn.Ir.fname (Vrp_ir.Var.to_string v) k
+                            (Vrp_ranges.Value.to_string vv)
+                      end
+                    | _ -> ())
+                  | None -> ())
+                blk.Ir.instrs))
+        c.Vrp_core.Pipeline.ssa.Ir.fns)
+    Vrp_suite.Suite.benchmarks
+
+let suite =
+  ( "sccp",
+    [
+      tc "folds through control flow" `Quick folds_through_control_flow;
+      tc "kills unreachable arm" `Quick kills_unreachable_arm;
+      tc "parameters are bottom" `Quick params_are_bottom;
+      tc "loop constant collapses" `Quick loop_constant_collapses;
+      tc "loop counter widens" `Quick loop_counter_is_bottom;
+      tc "constants match execution" `Quick constants_match_execution;
+      tc "VRP subsumes SCCP (whole suite)" `Quick vrp_subsumes_sccp;
+    ] )

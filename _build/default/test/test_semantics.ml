@@ -1,0 +1,241 @@
+(** Targeted semantic agreement tests: for a matrix of small programs, the
+    static analysis' exact claims must agree with the interpreter, and the
+    interpreter must agree with OCaml's own arithmetic. Also covers the
+    geometric-derivation extension and engine corner cases. *)
+
+module Engine = Vrp_core.Engine
+module Value = Vrp_ranges.Value
+module Ir = Vrp_ir.Ir
+
+let tc = Alcotest.test_case
+
+(* Programs whose return value is a compile-time constant: VRP must find
+   exactly the value the interpreter computes. *)
+let constant_programs =
+  [
+    ("arith", "int main(int n, int s) { return 2 + 3 * 4 - 6 / 2; }");
+    ("shift-mask", "int main(int n, int s) { return ((1 << 10) - 1) & 3; }");
+    ("mod-chain", "int main(int n, int s) { return 1000 % 7 % 5; }");
+    ("neg", "int main(int n, int s) { return -(3 - 10); }");
+    ("bnot", "int main(int n, int s) { return ~(-1); }");
+    ( "branchy",
+      "int main(int n, int s) { int x = 10; int y; if (x > 5) { y = x * 2; } else { y = 0; \
+       } return y; }" );
+    ( "calls",
+      "int sq(int v) { return v * v; } int main(int n, int s) { return sq(3) + sq(3); }" );
+    ( "shortcircuit",
+      "int main(int n, int s) { int a = 1; int b = 0; if (a == 1 && b == 0) { return 42; } \
+       return 0; }" );
+    ( "nested-if",
+      "int main(int n, int s) { int a = 3; int b; if (a > 1) { if (a > 2) { b = 7; } else { \
+       b = 8; } } else { b = 9; } return b * a; }" );
+  ]
+
+let vrp_finds_interpreter_constants () =
+  List.iter
+    (fun (name, src) ->
+      let actual = Helpers.ret_int (Helpers.run_main ~args:[ 0; 0 ] src) in
+      let c = Helpers.compile src in
+      let ipa = Vrp_core.Interproc.analyze c.Vrp_core.Pipeline.ssa in
+      let res = Option.get (Vrp_core.Interproc.result ipa "main") in
+      match Value.as_constant res.Engine.return_value with
+      | Some k when k = actual -> ()
+      | Some k -> Alcotest.failf "%s: VRP says %d, runtime says %d" name k actual
+      | None ->
+        Alcotest.failf "%s: VRP failed to fold (got %s, runtime %d)" name
+          (Value.to_string res.Engine.return_value)
+          actual)
+    constant_programs
+
+(* Context-insensitive jump-function merging: sq(3) + sq(4) cannot fold (the
+   callee sees {3,4}), but the result must still contain the real value —
+   and procedure cloning recovers the constant. *)
+let context_merge_sound_and_cloning_recovers () =
+  let src = "int sq(int v) { return v * v; } int main(int n, int s) { return sq(3) + sq(4); }" in
+  let c = Helpers.compile src in
+  let ssa = c.Vrp_core.Pipeline.ssa in
+  let ipa = Vrp_core.Interproc.analyze ssa in
+  let res = Option.get (Vrp_core.Interproc.result ipa "main") in
+  Alcotest.(check bool) "contains 25" true
+    (Helpers.contains_int res.Engine.return_value 25);
+  Alcotest.(check (option int)) "not folded without cloning" None
+    (Value.as_constant res.Engine.return_value);
+  let cloned = Vrp_core.Clone.run ssa ipa in
+  let ipa2 = Vrp_core.Interproc.analyze cloned.Vrp_core.Clone.program in
+  let res2 = Option.get (Vrp_core.Interproc.result ipa2 "main") in
+  Alcotest.(check (option int)) "cloning recovers the constant" (Some 25)
+    (Value.as_constant res2.Engine.return_value)
+
+(* Exact loop-branch predictions across loop shapes: (source, expected). *)
+let loop_predictions =
+  [
+    ("int main(int n, int s) { int i; for (i = 0; i < 10; i++) { } return i; }", 10.0 /. 11.0);
+    ("int main(int n, int s) { int i; for (i = 10; i > 0; i = i - 1) { } return i; }", 10.0 /. 11.0);
+    ("int main(int n, int s) { int i; for (i = 0; i <= 9; i++) { } return i; }", 10.0 /. 11.0);
+    ("int main(int n, int s) { int i; for (i = 5; i < 100; i = i + 10) { } return i; }", 10.0 /. 11.0);
+    ("int main(int n, int s) { int i; for (i = 0; i != 8; i++) { } return i; }", 8.0 /. 9.0);
+  ]
+
+let loop_branch_predictions_exact () =
+  List.iter
+    (fun (src, expected) ->
+      match Helpers.analyze_main src with
+      | res -> (
+        match
+          Hashtbl.fold (fun _ p acc -> p :: acc) res.Engine.branch_probs []
+        with
+        | [ p ] -> Helpers.check_prob ~eps:1e-6 src expected p
+        | ps -> Alcotest.failf "%s: expected one branch, got %d" src (List.length ps))
+      | exception e -> Alcotest.failf "%s: %s" src (Printexc.to_string e))
+    loop_predictions
+
+(* The ≠ loop above also cross-checks against runtime behaviour. *)
+let loop_predictions_match_runtime () =
+  List.iter
+    (fun (src, _) ->
+      let res = Helpers.analyze_main src in
+      let observed =
+        (Vrp_profile.Interp.run (Helpers.compile src).Vrp_core.Pipeline.ssa ~args:[ 0; 0 ])
+          .Vrp_profile.Interp.profile
+      in
+      Hashtbl.iter
+        (fun bid p ->
+          match
+            Vrp_profile.Interp.observed_prob observed (res.Engine.fn.Ir.fname, bid)
+          with
+          | Some actual -> Helpers.check_prob ~eps:1e-6 src actual p
+          | None -> ())
+        res.Engine.branch_probs)
+    loop_predictions
+
+(* Geometric (multiplicative) induction: sound hull + heuristic branch. *)
+let geometric_derivation_hull () =
+  let src = "int main(int n, int s) { int w = 1; while (w < 1000) { w = w * 2; } return w; }" in
+  let res = Helpers.analyze_main src in
+  (* final w at runtime is 1024; the φ hull must contain every iterate *)
+  let actual = Helpers.ret_int (Helpers.run_main ~args:[ 0; 0 ] src) in
+  Alcotest.(check int) "runtime" 1024 actual;
+  let phi_value =
+    let found = ref Value.bottom in
+    Ir.iter_blocks res.Engine.fn (fun b ->
+        List.iter
+          (fun i ->
+            match i with
+            | Ir.Def (v, Ir.Phi _) when v.Vrp_ir.Var.base = "w" ->
+              found := res.Engine.values.(v.Vrp_ir.Var.id)
+            | _ -> ())
+          b.Ir.instrs);
+    !found
+  in
+  List.iter
+    (fun k ->
+      if not (Helpers.contains_int phi_value k) then
+        Alcotest.failf "hull misses %d (%s)" k (Value.to_string phi_value))
+    [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ];
+  (* the loop branch must NOT trust the even-distribution assumption *)
+  let bid =
+    let found = ref (-1) in
+    Ir.iter_blocks res.Engine.fn (fun b ->
+        match b.Ir.term with Ir.Br _ -> found := b.Ir.bid | _ -> ());
+    !found
+  in
+  Alcotest.(check bool) "geometric loop branch uses heuristics" true
+    (Engine.used_fallback res bid)
+
+let geometric_shl_form () =
+  let src = "int main(int n, int s) { int w = 2; while (w < 100) { w = w << 1; } return w; }" in
+  let res = Helpers.analyze_main src in
+  let actual = Helpers.ret_int (Helpers.run_main ~args:[ 0; 0 ] src) in
+  Alcotest.(check int) "runtime" 128 actual;
+  (* w's φ must not be ⊥: the derivation handled it *)
+  let phi_bottom = ref true in
+  Ir.iter_blocks res.Engine.fn (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Ir.Def (v, Ir.Phi _) when v.Vrp_ir.Var.base = "w" ->
+            phi_bottom := Value.is_bottom res.Engine.values.(v.Vrp_ir.Var.id)
+          | _ -> ())
+        b.Ir.instrs);
+  Alcotest.(check bool) "derived, not bottom" false !phi_bottom
+
+(* The materialised comparison value: t = (a < b) used later. *)
+let cmp_materialisation_in_program () =
+  let src =
+    "int main(int n, int s) {\n\
+     int hits = 0;\n\
+     for (int i = 0; i < 10; i++) {\n\
+     int flag = i < 5;\n\
+     if (flag == 1) { hits++; }\n\
+     }\n\
+     return hits; }"
+  in
+  let res = Helpers.analyze_main src in
+  let actual = Helpers.ret_int (Helpers.run_main ~args:[ 0; 0 ] src) in
+  Alcotest.(check int) "runtime" 5 actual;
+  (* the flag == 1 branch should be predicted at 50% (5 of 10) *)
+  let ok = ref false in
+  Hashtbl.iter (fun _ p -> if Float.abs (p -. 0.5) < 0.01 then ok := true) res.Engine.branch_probs;
+  Alcotest.(check bool) "flag branch at 50%" true !ok
+
+(* Division and modulo by possibly-zero values must not be folded. *)
+let division_never_folded_unsoundly () =
+  let src =
+    "int main(int n, int s) { int d = n % 3; if (d != 0) { return 100 / d; } return 0; }"
+  in
+  (* runtime check across several inputs *)
+  List.iter
+    (fun n ->
+      let r = Helpers.ret_int (Helpers.run_main ~args:[ n; 0 ] src) in
+      let d = n mod 3 in
+      Alcotest.(check int) "agrees" (if d <> 0 then 100 / d else 0) r)
+    [ 0; 1; 2; 5; 7 ];
+  (* and the analysis completes without claiming a constant *)
+  let res = Helpers.analyze_main src in
+  match Value.as_constant res.Engine.return_value with
+  | Some _ -> Alcotest.fail "return is input-dependent; folding it is wrong"
+  | None -> ()
+
+(* Interprocedural numeric-only mode still transports constants. *)
+let interproc_numeric_mode () =
+  let src =
+    "int f(int x) { return x * 3; } int main(int n, int s) { return f(7); }"
+  in
+  let c = Helpers.compile src in
+  let ipa =
+    Vrp_core.Interproc.analyze ~config:Engine.numeric_only_config c.Vrp_core.Pipeline.ssa
+  in
+  let res = Option.get (Vrp_core.Interproc.result ipa "main") in
+  Alcotest.(check (option int)) "folds through the call" (Some 21)
+    (Value.as_constant res.Engine.return_value)
+
+(* Branch on equal variables: x == x must be certain. *)
+let self_comparison_certain () =
+  let src = "int main(int n, int s) { if (n == n) { return 1; } return 0; }" in
+  let res = Helpers.analyze_main src in
+  let p = Hashtbl.fold (fun _ p _ -> Some p) res.Engine.branch_probs None in
+  match p with
+  | Some p -> Helpers.check_prob "n == n" 1.0 p
+  | None -> Alcotest.fail "missing branch"
+
+(* x - x is exactly zero even for unknown x (symbolic cancellation). *)
+let symbolic_cancellation () =
+  let src = "int main(int n, int s) { int z = n - n; if (z == 0) { return 1; } return 0; }" in
+  let res = Helpers.analyze_main src in
+  Alcotest.(check (option int)) "returns 1" (Some 1) (Value.as_constant res.Engine.return_value)
+
+let suite =
+  ( "semantics",
+    [
+      tc "VRP finds interpreter constants" `Quick vrp_finds_interpreter_constants;
+      tc "context merge sound; cloning folds" `Quick context_merge_sound_and_cloning_recovers;
+      tc "loop predictions exact" `Quick loop_branch_predictions_exact;
+      tc "loop predictions match runtime" `Quick loop_predictions_match_runtime;
+      tc "geometric derivation hull" `Quick geometric_derivation_hull;
+      tc "geometric shl form" `Quick geometric_shl_form;
+      tc "cmp materialisation" `Quick cmp_materialisation_in_program;
+      tc "division never folded unsoundly" `Quick division_never_folded_unsoundly;
+      tc "interproc numeric mode" `Quick interproc_numeric_mode;
+      tc "self comparison" `Quick self_comparison_certain;
+      tc "symbolic cancellation" `Quick symbolic_cancellation;
+    ] )

@@ -1,0 +1,110 @@
+(** Tests for the utility library: growable vectors, the deterministic PRNG,
+    statistics helpers. *)
+
+module Vec = Vrp_util.Vec
+module Prng = Vrp_util.Prng
+module Stats = Vrp_util.Stats
+
+let tc = Alcotest.test_case
+
+let vec_push_get () =
+  let v = Vec.create ~dummy:0 in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 7" 49 (Vec.get v 7);
+  Vec.set v 7 (-1);
+  Alcotest.(check int) "set 7" (-1) (Vec.get v 7)
+
+let vec_pop_clear () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  Alcotest.(check int) "pop" 3 (Vec.pop v);
+  Alcotest.(check (list int)) "to_list" [ 1; 2 ] (Vec.to_list v);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v)
+
+let vec_bounds () =
+  let v = Vec.of_list ~dummy:0 [ 1 ] in
+  (match Vec.get v 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bounds failure");
+  match Vec.pop (Vec.create ~dummy:0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected pop failure"
+
+let vec_iterators () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold" 10 (Vec.fold_left ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 3) v);
+  let doubled = Vec.map ~dummy:0 (fun x -> 2 * x) v in
+  Alcotest.(check (list int)) "map" [ 2; 4; 6; 8 ] (Vec.to_list doubled);
+  let sum = ref 0 in
+  Vec.iteri (fun i x -> sum := !sum + (i * x)) v;
+  Alcotest.(check int) "iteri" 20 !sum
+
+let prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let prng_ranges () =
+  let r = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "int out of range: %d" v;
+    let f = Prng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f;
+    let x = Prng.range r (-5) 5 in
+    if x < -5 || x > 5 then Alcotest.failf "range out of range: %d" x
+  done
+
+let prng_spreads () =
+  (* all values of a small range are hit *)
+  let r = Prng.create 3 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int r 8) <- true
+  done;
+  Array.iteri (fun i hit -> if not hit then Alcotest.failf "value %d never drawn" i) seen
+
+let stats_mean () =
+  Helpers.check_prob "mean empty" 0.0 (Stats.mean []);
+  Helpers.check_prob "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ])
+
+let stats_clamp () =
+  Helpers.check_prob "clamp low" 0.0 (Stats.clamp ~lo:0.0 ~hi:1.0 (-0.5));
+  Helpers.check_prob "clamp high" 1.0 (Stats.clamp ~lo:0.0 ~hi:1.0 2.0);
+  Helpers.check_prob "clamp mid" 0.25 (Stats.clamp ~lo:0.0 ~hi:1.0 0.25)
+
+let stats_least_squares_noise () =
+  (* near-linear data: slope recovered, r2 high *)
+  let pts = List.init 50 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 5.0)) in
+  let intercept, slope, r2 = Stats.least_squares pts in
+  Helpers.check_prob ~eps:1e-6 "slope" 3.0 slope;
+  Helpers.check_prob ~eps:1e-6 "intercept" 5.0 intercept;
+  Helpers.check_prob ~eps:1e-6 "r2" 1.0 r2
+
+let stats_degenerate () =
+  let _, _, r2 = Stats.least_squares [ (1.0, 1.0) ] in
+  Helpers.check_prob "single point" 0.0 r2;
+  let _, slope, _ = Stats.least_squares [ (2.0, 1.0); (2.0, 5.0) ] in
+  Helpers.check_prob "vertical" 0.0 slope
+
+let suite =
+  ( "util",
+    [
+      tc "vec: push/get/set" `Quick vec_push_get;
+      tc "vec: pop/clear" `Quick vec_pop_clear;
+      tc "vec: bounds" `Quick vec_bounds;
+      tc "vec: iterators" `Quick vec_iterators;
+      tc "prng: deterministic" `Quick prng_deterministic;
+      tc "prng: ranges" `Quick prng_ranges;
+      tc "prng: spreads" `Quick prng_spreads;
+      tc "stats: mean" `Quick stats_mean;
+      tc "stats: clamp" `Quick stats_clamp;
+      tc "stats: least squares" `Quick stats_least_squares_noise;
+      tc "stats: degenerate fits" `Quick stats_degenerate;
+    ] )

@@ -3,7 +3,11 @@
    Input programs come from a MiniC file or from the built-in benchmark
    suite (-b NAME). Subcommands expose each stage: AST and SSA dumps, value
    ranges, branch predictions, profiled execution, predictor-vs-observed
-   comparison, and the paper's client optimizations. *)
+   comparison, and the paper's client optimizations.
+
+   Exit codes: 0 success; 1 bad input program or internal analysis error;
+   2 usage error (no input given); 3 analysis degraded under --strict;
+   124 malformed command line (cmdliner's standard). *)
 
 open Cmdliner
 
@@ -11,6 +15,7 @@ module Ir = Vrp_ir.Ir
 module Engine = Vrp_core.Engine
 module Pipeline = Vrp_core.Pipeline
 module Interp = Vrp_profile.Interp
+module Diag = Vrp_diag.Diag
 
 (* --- Program source selection --- *)
 
@@ -35,20 +40,20 @@ let load_source file bench =
   | Some _, Some _ -> Error "give either FILE or -b NAME, not both"
   | None, None -> Error "no input: give a FILE or -b NAME"
 
+(* Compilation is total at this boundary: front-end errors, IR-check
+   violations and internal crashes all become a one-line message and exit 1
+   instead of an uncaught backtrace. *)
 let with_source file bench k =
   match load_source file bench with
   | Error msg ->
     prerr_endline ("vrpc: " ^ msg);
     exit 2
   | Ok source -> (
-    match Pipeline.compile source with
-    | compiled -> k compiled
-    | exception e -> (
-      match Vrp_lang.Front.describe_error e with
-      | Some msg ->
-        prerr_endline ("vrpc: " ^ msg);
-        exit 1
-      | None -> raise e))
+    match Pipeline.compile_result source with
+    | Ok compiled -> k compiled
+    | Error d ->
+      prerr_endline ("vrpc: " ^ d.Diag.message);
+      exit 1)
 
 (* --- Common arguments --- *)
 
@@ -75,6 +80,72 @@ let fn_arg =
 let config_of_flags numeric =
   if numeric then Engine.numeric_only_config else Engine.default_config
 
+(* --- Diagnostics / resilience options --- *)
+
+(* (diagnostics, strict, fault spec); shared by the analysis subcommands. *)
+let diag_args =
+  let diagnostics =
+    Arg.(
+      value & flag
+      & info [ "diagnostics" ]
+          ~doc:
+            "Print the structured diagnostics report (degradations, \
+             heuristic fallbacks, widenings) to stderr after the output.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit 3 when the analysis degraded: a function crashed, ran out \
+             of fuel or timed out and fell back to heuristics.")
+  in
+  let fault_conv =
+    let parse s =
+      match Diag.Fault.parse s with
+      | Ok f -> Ok f
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf f = Format.pp_print_string ppf (Diag.Fault.to_string f) in
+    Arg.conv (parse, print)
+  in
+  let fault =
+    (* Hidden from the manual's visible sections: a deterministic
+       fault-injection hook for exercising the degradation paths. *)
+    Arg.(
+      value
+      & opt (some fault_conv) None
+      & info [ "inject-fault" ] ~docv:"SPEC" ~docs:"TESTING (HIDDEN)"
+          ~doc:
+            "Inject a deterministic analysis fault: $(b,crash:FN), \
+             $(b,fuel:FN), $(b,timeout:FN) or $(b,steps:N).")
+  in
+  Term.(const (fun d s f -> (d, s, f)) $ diagnostics $ strict $ fault)
+
+(* Run [k] with a diagnostics report and a fault-patched engine config,
+   then render the report and apply --strict. *)
+let with_diag (diagnostics, strict, fault) config k =
+  let report = Diag.create () in
+  let config = { config with Engine.fault } in
+  k ~report ~config;
+  if diagnostics then prerr_string (Diag.render report);
+  if strict && Diag.degraded report then exit 3
+
+(* Branches the report attributes to heuristic fallback, for output
+   annotation: (fn, block) -> caused by degradation (vs ordinary ⊥). *)
+let fallback_branches report =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Diag.diag) ->
+      match (d.Diag.kind, d.Diag.loc.Diag.fn, d.Diag.loc.Diag.block) with
+      | Diag.Fallback_heuristic, Some fn, Some bid ->
+        let degraded = d.Diag.severity <> Diag.Info in
+        let prev = Option.value ~default:false (Hashtbl.find_opt tbl (fn, bid)) in
+        Hashtbl.replace tbl (fn, bid) (degraded || prev)
+      | _ -> ())
+    (Diag.to_list report);
+  tbl
+
 let select_fns (p : Ir.program) = function
   | None -> p.Ir.fns
   | Some name -> List.filter (fun (fn : Ir.fn) -> String.equal fn.Ir.fname name) p.Ir.fns
@@ -91,13 +162,17 @@ let dump_ir file bench fn_filter =
         (fun fn -> print_string (Ir.fn_to_string fn))
         (select_fns c.Pipeline.ssa fn_filter))
 
-let ranges file bench numeric fn_filter =
+let ranges file bench numeric fn_filter dopts =
   with_source file bench (fun c ->
-      let ipa = Vrp_core.Interproc.analyze ~config:(config_of_flags numeric) c.Pipeline.ssa in
+      with_diag dopts (config_of_flags numeric) (fun ~report ~config ->
+      let ipa = Vrp_core.Interproc.analyze ~config ~report c.Pipeline.ssa in
       List.iter
         (fun (fn : Ir.fn) ->
           match Vrp_core.Interproc.result ipa fn.Ir.fname with
-          | None -> Printf.printf "%s: unreachable from main\n" fn.Ir.fname
+          | None -> (
+            match Vrp_core.Interproc.failure ipa fn.Ir.fname with
+            | Some why -> Printf.printf "%s: analysis demoted (%s)\n" fn.Ir.fname why
+            | None -> Printf.printf "%s: unreachable from main\n" fn.Ir.fname)
           | Some res ->
             Printf.printf "function %s:\n" fn.Ir.fname;
             Ir.iter_blocks fn (fun b ->
@@ -109,24 +184,35 @@ let ranges file bench numeric fn_filter =
                         (Vrp_ranges.Value.to_string (Engine.value res v))
                     | Ir.Store _ -> ())
                   b.Ir.instrs))
-        (select_fns c.Pipeline.ssa fn_filter))
+        (select_fns c.Pipeline.ssa fn_filter)))
 
-let predict file bench numeric =
+let predict file bench numeric dopts =
   with_source file bench (fun c ->
-      let config = config_of_flags numeric in
-      let vrp, _ = Pipeline.vrp_predictions ~config c.Pipeline.ssa in
+      with_diag dopts (config_of_flags numeric) (fun ~report ~config ->
+      let vrp, _ = Pipeline.vrp_predictions ~config ~report c.Pipeline.ssa in
       let bl = Vrp_predict.Predictor.ball_larus c.Pipeline.ssa in
       let nf = Vrp_predict.Predictor.ninety_fifty c.Pipeline.ssa in
-      Printf.printf "%-28s %8s %12s %8s\n" "branch" "vrp" "ball-larus" "90/50";
+      let fb = fallback_branches report in
+      Printf.printf "%-28s %9s %12s %8s\n" "branch" "vrp" "ball-larus" "90/50";
       List.iter
         (fun (((fname, bid) as key), (br : Ir.branch)) ->
           let get tbl = Option.value ~default:Float.nan (Hashtbl.find_opt tbl key) in
-          Printf.printf "%-28s %7.1f%% %11.1f%% %7.1f%%\n"
+          let marker =
+            match Hashtbl.find_opt fb key with
+            | Some true -> "!"  (* degraded: crash / fuel / timeout *)
+            | Some false -> "*"  (* ordinary ⊥-range heuristic fallback *)
+            | None -> ""
+          in
+          Printf.printf "%-28s %7.1f%%%-1s %11.1f%% %7.1f%%\n"
             (Printf.sprintf "%s.B%d (%s %s %s)" fname bid (Ir.operand_to_string br.ba)
                (Vrp_lang.Ast.relop_to_string br.rel)
                (Ir.operand_to_string br.bb))
-            (100.0 *. get vrp) (100.0 *. get bl) (100.0 *. get nf))
-        (Vrp_predict.Predictor.branches c.Pipeline.ssa))
+            (100.0 *. get vrp) marker (100.0 *. get bl) (100.0 *. get nf))
+        (Vrp_predict.Predictor.branches c.Pipeline.ssa);
+      if Hashtbl.length fb > 0 then
+        Printf.printf
+          "(* = Ball–Larus fallback on ⊥ range, ! = degraded: crashed, \
+           fuel-starved or timed-out analysis)\n"))
 
 let run file bench args =
   with_source file bench (fun c ->
@@ -143,11 +229,13 @@ let run file bench args =
         Printf.printf "trap: %s\n" msg;
         exit 1)
 
-let compare file bench train_args ref_args =
+let compare file bench train_args ref_args dopts =
   with_source file bench (fun c ->
+      with_diag dopts Engine.default_config (fun ~report ~config ->
       let train = (Interp.run c.Pipeline.ssa ~args:train_args).Interp.profile in
       let observed = (Interp.run c.Pipeline.ssa ~args:ref_args).Interp.profile in
-      let predictors = Pipeline.all_predictors ~train c.Pipeline.ssa in
+      let predictors = Pipeline.all_predictors ~report ~config ~train c.Pipeline.ssa in
+      let fb = fallback_branches report in
       Printf.printf "%-24s %8s" "branch" "actual";
       List.iter (fun (name, _) -> Printf.printf " %12s" name) predictors;
       print_newline ();
@@ -161,7 +249,15 @@ let compare file bench train_args ref_args =
       List.iter
         (fun (((fname, bid) as key), (st : Interp.branch_stats)) ->
           let actual = float_of_int st.Interp.taken /. float_of_int st.Interp.total in
-          Printf.printf "%-24s %7.1f%%" (Printf.sprintf "%s.B%d" fname bid) (100.0 *. actual);
+          let marker =
+            match Hashtbl.find_opt fb key with
+            | Some true -> "!"
+            | Some false -> "*"
+            | None -> ""
+          in
+          Printf.printf "%-24s %7.1f%%"
+            (Printf.sprintf "%s.B%d%s" fname bid marker)
+            (100.0 *. actual);
           List.iter
             (fun (_, p) ->
               let v = Option.value ~default:Float.nan (Hashtbl.find_opt p key) in
@@ -175,12 +271,15 @@ let compare file bench train_args ref_args =
           Printf.printf "mean |error| %-12s unweighted %.2f pp, weighted %.2f pp\n" name
             (Vrp_evaluation.Error_analysis.mean_error ~weighted:false errs)
             (Vrp_evaluation.Error_analysis.mean_error ~weighted:true errs))
-        predictors)
+        predictors;
+      if Hashtbl.length fb > 0 then
+        Printf.printf
+          "(* = vrp used Ball–Larus fallback, ! = degraded analysis)\n"))
 
-let optimize file bench numeric =
+let optimize file bench numeric dopts =
   with_source file bench (fun c ->
-      let config = config_of_flags numeric in
-      let ipa = Vrp_core.Interproc.analyze ~config c.Pipeline.ssa in
+      with_diag dopts (config_of_flags numeric) (fun ~report ~config ->
+      let ipa = Vrp_core.Interproc.analyze ~config ~report c.Pipeline.ssa in
       List.iter
         (fun (fn : Ir.fn) ->
           match Vrp_core.Interproc.result ipa fn.Ir.fname with
@@ -192,12 +291,12 @@ let optimize file bench numeric =
             let rewritten = Vrp_core.Optimize.rewrite res in
             Printf.printf "  %d blocks -> %d blocks after rewrite\n"
               (Ir.num_blocks fn) (Ir.num_blocks rewritten))
-        c.Pipeline.ssa.Ir.fns)
+        c.Pipeline.ssa.Ir.fns))
 
-let bounds file bench numeric =
+let bounds file bench numeric dopts =
   with_source file bench (fun c ->
-      let config = config_of_flags numeric in
-      let ipa = Vrp_core.Interproc.analyze ~config c.Pipeline.ssa in
+      with_diag dopts (config_of_flags numeric) (fun ~report ~config ->
+      let ipa = Vrp_core.Interproc.analyze ~config ~report c.Pipeline.ssa in
       List.iter
         (fun (fn : Ir.fn) ->
           match Vrp_core.Interproc.result ipa fn.Ir.fname with
@@ -207,7 +306,7 @@ let bounds file bench numeric =
             if r.Vrp_core.Bounds_check.total > 0 then
               Printf.printf "function %-12s %d/%d bounds checks eliminated\n" fn.Ir.fname
                 r.Vrp_core.Bounds_check.eliminated r.Vrp_core.Bounds_check.total)
-        c.Pipeline.ssa.Ir.fns)
+        c.Pipeline.ssa.Ir.fns))
 
 let alias file bench =
   with_source file bench (fun c ->
@@ -224,10 +323,10 @@ let alias file bench =
                 (List.length r.Vrp_core.Alias.pairs))
         c.Pipeline.ssa.Ir.fns)
 
-let freq file bench numeric top =
+let freq file bench numeric top dopts =
   with_source file bench (fun c ->
-      let config = config_of_flags numeric in
-      let ipa = Vrp_core.Interproc.analyze ~config c.Pipeline.ssa in
+      with_diag dopts (config_of_flags numeric) (fun ~report ~config ->
+      let ipa = Vrp_core.Interproc.analyze ~config ~report c.Pipeline.ssa in
       let f = Vrp_core.Frequency.of_interproc c.Pipeline.ssa ipa in
       Printf.printf "function invocation frequencies (per run of main):\n";
       Hashtbl.iter
@@ -237,7 +336,7 @@ let freq file bench numeric top =
       List.iteri
         (fun i (fname, bid, v) ->
           if i < top then Printf.printf "  %-14s B%-4d %12.1f\n" fname bid v)
-        (Vrp_core.Frequency.hottest_blocks f))
+        (Vrp_core.Frequency.hottest_blocks f)))
 
 let dot file bench fn_filter annotate =
   with_source file bench (fun c ->
@@ -283,11 +382,11 @@ let dump_ir_cmd =
 
 let ranges_cmd =
   cmd_of "ranges" "Print the final value range of every SSA variable."
-    Term.(const ranges $ file_arg $ bench_arg $ numeric_arg $ fn_arg)
+    Term.(const ranges $ file_arg $ bench_arg $ numeric_arg $ fn_arg $ diag_args)
 
 let predict_cmd =
   cmd_of "predict" "Print branch probabilities from VRP and the heuristic baselines."
-    Term.(const predict $ file_arg $ bench_arg $ numeric_arg)
+    Term.(const predict $ file_arg $ bench_arg $ numeric_arg $ diag_args)
 
 let run_cmd =
   let args =
@@ -302,17 +401,17 @@ let run_cmd =
 let compare_cmd =
   let train = args_pair ~names:[ "train" ] ~doc:"Training input." ~default:(100, 1) in
   let ref_ = args_pair ~names:[ "reference" ] ~doc:"Reference input." ~default:(1000, 2) in
-  let wrap f b (tn, ts) (rn, rs) = compare f b [ tn; ts ] [ rn; rs ] in
+  let wrap f b (tn, ts) (rn, rs) dopts = compare f b [ tn; ts ] [ rn; rs ] dopts in
   cmd_of "compare" "Compare every predictor against observed branch behaviour."
-    Term.(const wrap $ file_arg $ bench_arg $ train $ ref_)
+    Term.(const wrap $ file_arg $ bench_arg $ train $ ref_ $ diag_args)
 
 let optimize_cmd =
   cmd_of "optimize" "Report and apply constant/copy subsumption and unreachable code."
-    Term.(const optimize $ file_arg $ bench_arg $ numeric_arg)
+    Term.(const optimize $ file_arg $ bench_arg $ numeric_arg $ diag_args)
 
 let bounds_cmd =
   cmd_of "bounds" "Report array bounds checks proven redundant by value ranges."
-    Term.(const bounds $ file_arg $ bench_arg $ numeric_arg)
+    Term.(const bounds $ file_arg $ bench_arg $ numeric_arg $ diag_args)
 
 let alias_cmd =
   cmd_of "alias" "Report array access pairs proven disjoint by value ranges."
@@ -323,7 +422,7 @@ let freq_cmd =
     Arg.(value & opt int 15 & info [ "top" ] ~docv:"N" ~doc:"How many hot blocks to list.")
   in
   cmd_of "freq" "Predicted block and function execution frequencies (paper section 6)."
-    Term.(const freq $ file_arg $ bench_arg $ numeric_arg $ top)
+    Term.(const freq $ file_arg $ bench_arg $ numeric_arg $ top $ diag_args)
 
 let dot_cmd =
   let annotate =

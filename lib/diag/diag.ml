@@ -1,0 +1,180 @@
+(** Structured diagnostics for the analysis stack (resilience layer).
+
+    The paper's central robustness claim is graceful degradation: any branch
+    whose range is ⊥ falls back to the Ball–Larus heuristics. This module
+    gives the *infrastructure* the same property at reporting granularity:
+    instead of dropping degradation events (silent budget bailouts) or
+    crashing the whole run (one diverging function), every layer appends
+    machine-readable diagnostics to a {!report} threaded through
+    [Engine.analyze], [Interproc.analyze] and [Pipeline.vrp_predictions].
+    A run's prediction map is always total; the report is the honest account
+    of which parts of it are exact VRP and which are degraded, and why.
+
+    The module is dependency-free so every layer (ranges, engine, pipeline,
+    CLI) can use it. *)
+
+type severity = Info | Warning | Error
+
+(** Machine-readable event classification. [Warning]-or-worse kinds mark
+    *degradation*: the run completed but some result is less precise than
+    the analysis could ideally deliver. *)
+type kind =
+  | Budget_exhausted  (** the engine's fuel ran out before the fixed point *)
+  | Timeout  (** the wall-clock governor tripped *)
+  | Widened  (** a value was forcibly widened to ⊥ (quota or growth cap) *)
+  | Analysis_crashed  (** a per-function analysis raised; function demoted *)
+  | Fallback_heuristic  (** a branch was predicted by Ball–Larus, not VRP *)
+  | Front_end_error  (** parse / type / IR-check failure *)
+  | Fault_injected  (** a deterministic test fault fired *)
+  | Note  (** free-form informational event *)
+
+type location = { fn : string option; block : int option }
+
+let no_loc = { fn = None; block = None }
+
+type diag = {
+  severity : severity;
+  kind : kind;
+  loc : location;
+  message : string;
+}
+
+(** A per-run collector. Diagnostics are kept in emission order. *)
+type report = { mutable rev_diags : diag list; mutable ndiags : int }
+
+let create () = { rev_diags = []; ndiags = 0 }
+
+let add report ?fn ?block severity kind message =
+  report.rev_diags <-
+    { severity; kind; loc = { fn; block }; message } :: report.rev_diags;
+  report.ndiags <- report.ndiags + 1
+
+let to_list report = List.rev report.rev_diags
+
+let count report = report.ndiags
+
+let count_kind report kind =
+  List.length (List.filter (fun d -> d.kind = kind) report.rev_diags)
+
+(** True when any diagnostic is [Warning] or worse — the run produced
+    results, but some of them are degraded. Drives [--strict]. *)
+let degraded report =
+  List.exists (fun d -> d.severity <> Info) report.rev_diags
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let kind_to_string = function
+  | Budget_exhausted -> "budget-exhausted"
+  | Timeout -> "timeout"
+  | Widened -> "widened"
+  | Analysis_crashed -> "analysis-crashed"
+  | Fallback_heuristic -> "fallback-heuristic"
+  | Front_end_error -> "front-end-error"
+  | Fault_injected -> "fault-injected"
+  | Note -> "note"
+
+let location_to_string loc =
+  match (loc.fn, loc.block) with
+  | None, _ -> ""
+  | Some fn, None -> fn
+  | Some fn, Some bid -> Printf.sprintf "%s.B%d" fn bid
+
+let diag_to_string d =
+  let loc = location_to_string d.loc in
+  Printf.sprintf "%s[%s]%s %s"
+    (severity_to_string d.severity)
+    (kind_to_string d.kind)
+    (if loc = "" then "" else " " ^ loc)
+    d.message
+
+(** Multi-line rendering: one line per distinct diagnostic (repeats — e.g.
+    the same widening re-reported by every interprocedural round — are
+    collapsed to a ×N count) plus a summary line. *)
+let render report =
+  let buf = Buffer.create 256 in
+  let diags = to_list report in
+  let counts : (diag, int) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun d ->
+      match Hashtbl.find_opt counts d with
+      | Some n -> Hashtbl.replace counts d (n + 1)
+      | None ->
+        Hashtbl.replace counts d 1;
+        order := d :: !order)
+    diags;
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (diag_to_string d);
+      (match Hashtbl.find_opt counts d with
+      | Some n when n > 1 -> Buffer.add_string buf (Printf.sprintf " (×%d)" n)
+      | _ -> ());
+      Buffer.add_char buf '\n')
+    (List.rev !order);
+  let warnings =
+    List.length (List.filter (fun d -> d.severity = Warning) diags)
+  in
+  let errors = List.length (List.filter (fun d -> d.severity = Error) diags) in
+  Buffer.add_string buf
+    (Printf.sprintf "%d diagnostic%s (%d warning%s, %d error%s)%s\n"
+       report.ndiags
+       (if report.ndiags = 1 then "" else "s")
+       warnings
+       (if warnings = 1 then "" else "s")
+       errors
+       (if errors = 1 then "" else "s")
+       (if degraded report then "; run degraded" else ""));
+  Buffer.contents buf
+
+(** Deterministic fault injection, used by the tests and a hidden CLI flag
+    to prove every degradation path actually degrades instead of crashing.
+    Faults are pure configuration — no global state, no randomness. *)
+module Fault = struct
+  type t =
+    | Crash_fn of string
+        (** raise {!Injected} while analysing this function *)
+    | Starve_fuel of string
+        (** give this function's analysis almost no fuel *)
+    | Timeout_fn of string
+        (** trip the wall-clock governor immediately in this function *)
+    | Trip_after of int
+        (** raise {!Injected} after N engine steps in any function *)
+
+  exception Injected of string
+
+  let to_string = function
+    | Crash_fn fn -> "crash:" ^ fn
+    | Starve_fuel fn -> "fuel:" ^ fn
+    | Timeout_fn fn -> "timeout:" ^ fn
+    | Trip_after n -> "steps:" ^ string_of_int n
+
+  (** Parse a CLI spec: [crash:FN], [fuel:FN], [timeout:FN] or [steps:N]. *)
+  let parse spec =
+    match String.index_opt spec ':' with
+    | None ->
+      Result.Error
+        (Printf.sprintf
+           "bad fault spec %S: want crash:FN, fuel:FN, timeout:FN or steps:N"
+           spec)
+    | Some i -> (
+      let key = String.sub spec 0 i in
+      let arg = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match key with
+      | _ when arg = "" -> Result.Error (Printf.sprintf "bad fault spec %S: empty argument" spec)
+      | "crash" -> Result.Ok (Crash_fn arg)
+      | "fuel" -> Result.Ok (Starve_fuel arg)
+      | "timeout" -> Result.Ok (Timeout_fn arg)
+      | "steps" -> (
+        match int_of_string_opt arg with
+        | Some n when n >= 0 -> Result.Ok (Trip_after n)
+        | Some _ | None ->
+          Result.Error (Printf.sprintf "bad fault spec %S: steps wants a count >= 0" spec))
+      | _ ->
+        Result.Error
+          (Printf.sprintf
+             "bad fault spec %S: unknown fault %S (want crash, fuel, timeout or steps)"
+             spec key))
+end

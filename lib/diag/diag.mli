@@ -1,0 +1,70 @@
+(** Structured diagnostics for the analysis stack (resilience layer): a
+    per-run collector of machine-readable degradation events threaded
+    through the engine, the interprocedural driver and the pipeline, plus
+    deterministic fault injection for the tests and the CLI. The prediction
+    map stays total; the report says what degraded and why. *)
+
+type severity = Info | Warning | Error
+
+(** [Warning]-or-worse kinds mark degradation: the run completed but some
+    result is less precise than the analysis could ideally deliver. *)
+type kind =
+  | Budget_exhausted  (** the engine's fuel ran out before the fixed point *)
+  | Timeout  (** the wall-clock governor tripped *)
+  | Widened  (** a value was forcibly widened to ⊥ (quota or growth cap) *)
+  | Analysis_crashed  (** a per-function analysis raised; function demoted *)
+  | Fallback_heuristic  (** a branch was predicted by Ball–Larus, not VRP *)
+  | Front_end_error  (** parse / type / IR-check failure *)
+  | Fault_injected  (** a deterministic test fault fired *)
+  | Note  (** free-form informational event *)
+
+type location = { fn : string option; block : int option }
+
+val no_loc : location
+
+type diag = {
+  severity : severity;
+  kind : kind;
+  loc : location;
+  message : string;
+}
+
+(** A per-run collector; diagnostics are kept in emission order. *)
+type report
+
+val create : unit -> report
+val add : report -> ?fn:string -> ?block:int -> severity -> kind -> string -> unit
+val to_list : report -> diag list
+val count : report -> int
+val count_kind : report -> kind -> int
+
+(** True when any diagnostic is [Warning] or worse. Drives [--strict]. *)
+val degraded : report -> bool
+
+val severity_to_string : severity -> string
+val kind_to_string : kind -> string
+val location_to_string : location -> string
+val diag_to_string : diag -> string
+
+(** One line per diagnostic plus a summary line. *)
+val render : report -> string
+
+(** Deterministic fault injection: pure configuration, no global state. *)
+module Fault : sig
+  type t =
+    | Crash_fn of string
+        (** raise {!Injected} while analysing this function *)
+    | Starve_fuel of string
+        (** give this function's analysis almost no fuel *)
+    | Timeout_fn of string
+        (** trip the wall-clock governor immediately in this function *)
+    | Trip_after of int
+        (** raise {!Injected} after N engine steps in any function *)
+
+  exception Injected of string
+
+  val to_string : t -> string
+
+  (** Parse a CLI spec: [crash:FN], [fuel:FN], [timeout:FN] or [steps:N]. *)
+  val parse : string -> (t, string) result
+end

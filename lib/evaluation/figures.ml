@@ -77,19 +77,19 @@ type complexity_point = {
 
 (** Analyse one program and record its complexity metrics. *)
 let complexity_of ~label (ssa : Ir.program) : complexity_point =
-  Vrp_ranges.Counters.reset ();
-  let evaluations =
-    List.fold_left
-      (fun acc fn ->
-        let res = Engine.analyze fn in
-        acc + res.Engine.evaluations)
-      0 ssa.Ir.fns
+  let evaluations, counters =
+    Vrp_ranges.Counters.with_counters (fun () ->
+        List.fold_left
+          (fun acc fn ->
+            let res = Engine.analyze fn in
+            acc + res.Engine.evaluations)
+          0 ssa.Ir.fns)
   in
   {
     label;
     instructions = Ir.program_size ssa;
     evaluations;
-    sub_operations = Vrp_ranges.Counters.read ();
+    sub_operations = counters.Vrp_ranges.Counters.sub_ops;
   }
 
 (** The complexity sweep: every suite benchmark plus generated programs of

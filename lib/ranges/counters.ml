@@ -1,15 +1,71 @@
-(** Instrumentation counters for the paper's complexity figures.
+(** Instrumentation counters for the paper's complexity figures and the
+    resilience layer's governors.
 
     Figure 5 plots the number of {e expression evaluations} (counted by the
     propagation engine) and Figure 6 the number of {e evaluation
     sub-operations} — the primitive operations on pairs of ranges — against
-    program size. Every range-pair primitive in this library ticks
-    [sub_ops]. *)
+    program size. Every range-pair primitive in this library ticks the
+    sub-operation counter.
 
-let sub_ops = ref 0
+    Counters used to be a single global [ref], which meant nested or
+    interleaved analyses (interprocedural rounds re-entering the engine, an
+    evaluation harness wrapping a pipeline run) smeared each other's
+    figures. They are now {e scoped frames} returned by value: every
+    {!with_counters} call opens a fresh frame, events tick all open frames,
+    and the caller gets its own frame's totals back. Nested scopes therefore
+    see their own work included in the enclosing scope's totals (as they
+    should) while sibling scopes stay fully isolated. *)
 
-let tick () = incr sub_ops
+type t = {
+  mutable evaluations : int;  (** engine expression evaluations (Figure 5) *)
+  mutable sub_ops : int;  (** range-pair primitives (Figure 6) *)
+  mutable widenings : int;  (** forced widenings to ⊥ (quota / growth cap) *)
+  mutable fuel_exhaustions : int;  (** engine runs that ran out of fuel *)
+}
 
-let reset () = sub_ops := 0
+let zero () = { evaluations = 0; sub_ops = 0; widenings = 0; fuel_exhaustions = 0 }
 
-let read () = !sub_ops
+let copy c =
+  {
+    evaluations = c.evaluations;
+    sub_ops = c.sub_ops;
+    widenings = c.widenings;
+    fuel_exhaustions = c.fuel_exhaustions;
+  }
+
+(* The root frame is always open so legacy [reset]/[read] keep working; the
+   tail of the list is scoped frames, innermost first. *)
+let root = zero ()
+
+let frames : t list ref = ref []
+
+let with_counters f =
+  let frame = zero () in
+  frames := frame :: !frames;
+  let result =
+    Fun.protect ~finally:(fun () -> frames := List.tl !frames) f
+  in
+  (result, frame)
+
+let each g =
+  g root;
+  List.iter g !frames
+
+let tick () = each (fun c -> c.sub_ops <- c.sub_ops + 1)
+
+let record_evaluation () = each (fun c -> c.evaluations <- c.evaluations + 1)
+
+let record_widening () = each (fun c -> c.widenings <- c.widenings + 1)
+
+let record_fuel_exhaustion () =
+  each (fun c -> c.fuel_exhaustions <- c.fuel_exhaustions + 1)
+
+(* --- Legacy root-frame interface (pre-frame callers) --- *)
+
+let reset () =
+  root.evaluations <- 0;
+  root.sub_ops <- 0;
+  root.widenings <- 0;
+  root.fuel_exhaustions <- 0
+
+let read () = root.sub_ops

@@ -16,6 +16,7 @@
 module Ir = Vrp_ir.Ir
 module Var = Vrp_ir.Var
 module Value = Vrp_ranges.Value
+module Diag = Vrp_diag.Diag
 
 type t = {
   program : Ir.program;  (** the cloned program *)
@@ -42,9 +43,12 @@ let signature (args : Value.t list) = String.concat "|" (List.map Value.to_strin
 
 (** Decide and apply cloning, driven by a prior interprocedural analysis.
     Functions are cloned when at least two call-site groups disagree on some
-    argument's value. *)
-let run ?(max_clones_per_fn = default_max_clones_per_fn) (program : Ir.program)
-    (ipa : Interproc.t) : t =
+    argument's value. Functions demoted by the analysis (in
+    [ipa.failed]) have no results to group and are left alone — cloning
+    degrades to a no-op for them instead of failing. [report] records each
+    clone decision. *)
+let run ?(max_clones_per_fn = default_max_clones_per_fn) ?report
+    (program : Ir.program) (ipa : Interproc.t) : t =
   let origin_of = Hashtbl.create 8 in
   (* Collect, per callee, the signatures seen at executable call sites. *)
   let contexts : (string, (string, Value.t list) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
@@ -85,6 +89,12 @@ let run ?(max_clones_per_fn = default_max_clones_per_fn) (program : Ir.program)
               incr n_clones;
               clones := copy_fn fn ~name:cname :: !clones)
             (List.sort compare sigs);
+          (match report with
+          | Some r ->
+            Diag.add r ~fn:callee Diag.Info Diag.Note
+              (Printf.sprintf "cloned into %d calling-context variants"
+                 (List.length sigs))
+          | None -> ());
           Hashtbl.replace clone_plan callee plan
       end)
     contexts;

@@ -3,6 +3,7 @@
     duplicated per context and the call sites retargeted. *)
 
 module Ir = Vrp_ir.Ir
+module Diag = Vrp_diag.Diag
 
 type t = {
   program : Ir.program;  (** the cloned program *)
@@ -12,5 +13,8 @@ type t = {
 
 val default_max_clones_per_fn : int
 
-(** Decide and apply cloning, driven by a prior interprocedural analysis. *)
-val run : ?max_clones_per_fn:int -> Ir.program -> Interproc.t -> t
+(** Decide and apply cloning, driven by a prior interprocedural analysis.
+    Demoted (crashed) functions are left alone; [report] records each clone
+    decision. *)
+val run :
+  ?max_clones_per_fn:int -> ?report:Diag.report -> Ir.program -> Interproc.t -> t

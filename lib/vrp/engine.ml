@@ -31,7 +31,9 @@ module Var = Vrp_ir.Var
 module Loops = Vrp_ir.Loops
 module Value = Vrp_ranges.Value
 module Config = Vrp_ranges.Config
+module Counters = Vrp_ranges.Counters
 module Heuristics = Vrp_predict.Heuristics
+module Diag = Vrp_diag.Diag
 
 type fallback = Heuristic | Even
 
@@ -52,6 +54,19 @@ type config = {
           loop-variable distributions are badly biased *)
   flow_first : bool;  (** prefer the FlowWorkList (paper §3.3 step 2) *)
   fallback : fallback;
+  fuel : int option;
+      (** explicit worklist-step budget; [None] derives one from function
+          size. Exhaustion is never silent: it is flagged in the result
+          record and surfaced as a {!Diag.Budget_exhausted} diagnostic *)
+  time_limit_s : float option;
+      (** wall-clock governor: stop draining (keeping partial results) once
+          the analysis of this function has run this many seconds *)
+  max_growth : int;
+      (** per-variable range-set growth cap: a value whose range set grows
+          past this many ranges is widened to ⊥ (backstop behind
+          {!Vrp_ranges.Config.max_ranges}, which ablation sweeps can raise) *)
+  fault : Diag.Fault.t option;
+      (** deterministic fault injection for tests and the hidden CLI flag *)
 }
 
 let default_config =
@@ -63,6 +78,10 @@ let default_config =
     trip_prior = 10.0;
     flow_first = true;
     fallback = Heuristic;
+    fuel = None;
+    time_limit_s = None;
+    max_growth = 32;
+    fault = None;
   }
 
 let numeric_only_config = { default_config with symbolic = false }
@@ -80,6 +99,11 @@ type t = {
   calls_seen : ((int * int) * (string * Value.t list)) list;
       (** executable call sites (block, index) with latest argument values *)
   return_value : Value.t;  (** merged over executable returns *)
+  fuel_limit : int;  (** the step budget this run was given *)
+  fuel_spent : int;  (** worklist steps actually taken *)
+  fuel_exhausted : bool;  (** ran out of fuel before the fixed point *)
+  timed_out : bool;  (** the wall-clock governor tripped *)
+  widenings : int;  (** values forcibly widened to ⊥ (quota / growth cap) *)
 }
 
 let value t (v : Var.t) = t.values.(v.Var.id)
@@ -118,7 +142,14 @@ type state = {
   calls : (int * int, string * Value.t list) Hashtbl.t;
   call_oracle : string -> Value.t list -> Value.t;
   assert_root : (int, Var.t) Hashtbl.t;  (** memoised assertion-chain roots *)
+  report : Diag.report option;  (** structured diagnostics sink, if any *)
+  mutable widenings : int;  (** forced widenings this run *)
 }
+
+let diag st ?block severity kind message =
+  match st.report with
+  | Some r -> Diag.add r ~fn:st.sfn.Ir.fname ?block severity kind message
+  | None -> ()
 
 let edge_probability st e = Option.value ~default:0.0 (Hashtbl.find_opt st.edge_prob e)
 
@@ -247,14 +278,40 @@ let register_extra_use st (dep : Var.t) site =
 (* Record a new value for [v]; returns true when it changed. The quota
    counts *changes*: a value that keeps moving is a non-inductive
    loop-carried range and is widened to ⊥ (after which it never changes
-   again), guaranteeing termination. *)
+   again), guaranteeing termination. Forced widenings — quota or range-set
+   growth cap — are counted and reported instead of happening silently. *)
 let set_value st (v : Var.t) (value : Value.t) : bool =
   let vid = v.Var.id in
   if Value.equal st.vals.(vid) value then false
   else begin
     st.eval_counts.(vid) <- st.eval_counts.(vid) + 1;
+    let widen reason =
+      st.widenings <- st.widenings + 1;
+      Vrp_ranges.Counters.record_widening ();
+      let block =
+        match Hashtbl.find_opt st.def_site vid with
+        | Some (bid, _) -> Some bid
+        | None -> None
+      in
+      diag st ?block Diag.Info Diag.Widened
+        (Printf.sprintf "%s widened to ⊥: %s" (Var.to_string v) reason);
+      Value.bottom
+    in
     let value =
-      if st.eval_counts.(vid) > st.cfg.eval_quota then Value.bottom else value
+      if st.eval_counts.(vid) > st.cfg.eval_quota then begin
+        if Value.is_bottom value then value
+        else
+          widen
+            (Printf.sprintf "exceeded the %d-change evaluation quota"
+               st.cfg.eval_quota)
+      end
+      else
+        match value with
+        | Value.Ranges rs when List.length rs > st.cfg.max_growth ->
+          widen
+            (Printf.sprintf "range set grew to %d ranges (cap %d)"
+               (List.length rs) st.cfg.max_growth)
+        | Value.Top | Value.Bottom | Value.Ranges _ -> value
     in
     if Value.equal st.vals.(vid) value then false
     else begin
@@ -263,6 +320,10 @@ let set_value st (v : Var.t) (value : Value.t) : bool =
       true
     end
   end
+
+let record_eval st =
+  st.evals <- st.evals + 1;
+  Counters.record_evaluation ()
 
 (* --- Expression evaluation --- *)
 
@@ -371,7 +432,7 @@ let try_derive st ~bid ~site (v : Var.t) (args : (int * Ir.operand) list) : bool
         Hashtbl.replace st.derived v.Var.id value;
         if even_distribution then Hashtbl.remove st.uneven v.Var.id
         else Hashtbl.replace st.uneven v.Var.id ();
-        st.evals <- st.evals + 1;
+        record_eval st;
         ignore (set_value st v value);
         true
       | None ->
@@ -390,7 +451,7 @@ let eval_instr st ~bid ~idx (instr : Ir.instr) =
       | _ -> false
     in
     if not handled then begin
-      st.evals <- st.evals + 1;
+      record_eval st;
       let value = eval_rhs st ~bid ~site:(Instr idx) v rhs in
       ignore (set_value st v value)
     end
@@ -407,7 +468,7 @@ let eval_term st ~bid (term : Ir.term) =
     if not (edge_executable st (bid, dst)) then Queue.add (bid, dst) st.flow_list
   | Ir.Ret _ -> ()
   | Ir.Br { rel; ba; bb; tdst; fdst } ->
-    st.evals <- st.evals + 1;
+    record_eval st;
     let va = resolve st (operand_value st ~symbolic_copy:true ba) in
     let vb = resolve st (operand_value st ~symbolic_copy:true bb) in
     (* A branch on an unevenly-distributed derived range (geometric
@@ -502,13 +563,39 @@ let build_uses (fn : Ir.fn) =
 
 (* --- Top-level driver --- *)
 
+(* How much fuel a starved (fault-injected) analysis gets: enough to start,
+   never enough to finish a function with a loop. *)
+let starvation_fuel = 4
+
 (** Analyse one function. [param_values] are the ranges of the formal
     parameters (⊥ by default, i.e. unknown input); [call_oracle] supplies
     return-value ranges for calls (⊥ by default — the intraprocedural
-    setting). *)
-let analyze ?(config = default_config)
+    setting). [report] collects structured diagnostics; degradation
+    (fuel exhaustion, timeout, forced widening) is additionally flagged in
+    the result record.
+    @raise Diag.Fault.Injected under crash fault injection. *)
+let analyze ?(config = default_config) ?report
     ?(call_oracle = fun _ _ -> Value.bottom)
     ?(param_values : Value.t list option) (fn : Ir.fn) : t =
+  (* Resolve fault injection against this function. *)
+  let fname = fn.Ir.fname in
+  (match config.fault with
+  | Some (Diag.Fault.Crash_fn f) when String.equal f fname ->
+    raise (Diag.Fault.Injected (Printf.sprintf "injected crash in %s" fname))
+  | _ -> ());
+  let starved =
+    match config.fault with
+    | Some (Diag.Fault.Starve_fuel f) -> String.equal f fname
+    | _ -> false
+  in
+  let forced_timeout =
+    match config.fault with
+    | Some (Diag.Fault.Timeout_fn f) -> String.equal f fname
+    | _ -> false
+  in
+  let trip_after =
+    match config.fault with Some (Diag.Fault.Trip_after n) -> Some n | _ -> None
+  in
   let loops = Loops.compute fn in
   let uses, def_site = build_uses fn in
   let st =
@@ -538,6 +625,8 @@ let analyze ?(config = default_config)
       calls = Hashtbl.create 16;
       call_oracle;
       assert_root = Hashtbl.create 64;
+      report;
+      widenings = 0;
     }
   in
   (* Parameters: supplied ranges, or ⊥ (program input). *)
@@ -552,34 +641,90 @@ let analyze ?(config = default_config)
        fn.Ir.params pvals
    with Invalid_argument _ -> invalid_arg "Engine.analyze: arity mismatch");
   visit_block st Ir.entry_bid;
-  (* Drain the worklists. *)
-  let budget = ref (max 100_000 (200 * Ir.fn_size fn)) in
-  let rec drain () =
-    if !budget <= 0 then ()
+  (* Drain the worklists under explicit fuel accounting: every worklist step
+     costs one unit of fuel, and running out is flagged — never silent. *)
+  let fuel_limit =
+    let base =
+      match config.fuel with
+      | Some n -> max 0 n
+      | None -> max 100_000 (200 * Ir.fn_size fn)
+    in
+    if starved then min base starvation_fuel else base
+  in
+  let deadline =
+    if forced_timeout then Some neg_infinity
+    else
+      match config.time_limit_s with
+      | Some limit -> Some (Sys.time () +. limit)
+      | None -> None
+  in
+  let fuel = ref fuel_limit in
+  let exhausted = ref false in
+  let timed_out = ref false in
+  let take_flow () =
+    if Queue.is_empty st.flow_list then false
     else begin
-      decr budget;
-      let take_flow () =
-        if Queue.is_empty st.flow_list then false
-        else begin
-          process_flow_edge st (Queue.pop st.flow_list);
-          true
-        end
-      in
-      let take_ssa () =
-        if Queue.is_empty st.ssa_list then false
-        else begin
-          process_ssa_site st (Queue.pop st.ssa_list);
-          true
-        end
-      in
+      process_flow_edge st (Queue.pop st.flow_list);
+      true
+    end
+  in
+  let take_ssa () =
+    if Queue.is_empty st.ssa_list then false
+    else begin
+      process_ssa_site st (Queue.pop st.ssa_list);
+      true
+    end
+  in
+  let stop = ref false in
+  while
+    (not !stop)
+    && not (Queue.is_empty st.flow_list && Queue.is_empty st.ssa_list)
+  do
+    if !fuel <= 0 then begin
+      exhausted := true;
+      stop := true
+    end
+    else if
+      match deadline with Some d -> Sys.time () > d | None -> false
+    then begin
+      timed_out := true;
+      stop := true
+    end
+    else begin
+      (match trip_after with
+      | Some n when fuel_limit - !fuel >= n ->
+        raise
+          (Diag.Fault.Injected
+             (Printf.sprintf "injected trip after %d steps in %s" n fname))
+      | _ -> ());
+      decr fuel;
       let progressed =
         if config.flow_first then take_flow () || take_ssa ()
         else take_ssa () || take_flow ()
       in
-      if progressed then drain ()
+      ignore progressed
     end
-  in
-  drain ();
+  done;
+  let fuel_spent = fuel_limit - !fuel in
+  if !exhausted then begin
+    Vrp_ranges.Counters.record_fuel_exhaustion ();
+    if starved then
+      diag st Diag.Info Diag.Fault_injected "fuel starved by injected fault";
+    diag st Diag.Warning Diag.Budget_exhausted
+      (Printf.sprintf
+         "fuel exhausted after %d steps (%d flow / %d ssa items pending); \
+          results are partial"
+         fuel_spent
+         (Queue.length st.flow_list)
+         (Queue.length st.ssa_list))
+  end;
+  if !timed_out then begin
+    if forced_timeout then
+      diag st Diag.Info Diag.Fault_injected "timeout tripped by injected fault";
+    diag st Diag.Warning Diag.Timeout
+      (Printf.sprintf
+         "wall-clock limit hit after %d steps; results are partial" fuel_spent)
+  end;
   (* Collect the merged return value over executable returns. *)
   let returns = ref [] in
   Ir.iter_blocks fn (fun b ->
@@ -603,4 +748,9 @@ let analyze ?(config = default_config)
     evaluations = st.evals;
     calls_seen = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.calls [];
     return_value;
+    fuel_limit;
+    fuel_spent;
+    fuel_exhausted = !exhausted;
+    timed_out = !timed_out;
+    widenings = st.widenings;
   }

@@ -7,6 +7,7 @@
 module Ir = Vrp_ir.Ir
 module Var = Vrp_ir.Var
 module Value = Vrp_ranges.Value
+module Diag = Vrp_diag.Diag
 
 type fallback = Heuristic | Even
 
@@ -18,6 +19,12 @@ type config = {
   trip_prior : float;  (** assumed back-edge/entry frequency ratio at φs *)
   flow_first : bool;  (** prefer the FlowWorkList (paper §3.3 step 2) *)
   fallback : fallback;
+  fuel : int option;
+      (** explicit worklist-step budget; [None] derives one from function
+          size. Exhaustion is flagged in the result and diagnosed *)
+  time_limit_s : float option;  (** wall-clock governor (partial results) *)
+  max_growth : int;  (** per-variable range-set size cap before widening *)
+  fault : Diag.Fault.t option;  (** deterministic fault injection *)
 }
 
 val default_config : config
@@ -36,6 +43,11 @@ type t = {
   calls_seen : ((int * int) * (string * Value.t list)) list;
       (** executable call sites (block, index) with latest argument values *)
   return_value : Value.t;  (** merged over executable returns *)
+  fuel_limit : int;  (** the step budget this run was given *)
+  fuel_spent : int;  (** worklist steps actually taken *)
+  fuel_exhausted : bool;  (** ran out of fuel before the fixed point *)
+  timed_out : bool;  (** the wall-clock governor tripped *)
+  widenings : int;  (** values forcibly widened to ⊥ (quota / growth cap) *)
 }
 
 val value : t -> Var.t -> Value.t
@@ -44,9 +56,12 @@ val used_fallback : t -> int -> bool
 
 (** Analyse one function. [param_values] are the formal parameters' ranges
     (⊥ by default = unknown program input); [call_oracle] supplies return
-    ranges for calls (⊥ by default — the intraprocedural setting). *)
+    ranges for calls (⊥ by default — the intraprocedural setting); [report]
+    collects structured diagnostics for the run.
+    @raise Diag.Fault.Injected under crash fault injection. *)
 val analyze :
   ?config:config ->
+  ?report:Diag.report ->
   ?call_oracle:(string -> Value.t list -> Value.t) ->
   ?param_values:Value.t list ->
   Ir.fn ->

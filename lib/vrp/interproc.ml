@@ -18,15 +18,21 @@
 
 module Ir = Vrp_ir.Ir
 module Value = Vrp_ranges.Value
+module Diag = Vrp_diag.Diag
 
 type t = {
   results : (string, Engine.t) Hashtbl.t;  (** per reachable function *)
+  failed : (string, string) Hashtbl.t;
+      (** functions whose analysis raised, with the reason: demoted to the
+          heuristic predictor by the pipeline, never re-analysed this run *)
   param_env : (string, Value.t list) Hashtbl.t;
   return_env : (string, Value.t) Hashtbl.t;
   rounds : int;  (** rounds actually executed *)
 }
 
 let result t fname = Hashtbl.find_opt t.results fname
+
+let failure t fname = Hashtbl.find_opt t.failed fname
 
 let default_max_rounds = 5
 
@@ -41,11 +47,17 @@ let env_equal (a : (string, Value.t list) Hashtbl.t) (b : (string, Value.t list)
          | None -> false)
        a true
 
-(** Whole-program analysis, entered at [main]. *)
-let analyze ?(config = Engine.default_config) ?(max_rounds = default_max_rounds)
-    (program : Ir.program) : t =
+(** Whole-program analysis, entered at [main]. Per-function fault
+    containment: a function whose [Engine.analyze] raises (divergence guard,
+    injected fault, internal bug) is recorded in [failed] with an
+    [Analysis_crashed] diagnostic and excluded from the environments — the
+    rest of the program is still analysed, and the pipeline demotes just
+    that function to the heuristic predictor. *)
+let analyze ?(config = Engine.default_config) ?report
+    ?(max_rounds = default_max_rounds) (program : Ir.program) : t =
   let param_env : (string, Value.t list) Hashtbl.t = Hashtbl.create 16 in
   let return_env : (string, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let failed : (string, string) Hashtbl.t = Hashtbl.create 4 in
   (match Ir.find_fn program "main" with
   | Some main ->
     Hashtbl.replace param_env "main" (List.map (fun _ -> Value.bottom) main.Ir.params)
@@ -96,13 +108,31 @@ let analyze ?(config = Engine.default_config) ?(max_rounds = default_max_rounds)
       if not (Hashtbl.mem analyzed name) then begin
         Hashtbl.replace analyzed name ();
         match (Ir.find_fn program name, Hashtbl.find_opt param_env name) with
-        | Some fn, Some param_values ->
+        | Some fn, Some param_values when not (Hashtbl.mem failed name) -> (
           let call_oracle callee _args =
             match Hashtbl.find_opt return_env callee with
             | Some v -> v
             | None -> Value.bottom
           in
-          let res = Engine.analyze ~config ~call_oracle ~param_values fn in
+          match Engine.analyze ~config ?report ~call_oracle ~param_values fn with
+          | exception e ->
+            (* Containment: demote this function, keep the run alive. The
+               function stays demoted for the remaining rounds — a crash is
+               deterministic for given inputs, and retrying would only
+               duplicate the diagnostic. *)
+            let why =
+              match e with
+              | Diag.Fault.Injected msg -> msg
+              | e -> Printexc.to_string e
+            in
+            Hashtbl.replace failed name why;
+            (match report with
+            | Some r ->
+              Diag.add r ~fn:name Diag.Error Diag.Analysis_crashed
+                (Printf.sprintf
+                   "analysis raised (%s); function demoted to heuristics" why)
+            | None -> ())
+          | res ->
           Hashtbl.replace round_results name res;
           List.iter
             (fun (_site, (callee, args)) ->
@@ -120,7 +150,7 @@ let analyze ?(config = Engine.default_config) ?(max_rounds = default_max_rounds)
                 end;
                 Queue.add callee queue
               end)
-            res.Engine.calls_seen
+            res.Engine.calls_seen)
         | _ -> ()
       end
     done;
@@ -164,4 +194,4 @@ let analyze ?(config = Engine.default_config) ?(max_rounds = default_max_rounds)
     Hashtbl.iter (Hashtbl.replace return_env) new_return_env;
     if params_equal && ret_equal then continue := false
   done;
-  { results = !results; param_env; return_env; rounds = !rounds }
+  { results = !results; failed; param_env; return_env; rounds = !rounds }

@@ -5,9 +5,13 @@
 
 module Ir = Vrp_ir.Ir
 module Value = Vrp_ranges.Value
+module Diag = Vrp_diag.Diag
 
 type t = {
   results : (string, Engine.t) Hashtbl.t;  (** per reachable function *)
+  failed : (string, string) Hashtbl.t;
+      (** functions whose analysis raised, with the reason: demoted to the
+          heuristic predictor by the pipeline *)
   param_env : (string, Value.t list) Hashtbl.t;
   return_env : (string, Value.t) Hashtbl.t;
   rounds : int;  (** rounds actually executed *)
@@ -15,8 +19,14 @@ type t = {
 
 val result : t -> string -> Engine.t option
 
+(** Why a function was demoted, if its analysis crashed. *)
+val failure : t -> string -> string option
+
 val default_max_rounds : int
 
-(** Whole-program analysis entered at [main].
+(** Whole-program analysis entered at [main], with per-function fault
+    containment: a function whose analysis raises is recorded in [failed]
+    (and in [report] as [Analysis_crashed]) instead of aborting the run.
     @raise Invalid_argument if the program has no [main]. *)
-val analyze : ?config:Engine.config -> ?max_rounds:int -> Ir.program -> t
+val analyze :
+  ?config:Engine.config -> ?report:Diag.report -> ?max_rounds:int -> Ir.program -> t

@@ -6,6 +6,7 @@ module Ir = Vrp_ir.Ir
 module Value = Vrp_ranges.Value
 module Predictor = Vrp_predict.Predictor
 module Heuristics = Vrp_predict.Heuristics
+module Diag = Vrp_diag.Diag
 
 type compiled = {
   source : string;
@@ -23,46 +24,152 @@ let compile (source : string) : compiled =
   Vrp_ir.Check.check_ssa_program ssa;
   { source; ast; ssa; ssa_infos }
 
+(** Total variant of {!compile} for consumers that must not see exceptions:
+    any front-end error, IR-check violation or internal crash becomes a
+    structured [Front_end_error] diagnostic. *)
+let compile_result (source : string) : (compiled, Diag.diag) result =
+  match compile source with
+  | c -> Ok c
+  | exception e ->
+    let message =
+      match Vrp_lang.Front.describe_error e with
+      | Some msg -> msg
+      | None -> (
+        match e with
+        | Vrp_ir.Check.Violation msg -> "internal IR invariant violated: " ^ msg
+        | e -> "internal error: " ^ Printexc.to_string e)
+    in
+    Error
+      {
+        Diag.severity = Diag.Error;
+        kind = Diag.Front_end_error;
+        loc = Diag.no_loc;
+        message;
+      }
+
 (** Branch predictions from (interprocedural) value range propagation.
-    Unreachable branches fall back to the Ball–Larus estimate so the map is
-    total, like the other predictors'. *)
+
+    Totality guarantee: the returned map has an entry for {e every}
+    conditional branch of the program, whatever happens during analysis.
+    Branches of unreachable or demoted functions fall back to the
+    Ball–Larus estimate; a per-function crash or governor trip demotes only
+    that function. With [report], every fallback is recorded as a
+    [Fallback_heuristic] diagnostic (warning severity when caused by
+    infrastructure degradation, info when it is the paper's ordinary
+    ⊥-range fallback). *)
 let vrp_predictions ?(config = Engine.default_config) ?(interprocedural = true)
-    (ssa : Ir.program) : Predictor.prediction * Interproc.t option =
+    ?report (ssa : Ir.program) : Predictor.prediction * Interproc.t option =
   let out = Hashtbl.create 64 in
-  let fill (fn : Ir.fn) (res : Engine.t option) =
+  let record ?fn ?block severity kind message =
+    match report with
+    | Some r -> Diag.add r ?fn ?block severity kind message
+    | None -> ()
+  in
+  (* [demoted] explains why a function has no engine result (crash text),
+     [None] meaning it is simply unreachable from main. *)
+  let fill (fn : Ir.fn) (res : Engine.t option) ~(demoted : string option) =
     let hctx = lazy (Heuristics.make_ctx fn) in
     Array.iter
       (fun (b : Ir.block) ->
         match b.Ir.term with
         | Ir.Br br ->
+          let bl () = Heuristics.ball_larus (Lazy.force hctx) ~src:b.Ir.bid br in
           let p =
             match res with
             | Some res -> (
               match Engine.branch_prob res b.Ir.bid with
-              | Some p -> p
-              | None -> Heuristics.ball_larus (Lazy.force hctx) ~src:b.Ir.bid br)
-            | None -> Heuristics.ball_larus (Lazy.force hctx) ~src:b.Ir.bid br
+              | Some p ->
+                if Engine.used_fallback res b.Ir.bid then
+                  record ~fn:fn.Ir.fname ~block:b.Ir.bid Diag.Info
+                    Diag.Fallback_heuristic
+                    "branch predicted by Ball–Larus heuristics (range is ⊥)";
+                p
+              | None ->
+                if res.Engine.fuel_exhausted || res.Engine.timed_out then
+                  record ~fn:fn.Ir.fname ~block:b.Ir.bid Diag.Warning
+                    Diag.Fallback_heuristic
+                    "branch not reached by the (governor-limited) analysis; \
+                     using Ball–Larus heuristics"
+                else
+                  record ~fn:fn.Ir.fname ~block:b.Ir.bid Diag.Info
+                    Diag.Fallback_heuristic
+                    "branch unreachable for the analysis; using Ball–Larus \
+                     heuristics";
+                bl ())
+            | None ->
+              (match demoted with
+              | Some why ->
+                record ~fn:fn.Ir.fname ~block:b.Ir.bid Diag.Warning
+                  Diag.Fallback_heuristic
+                  (Printf.sprintf
+                     "function demoted (%s); branch predicted by Ball–Larus \
+                      heuristics"
+                     why)
+              | None ->
+                record ~fn:fn.Ir.fname ~block:b.Ir.bid Diag.Info
+                  Diag.Fallback_heuristic
+                  "function unreachable from main; branch predicted by \
+                   Ball–Larus heuristics");
+              bl ()
           in
           Hashtbl.replace out (fn.Ir.fname, b.Ir.bid) p
         | Ir.Jump _ | Ir.Ret _ -> ())
       fn.Ir.blocks
   in
+  (* Last-resort containment for whole-driver failures (e.g. a program with
+     no [main], or a bug in the interprocedural round logic): fall back to
+     per-function intraprocedural analysis, itself per-function contained. *)
+  let intraprocedural_contained () =
+    List.iter
+      (fun fn ->
+        match Engine.analyze ~config ?report fn with
+        | res -> fill fn (Some res) ~demoted:None
+        | exception e ->
+          let why =
+            match e with
+            | Diag.Fault.Injected msg -> msg
+            | e -> Printexc.to_string e
+          in
+          record ~fn:fn.Ir.fname Diag.Error Diag.Analysis_crashed
+            (Printf.sprintf "analysis raised (%s); function demoted to \
+                             heuristics" why);
+          fill fn None ~demoted:(Some why))
+      ssa.Ir.fns
+  in
   if interprocedural then begin
-    let ipa = Interproc.analyze ~config ssa in
-    List.iter (fun fn -> fill fn (Interproc.result ipa fn.Ir.fname)) ssa.Ir.fns;
-    (out, Some ipa)
+    match Interproc.analyze ~config ?report ssa with
+    | ipa ->
+      List.iter
+        (fun (fn : Ir.fn) ->
+          fill fn
+            (Interproc.result ipa fn.Ir.fname)
+            ~demoted:(Interproc.failure ipa fn.Ir.fname))
+        ssa.Ir.fns;
+      (out, Some ipa)
+    | exception e ->
+      record Diag.Error Diag.Analysis_crashed
+        (Printf.sprintf
+           "interprocedural driver raised (%s); falling back to \
+            per-function analysis"
+           (Printexc.to_string e));
+      intraprocedural_contained ();
+      (out, None)
   end
   else begin
-    List.iter (fun fn -> fill fn (Some (Engine.analyze ~config fn))) ssa.Ir.fns;
+    intraprocedural_contained ();
     (out, None)
   end
 
 (** All the predictors of the paper's Figures 7/8, keyed by the legend names
     used in the harness output. [train] is the profiling predictor's
-    training run. *)
-let all_predictors ~(train : Vrp_profile.Interp.profile) (ssa : Ir.program) :
+    training run. [config] (default the paper's full configuration) applies
+    to the full-VRP run only — so CLI resilience options, including fault
+    injection, reach it — while "vrp-numeric" stays the fixed numeric-only
+    ablation. *)
+let all_predictors ?report ?(config = Engine.default_config)
+    ~(train : Vrp_profile.Interp.profile) (ssa : Ir.program) :
     (string * Predictor.prediction) list =
-  let vrp_full, _ = vrp_predictions ~config:Engine.default_config ssa in
+  let vrp_full, _ = vrp_predictions ~config ?report ssa in
   let vrp_numeric, _ = vrp_predictions ~config:Engine.numeric_only_config ssa in
   [
     ("profiling", Predictor.profiling train ssa);

@@ -3,6 +3,7 @@
 
 module Ir = Vrp_ir.Ir
 module Predictor = Vrp_predict.Predictor
+module Diag = Vrp_diag.Diag
 
 type compiled = {
   source : string;
@@ -15,17 +16,34 @@ type compiled = {
     @raise front-end errors or {!Vrp_ir.Check.Violation}. *)
 val compile : string -> compiled
 
-(** Branch predictions from (by default interprocedural) VRP; unreachable
-    branches fall back to Ball–Larus so the map is total. *)
+(** Total variant of {!compile}: any front-end error, IR-check violation or
+    internal crash becomes a structured [Front_end_error] diagnostic instead
+    of an exception. *)
+val compile_result : string -> (compiled, Diag.diag) result
+
+(** Branch predictions from (by default interprocedural) VRP.
+
+    Totality guarantee: the map has an entry for every conditional branch of
+    the program, whatever happens during analysis — unreachable or demoted
+    functions fall back to Ball–Larus, and a per-function crash or governor
+    trip demotes only that function. With [report], every fallback is
+    recorded as a [Fallback_heuristic] diagnostic (warning severity when
+    caused by infrastructure degradation). *)
 val vrp_predictions :
   ?config:Engine.config ->
   ?interprocedural:bool ->
+  ?report:Diag.report ->
   Ir.program ->
   Predictor.prediction * Interproc.t option
 
 (** The six predictors of the paper's Figures 7/8, keyed by legend name.
-    [train] is the profiling predictor's training profile. *)
+    [train] is the profiling predictor's training profile; [report] collects
+    diagnostics from the full-VRP run, and [config] (default
+    {!Engine.default_config}) applies to that run only — "vrp-numeric"
+    stays the fixed numeric-only ablation. *)
 val all_predictors :
+  ?report:Diag.report ->
+  ?config:Engine.config ->
   train:Vrp_profile.Interp.profile ->
   Ir.program ->
   (string * Predictor.prediction) list

@@ -1,0 +1,124 @@
+(** Diagnostics subsystem tests: report collection and ordering, severity
+    accounting, rendering, fault-spec parsing, and the scoped counter
+    frames. *)
+
+module Diag = Vrp_diag.Diag
+module Counters = Vrp_ranges.Counters
+
+let tc = Alcotest.test_case
+
+let report_collects_in_order () =
+  let r = Diag.create () in
+  Diag.add r ~fn:"f" ~block:3 Diag.Warning Diag.Budget_exhausted "out of fuel";
+  Diag.add r ~fn:"g" Diag.Info Diag.Fallback_heuristic "heuristic";
+  Diag.add r Diag.Error Diag.Analysis_crashed "boom";
+  Alcotest.(check int) "count" 3 (Diag.count r);
+  let kinds = List.map (fun (d : Diag.diag) -> d.Diag.kind) (Diag.to_list r) in
+  Alcotest.(check bool) "emission order" true
+    (kinds = [ Diag.Budget_exhausted; Diag.Fallback_heuristic; Diag.Analysis_crashed ]);
+  Alcotest.(check int) "count_kind" 1 (Diag.count_kind r Diag.Analysis_crashed)
+
+let degraded_tracks_severity () =
+  let r = Diag.create () in
+  Alcotest.(check bool) "empty not degraded" false (Diag.degraded r);
+  Diag.add r Diag.Info Diag.Widened "quota widening";
+  Alcotest.(check bool) "info not degraded" false (Diag.degraded r);
+  Diag.add r ~fn:"f" Diag.Warning Diag.Timeout "slow";
+  Alcotest.(check bool) "warning degrades" true (Diag.degraded r)
+
+let render_mentions_kinds_and_locations () =
+  let r = Diag.create () in
+  Diag.add r ~fn:"f" ~block:7 Diag.Warning Diag.Budget_exhausted "out of fuel";
+  Diag.add r ~fn:"f" ~block:7 Diag.Warning Diag.Budget_exhausted "out of fuel";
+  let s = Diag.render r in
+  let has frag = Astring.String.is_infix ~affix:frag s in
+  Alcotest.(check bool) "kind tag" true (has "[budget-exhausted]");
+  Alcotest.(check bool) "location" true (has "f.B7");
+  Alcotest.(check bool) "duplicates collapsed" true (has "(×2)");
+  Alcotest.(check bool) "summary" true (has "2 diagnostics");
+  Alcotest.(check bool) "degraded note" true (has "run degraded")
+
+let fault_parse_roundtrip () =
+  let ok spec expected =
+    match Diag.Fault.parse spec with
+    | Ok f ->
+      Alcotest.(check string) spec (Diag.Fault.to_string expected) (Diag.Fault.to_string f)
+    | Error msg -> Alcotest.failf "parse %S failed: %s" spec msg
+  in
+  ok "crash:main" (Diag.Fault.Crash_fn "main");
+  ok "fuel:helper" (Diag.Fault.Starve_fuel "helper");
+  ok "timeout:f" (Diag.Fault.Timeout_fn "f");
+  ok "steps:120" (Diag.Fault.Trip_after 120)
+
+let fault_parse_rejects_garbage () =
+  List.iter
+    (fun spec ->
+      match Diag.Fault.parse spec with
+      | Ok _ -> Alcotest.failf "expected %S to be rejected" spec
+      | Error msg ->
+        Alcotest.(check bool) "message mentions the spec" true
+          (Astring.String.is_infix ~affix:spec msg))
+    [ "bogus"; "crash:"; "steps:banana"; "steps:-4"; "explode:f" ]
+
+(* --- Scoped counter frames --- *)
+
+let analysis_src =
+  {|
+int main(int n, int s) {
+  int acc = 0;
+  for (int i = 0; i < 100; i++) { if (i < 50) { acc = acc + i; } }
+  return acc;
+}
+|}
+
+let run_one () =
+  let _, fn = Helpers.compile_main analysis_src in
+  ignore (Vrp_core.Engine.analyze fn)
+
+let counters_isolate_siblings () =
+  let (), a = Counters.with_counters run_one in
+  let (), b = Counters.with_counters run_one in
+  Alcotest.(check bool) "work counted" true (a.Counters.sub_ops > 0);
+  Alcotest.(check bool) "evaluations counted" true (a.Counters.evaluations > 0);
+  (* identical deterministic runs in sibling frames: no smearing *)
+  Alcotest.(check int) "sibling sub_ops equal" a.Counters.sub_ops b.Counters.sub_ops;
+  Alcotest.(check int) "sibling evals equal" a.Counters.evaluations b.Counters.evaluations
+
+let counters_nest () =
+  let (inner_figures, outer) =
+    Counters.with_counters (fun () ->
+        let (), inner = Counters.with_counters run_one in
+        run_one ();
+        inner)
+  in
+  Alcotest.(check bool) "outer includes inner" true
+    (outer.Counters.sub_ops >= 2 * inner_figures.Counters.sub_ops);
+  Alcotest.(check int) "inner is exactly one run"
+    (let (), solo = Counters.with_counters run_one in
+     solo.Counters.sub_ops)
+    inner_figures.Counters.sub_ops
+
+let counters_pop_on_exception () =
+  (try
+     ignore
+       (Counters.with_counters (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  (* the frame stack must be balanced again: a fresh frame sees only its
+     own work *)
+  let (), a = Counters.with_counters run_one in
+  let (), b = Counters.with_counters (fun () -> ()) in
+  Alcotest.(check bool) "fresh frame counts" true (a.Counters.sub_ops > 0);
+  Alcotest.(check int) "empty frame is empty" 0 b.Counters.sub_ops
+
+let suite =
+  ( "diag",
+    [
+      tc "report collects in order" `Quick report_collects_in_order;
+      tc "degraded tracks severity" `Quick degraded_tracks_severity;
+      tc "render mentions kinds and locations" `Quick render_mentions_kinds_and_locations;
+      tc "fault parse roundtrip" `Quick fault_parse_roundtrip;
+      tc "fault parse rejects garbage" `Quick fault_parse_rejects_garbage;
+      tc "counters isolate sibling frames" `Quick counters_isolate_siblings;
+      tc "counters nest" `Quick counters_nest;
+      tc "counters pop on exception" `Quick counters_pop_on_exception;
+    ] )

@@ -14,6 +14,8 @@ let () =
       Test_util.suite;
       Test_semantics.suite;
       Test_cli_surface.suite;
+      Test_diag.suite;
+      Test_resilience.suite;
       Test_frequency.suite;
       Test_integration.suite;
     ]

@@ -14,7 +14,8 @@
      bench/main.exe ablate-assert   with/without branch assertions
      bench/main.exe ablate-derive   with/without loop derivation
      bench/main.exe ablate-trip     trip-count prior sweep
-     bench/main.exe perf            Bechamel micro/macro timings *)
+     bench/main.exe perf            Bechamel micro/macro timings
+     bench/main.exe batch [--json]  batch scheduler + summary-cache throughput *)
 
 module Figures = Vrp_evaluation.Figures
 module Error_analysis = Vrp_evaluation.Error_analysis
@@ -168,6 +169,91 @@ let ablate_trip_prior () =
       Printf.printf "  %8.1f %18.2f\n%!" trip_prior err)
     [ 1.0; 4.0; 10.0; 25.0; 100.0 ]
 
+(* --- Batch-analysis throughput (scheduler + summary cache) --- *)
+
+(* Times the parallel batch subsystem over the suite plus synthetic
+   programs: sequential reference, [jobs]-wide fan-out, and cold/warm runs
+   against the summary cache — cross-checking along the way that every
+   variant renders byte-identically to --jobs 1. With --json, emits one
+   machine-readable object (for CI artifacts) instead of the table.
+
+   Speedup honesty: the container this runs in may well have a single core
+   (CI runners often do); the [cores] field records what was available so a
+   speedup of ~1.0 on a 1-core box is not mistaken for a scheduler bug. *)
+let batch_bench ~json () =
+  let module Batch = Vrp_sched.Batch in
+  let module Summary_cache = Vrp_cache.Summary_cache in
+  let sources =
+    List.map
+      (fun (b : Suite.benchmark) -> (b.Suite.name ^ ".mc", b.Suite.source))
+      Suite.benchmarks
+    @ List.init 6 (fun i ->
+          ( Printf.sprintf "synth%02d.mc" i,
+            Vrp_suite.Synth.generate ~units:(12 + (6 * i)) ~seed:(4242 + i) ))
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let jobs = 4 in
+  let reference, seq_s = time (fun () -> Batch.analyze_sources ~jobs:1 sources) in
+  let parallel, par_s = time (fun () -> Batch.analyze_sources ~jobs sources) in
+  if Batch.render parallel <> Batch.render reference then
+    failwith "batch bench: parallel run diverged from the sequential reference";
+  let cache = Summary_cache.create () in
+  let _, cold_s = time (fun () -> Batch.analyze_sources ~cache ~jobs sources) in
+  let warm, warm_s = time (fun () -> Batch.analyze_sources ~cache ~jobs sources) in
+  if Batch.render warm <> Batch.render reference then
+    failwith "batch bench: warm-cache run diverged from fresh analysis";
+  let agg = Batch.aggregate reference in
+  let c = Summary_cache.counters cache in
+  let hit_rate =
+    float_of_int c.Summary_cache.hits
+    /. float_of_int (max 1 (c.Summary_cache.hits + c.Summary_cache.misses))
+  in
+  let fns_per_sec t =
+    if t > 0.0 then float_of_int agg.Batch.functions /. t else 0.0
+  in
+  let speedup = if par_s > 0.0 then seq_s /. par_s else 0.0 in
+  let cores = Domain.recommended_domain_count () in
+  if json then
+    Printf.printf
+      "{\"files\": %d, \"functions\": %d, \"branches\": %d, \"jobs\": %d, \
+       \"cores\": %d,\n\
+      \ \"wall_s\": {\"jobs1\": %.6f, \"jobs%d\": %.6f, \"cache_cold\": %.6f, \
+       \"cache_warm\": %.6f},\n\
+      \ \"functions_per_sec\": {\"jobs1\": %.1f, \"jobs%d\": %.1f, \
+       \"cache_warm\": %.1f},\n\
+      \ \"speedup_vs_jobs1\": %.3f, \"warm_speedup_vs_jobs1\": %.3f,\n\
+      \ \"cache\": {\"hits\": %d, \"disk_hits\": %d, \"misses\": %d, \
+       \"invalidations\": %d, \"hit_rate\": %.3f},\n\
+      \ \"deterministic\": true}\n"
+      agg.Batch.files agg.Batch.functions agg.Batch.branches jobs cores seq_s
+      jobs par_s cold_s warm_s (fns_per_sec seq_s) jobs (fns_per_sec par_s)
+      (fns_per_sec warm_s) speedup
+      (if warm_s > 0.0 then seq_s /. warm_s else 0.0)
+      c.Summary_cache.hits c.Summary_cache.disk_hits c.Summary_cache.misses
+      c.Summary_cache.invalidations hit_rate
+  else begin
+    header "Batch analysis: domain-pool scheduler + summary cache";
+    Printf.printf "  corpus: %d files, %d functions, %d branches (%d cores available)\n"
+      agg.Batch.files agg.Batch.functions agg.Batch.branches cores;
+    Printf.printf "  %-18s %10s %16s\n" "run" "wall (s)" "functions/s";
+    List.iter
+      (fun (name, t) -> Printf.printf "  %-18s %10.4f %16.1f\n" name t (fns_per_sec t))
+      [
+        ("jobs=1", seq_s);
+        (Printf.sprintf "jobs=%d" jobs, par_s);
+        ("cache cold", cold_s);
+        ("cache warm", warm_s);
+      ];
+    Printf.printf "  speedup vs jobs=1: %.2fx parallel, %.2fx warm cache\n" speedup
+      (if warm_s > 0.0 then seq_s /. warm_s else 0.0);
+    Printf.printf "  %s\n" (Summary_cache.counters_line cache);
+    Printf.printf "  all variants rendered byte-identically to jobs=1\n%!"
+  end
+
 (* --- Bechamel timings --- *)
 
 let perf () =
@@ -259,7 +345,9 @@ let () =
   | [ _; "ablate-derive" ] -> ablate_derive ()
   | [ _; "ablate-trip" ] -> ablate_trip_prior ()
   | [ _; "perf" ] -> perf ()
+  | [ _; "batch" ] -> batch_bench ~json:false ()
+  | [ _; "batch"; "--json" ] | [ _; "batch"; "-json" ] -> batch_bench ~json:true ()
   | _ ->
     prerr_endline
-      "usage: main.exe [all|fig4|fig5|fig6|fig7|fig8|ablate-r|ablate-worklist|ablate-assert|ablate-derive|ablate-trip|perf]";
+      "usage: main.exe [all|fig4|fig5|fig6|fig7|fig8|ablate-r|ablate-worklist|ablate-assert|ablate-derive|ablate-trip|perf|batch [--json]]";
     exit 2

@@ -80,6 +80,24 @@ let fn_arg =
 let config_of_flags numeric =
   if numeric then Engine.numeric_only_config else Engine.default_config
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Analyse with $(docv) concurrent domains (SCC waves for a single \
+           program, whole files in batch mode). Results are byte-identical \
+           to --jobs 1.")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Persist function summaries content-addressed under $(docv); warm \
+           runs skip re-analysing unchanged functions.")
+
 (* --- Diagnostics / resilience options --- *)
 
 (* (diagnostics, strict, fault spec); shared by the analysis subcommands. *)
@@ -186,10 +204,17 @@ let ranges file bench numeric fn_filter dopts =
                   b.Ir.instrs))
         (select_fns c.Pipeline.ssa fn_filter)))
 
-let predict file bench numeric dopts =
+let predict file bench numeric jobs dopts =
   with_source file bench (fun c ->
       with_diag dopts (config_of_flags numeric) (fun ~report ~config ->
-      let vrp, _ = Pipeline.vrp_predictions ~config ~report c.Pipeline.ssa in
+      (* Always schedule through the SCC wavefront plan so --jobs N is
+         byte-identical to --jobs 1 (the sequential reference). *)
+      let groups = Vrp_sched.Callgraph.scc_groups c.Pipeline.ssa in
+      let vrp, _ =
+        Vrp_sched.Pool.with_pool ~jobs (fun pool ->
+            Pipeline.vrp_predictions ~config ~report ~groups
+              ~run_tasks:(Vrp_sched.Wavefront.runner pool) c.Pipeline.ssa)
+      in
       let bl = Vrp_predict.Predictor.ball_larus c.Pipeline.ssa in
       let nf = Vrp_predict.Predictor.ninety_fifty c.Pipeline.ssa in
       let fb = fallback_branches report in
@@ -329,9 +354,10 @@ let freq file bench numeric top dopts =
       let ipa = Vrp_core.Interproc.analyze ~config ~report c.Pipeline.ssa in
       let f = Vrp_core.Frequency.of_interproc c.Pipeline.ssa ipa in
       Printf.printf "function invocation frequencies (per run of main):\n";
-      Hashtbl.iter
-        (fun name v -> Printf.printf "  %-14s %12.1f\n" name v)
-        f.Vrp_core.Frequency.call_freq;
+      (* Sorted by name: hash-table order must never reach the report. *)
+      Hashtbl.fold (fun name v acc -> (name, v) :: acc) f.Vrp_core.Frequency.call_freq []
+      |> List.sort Stdlib.compare
+      |> List.iter (fun (name, v) -> Printf.printf "  %-14s %12.1f\n" name v);
       Printf.printf "\nhottest blocks (predicted global execution frequency):\n";
       List.iteri
         (fun i (fname, bid, v) ->
@@ -355,6 +381,51 @@ let dot file bench fn_filter annotate =
           end
           else print_string (Vrp_ir.Dot.fn_to_dot fn))
         (select_fns c.Pipeline.ssa fn_filter))
+
+(* Batch mode: fan out over a directory of MiniC files on a domain pool,
+   with an optional content-addressed summary cache. Predictions go to
+   stdout and are byte-identical for any --jobs; timing and cache traffic —
+   which legitimately vary — go to stderr. *)
+let batch dir jobs cache_dir numeric (diagnostics, strict, fault) =
+  let module Batch = Vrp_sched.Batch in
+  let module Summary_cache = Vrp_cache.Summary_cache in
+  let paths =
+    match Batch.list_dir dir with
+    | [] ->
+      prerr_endline
+        (Printf.sprintf "vrpc: no MiniC files (.mc, .minic, .c) in %s" dir);
+      exit 2
+    | paths -> paths
+    | exception Sys_error msg ->
+      prerr_endline ("vrpc: " ^ msg);
+      exit 2
+  in
+  let sources = List.map (fun p -> (p, read_file p)) paths in
+  let cache = Option.map (fun dir -> Summary_cache.create ~disk_dir:dir ()) cache_dir in
+  let config = { (config_of_flags numeric) with Engine.fault } in
+  let t0 = Unix.gettimeofday () in
+  let results = Batch.analyze_sources ~config ?cache ~jobs sources in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  print_string (Batch.render results);
+  let a = Batch.aggregate results in
+  Printf.eprintf "analyzed %d files (%d functions, %d branches) in %.3fs with %d job%s (%.1f functions/s)\n"
+    a.Batch.files a.Batch.functions a.Batch.branches elapsed jobs
+    (if jobs = 1 then "" else "s")
+    (if elapsed > 0.0 then float_of_int a.Batch.functions /. elapsed else 0.0);
+  (match cache with
+  | Some c -> prerr_endline (Summary_cache.counters_line c)
+  | None -> ());
+  if diagnostics then
+    List.iter
+      (fun (r : Batch.file_result) ->
+        if Diag.count r.Batch.report > 0 then begin
+          Printf.eprintf "-- %s --\n" r.Batch.name;
+          prerr_string (Diag.render r.Batch.report)
+        end)
+      results;
+  if a.Batch.failed_files > 0 then exit 1;
+  if strict && List.exists (fun (r : Batch.file_result) -> Diag.degraded r.Batch.report) results
+  then exit 3
 
 let list_benchmarks () =
   List.iter
@@ -386,7 +457,18 @@ let ranges_cmd =
 
 let predict_cmd =
   cmd_of "predict" "Print branch probabilities from VRP and the heuristic baselines."
-    Term.(const predict $ file_arg $ bench_arg $ numeric_arg $ diag_args)
+    Term.(const predict $ file_arg $ bench_arg $ numeric_arg $ jobs_arg $ diag_args)
+
+let batch_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"Directory of MiniC files to analyse.")
+  in
+  cmd_of "batch"
+    "Analyse every MiniC file in a directory concurrently with summary caching."
+    Term.(const batch $ dir_arg $ jobs_arg $ cache_arg $ numeric_arg $ diag_args)
 
 let run_cmd =
   let args =
@@ -443,6 +525,7 @@ let main_cmd =
       dump_ir_cmd;
       ranges_cmd;
       predict_cmd;
+      batch_cmd;
       run_cmd;
       compare_cmd;
       optimize_cmd;

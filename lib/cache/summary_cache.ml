@@ -1,0 +1,223 @@
+(** Content-addressed function-summary store (see the interface). *)
+
+module Ir = Vrp_ir.Ir
+module Diag = Vrp_diag.Diag
+module Engine = Vrp_core.Engine
+module Interproc = Vrp_core.Interproc
+
+type counters = {
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable invalidations : int;
+}
+
+let zero_counters () =
+  { hits = 0; disk_hits = 0; misses = 0; stores = 0; invalidations = 0 }
+
+type entry = { res : Engine.t; mutable last_use : int }
+
+type t = {
+  capacity : int;
+  mem : (string, entry) Hashtbl.t;
+  seen : (string, string) Hashtbl.t;  (* slot -> last (IR, config) stamp *)
+  disk_dir : string option;
+  lock : Mutex.t;
+  c : counters;
+  mutable tick : int;
+}
+
+let create ?(memory_capacity = 4096) ?disk_dir () =
+  (match disk_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  {
+    capacity = max 1 memory_capacity;
+    mem = Hashtbl.create 256;
+    seen = Hashtbl.create 64;
+    disk_dir;
+    lock = Mutex.create ();
+    c = zero_counters ();
+    tick = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let counters t =
+  locked t (fun () ->
+      {
+        hits = t.c.hits;
+        disk_hits = t.c.disk_hits;
+        misses = t.c.misses;
+        stores = t.c.stores;
+        invalidations = t.c.invalidations;
+      })
+
+let counters_line t =
+  let c = counters t in
+  Printf.sprintf "summary cache: %d hits (%d from disk), %d misses, %d invalidations"
+    c.hits c.disk_hits c.misses c.invalidations
+
+let report_into t report =
+  Diag.add report Diag.Info Diag.Cache_event (counters_line t)
+
+(* --- Memory tier --- *)
+
+(* Call under the lock. Evicts down to 3/4 capacity by last use, so
+   eviction cost is amortized over at least capacity/4 insertions. *)
+let insert_locked t key res =
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.mem key { res; last_use = t.tick };
+  t.c.stores <- t.c.stores + 1;
+  if Hashtbl.length t.mem > t.capacity then begin
+    let entries = Hashtbl.fold (fun k e acc -> (e.last_use, k) :: acc) t.mem [] in
+    let by_age = List.sort compare entries in
+    let excess = Hashtbl.length t.mem - (t.capacity * 3 / 4) in
+    List.iteri (fun i (_, k) -> if i < excess then Hashtbl.remove t.mem k) by_age
+  end
+
+(* --- Disk tier ---
+
+   One marshalled file per key, written atomically (temp file + rename).
+   Any read problem — torn file, format drift across builds — is treated
+   as a miss; [format_version] inside the payload guards deliberate format
+   changes. *)
+
+let disk_magic = "vrpsum1"
+
+let disk_path dir key = Filename.concat dir (key ^ ".sum")
+
+let disk_load t key =
+  match t.disk_dir with
+  | None -> None
+  | Some dir -> (
+    let path = disk_path dir key in
+    if not (Sys.file_exists path) then None
+    else
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let magic = really_input_string ic (String.length disk_magic) in
+            if not (String.equal magic disk_magic) then None
+            else
+              let version : int = Marshal.from_channel ic in
+              if version <> Digest_key.format_version then None
+              else
+                let res : Engine.t = Marshal.from_channel ic in
+                Some res)
+      with _ -> None)
+
+let disk_store t key (res : Engine.t) =
+  match t.disk_dir with
+  | None -> ()
+  | Some dir -> (
+    let path = disk_path dir key in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+        (Domain.self () :> int)
+    in
+    try
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc disk_magic;
+          Marshal.to_channel oc Digest_key.format_version [];
+          Marshal.to_channel oc res []);
+      Sys.rename tmp path
+    with _ -> ( try Sys.remove tmp with _ -> ()))
+
+(* --- Lookup --- *)
+
+let find_or_compute t ~slot ~stamp ~key compute =
+  let cached =
+    locked t (fun () ->
+        (match Hashtbl.find_opt t.seen slot with
+        | Some old when not (String.equal old stamp) ->
+          t.c.invalidations <- t.c.invalidations + 1
+        | _ -> ());
+        Hashtbl.replace t.seen slot stamp;
+        match Hashtbl.find_opt t.mem key with
+        | Some e ->
+          t.tick <- t.tick + 1;
+          e.last_use <- t.tick;
+          t.c.hits <- t.c.hits + 1;
+          Some e.res
+        | None -> None)
+  in
+  match cached with
+  | Some res -> res
+  | None -> (
+    match disk_load t key with
+    | Some res ->
+      locked t (fun () ->
+          t.c.hits <- t.c.hits + 1;
+          t.c.disk_hits <- t.c.disk_hits + 1;
+          insert_locked t key res);
+      res
+    | None ->
+      locked t (fun () -> t.c.misses <- t.c.misses + 1);
+      let res = compute () in
+      locked t (fun () -> insert_locked t key res);
+      disk_store t key res;
+      res)
+
+(* --- The memoizing analyze_fn --- *)
+
+(* A hit skips the engine run, so the diagnostics the engine would have
+   emitted are replayed from the summary's governor fields — warm runs keep
+   the same degradation verdict as cold ones. *)
+let replay_diags (res : Engine.t) report =
+  match report with
+  | None -> ()
+  | Some r ->
+    let fn = res.Engine.fn.Ir.fname in
+    if res.Engine.fuel_exhausted then
+      Diag.add r ~fn Diag.Warning Diag.Budget_exhausted
+        (Printf.sprintf "fuel exhausted after %d steps (cached summary); results are partial"
+           res.Engine.fuel_spent);
+    if res.Engine.timed_out then
+      Diag.add r ~fn Diag.Warning Diag.Timeout
+        (Printf.sprintf "wall-clock limit hit after %d steps (cached summary); results are \
+                         partial"
+           res.Engine.fuel_spent);
+    if res.Engine.widenings > 0 then
+      Diag.add r ~fn Diag.Warning Diag.Widened
+        (Printf.sprintf "%d value(s) widened to ⊥ (cached summary)" res.Engine.widenings)
+
+let memoized ?(slot_prefix = "") t (program : Ir.program) : Interproc.analyze_fn =
+  let info : (string, string * string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (fn : Ir.fn) ->
+      Hashtbl.replace info fn.Ir.fname
+        (Digest_key.fn_digest fn, Digest_key.static_callees fn))
+    program.Ir.fns;
+  fun ~config ~report ~call_oracle ~param_values fn ->
+    let fname = fn.Ir.fname in
+    let ir_digest, callees =
+      match Hashtbl.find_opt info fname with
+      | Some i -> i
+      | None -> (Digest_key.fn_digest fn, Digest_key.static_callees fn)
+    in
+    let config_digest = Digest_key.config_digest config in
+    let key =
+      Digest_key.task_key ~fn_digest:ir_digest ~config_digest ~param_values
+        ~callee_returns:(List.map (fun c -> (c, call_oracle c [])) callees)
+    in
+    let computed = ref false in
+    let res =
+      find_or_compute t
+        ~slot:(slot_prefix ^ fname)
+        ~stamp:(ir_digest ^ config_digest)
+        ~key
+        (fun () ->
+          computed := true;
+          Engine.analyze ~config ?report ~call_oracle ~param_values fn)
+    in
+    if not !computed then replay_diags res report;
+    res

@@ -1,0 +1,61 @@
+(** Content-addressed function-summary store.
+
+    Two tiers: a bounded in-memory LRU map from {!Digest_key.task_key} to
+    the full analysis result, and an optional on-disk tier (one marshalled
+    file per key under [disk_dir]) that survives across processes — a warm
+    [vrpc batch --cache DIR] run re-analyzes zero unchanged functions.
+
+    Thread safety: every operation is mutex-guarded except the summary
+    computation itself, which runs unlocked — two domains racing on the
+    same missing key may both compute it (identical results; the counters
+    then record two misses). That keeps workers out of each other's way and
+    can never produce a wrong hit. *)
+
+module Ir = Vrp_ir.Ir
+module Diag = Vrp_diag.Diag
+module Engine = Vrp_core.Engine
+module Interproc = Vrp_core.Interproc
+
+type counters = {
+  mutable hits : int;  (** served from memory or disk *)
+  mutable disk_hits : int;  (** subset of [hits] loaded from the disk tier *)
+  mutable misses : int;  (** computed fresh *)
+  mutable stores : int;  (** entries written into the memory tier *)
+  mutable invalidations : int;
+      (** lookups whose slot (function) was previously cached under a
+          different IR or configuration digest — an IR edit or a config
+          change made the old summaries stale *)
+}
+
+type t
+
+(** [create ()] builds a store with an in-memory LRU of [memory_capacity]
+    entries (default 4096) and, when [disk_dir] is given, a persistent tier
+    under that directory (created if missing). *)
+val create : ?memory_capacity:int -> ?disk_dir:string -> unit -> t
+
+(** Snapshot of the traffic counters. *)
+val counters : t -> counters
+
+(** Render the counters as a one-line summary, e.g. for a batch report. *)
+val counters_line : t -> string
+
+(** Append a [Cache_event] diagnostic with the current counters. *)
+val report_into : t -> Diag.report -> unit
+
+(** [find_or_compute t ~slot ~stamp ~key compute] returns the summary for
+    [key], computing and storing it on a miss. [slot] names the cached
+    entity (used only for invalidation accounting — pass a file-qualified
+    function name) and [stamp] is its (IR digest, config digest) identity:
+    a lookup for a known slot under a new stamp counts as an invalidation. *)
+val find_or_compute :
+  t -> slot:string -> stamp:string -> key:string -> (unit -> Engine.t) -> Engine.t
+
+(** A memoizing {!Interproc.analyze_fn}: IR digests and static callee sets
+    are precomputed for [program]'s functions, and each per-function task
+    is served from the cache when its full key matches. On a hit the
+    engine's governor diagnostics (fuel exhaustion, timeout, widenings) are
+    re-emitted from the stored summary so [--diagnostics]/[--strict] keep
+    their meaning on warm runs. [slot_prefix] qualifies function names for
+    invalidation accounting (pass the source path in batch mode). *)
+val memoized : ?slot_prefix:string -> t -> Ir.program -> Interproc.analyze_fn

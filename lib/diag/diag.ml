@@ -26,6 +26,7 @@ type kind =
   | Fallback_heuristic  (** a branch was predicted by Ball–Larus, not VRP *)
   | Front_end_error  (** parse / type / IR-check failure *)
   | Fault_injected  (** a deterministic test fault fired *)
+  | Cache_event  (** summary-cache traffic: hits / misses / invalidations *)
   | Note  (** free-form informational event *)
 
 type location = { fn : string option; block : int option }
@@ -51,6 +52,16 @@ let add report ?fn ?block severity kind message =
 
 let to_list report = List.rev report.rev_diags
 
+(* Append every diagnostic of [from] to [into], preserving [from]'s emission
+   order. The parallel scheduler gives each task a private report and merges
+   them in deterministic task order, so a parallel run renders byte-identical
+   diagnostics to a sequential one. *)
+let merge ~into from =
+  List.iter
+    (fun d -> into.rev_diags <- d :: into.rev_diags)
+    (to_list from);
+  into.ndiags <- into.ndiags + from.ndiags
+
 let count report = report.ndiags
 
 let count_kind report kind =
@@ -74,6 +85,7 @@ let kind_to_string = function
   | Fallback_heuristic -> "fallback-heuristic"
   | Front_end_error -> "front-end-error"
   | Fault_injected -> "fault-injected"
+  | Cache_event -> "cache-event"
   | Note -> "note"
 
 let location_to_string loc =

@@ -16,6 +16,7 @@ type kind =
   | Fallback_heuristic  (** a branch was predicted by Ball–Larus, not VRP *)
   | Front_end_error  (** parse / type / IR-check failure *)
   | Fault_injected  (** a deterministic test fault fired *)
+  | Cache_event  (** summary-cache traffic: hits / misses / invalidations *)
   | Note  (** free-form informational event *)
 
 type location = { fn : string option; block : int option }
@@ -35,6 +36,11 @@ type report
 val create : unit -> report
 val add : report -> ?fn:string -> ?block:int -> severity -> kind -> string -> unit
 val to_list : report -> diag list
+
+(** [merge ~into from] appends every diagnostic of [from] to [into] in
+    [from]'s emission order. Used by the parallel scheduler to combine
+    per-task reports deterministically. *)
+val merge : into:report -> report -> unit
 val count : report -> int
 val count_kind : report -> kind -> int
 

@@ -34,22 +34,30 @@ let copy c =
   }
 
 (* The root frame is always open so legacy [reset]/[read] keep working; the
-   tail of the list is scoped frames, innermost first. *)
+   tail of the list is scoped frames, innermost first.
+
+   The frame stack is domain-local: analyses running on scheduler worker
+   domains each tick their own stack, so concurrent per-function runs cannot
+   corrupt each other's frames. A frame opened on one domain therefore does
+   not observe work done on another — per-run totals for parallel batch
+   work are aggregated from the per-function [Engine.t] fields instead. The
+   shared root frame is still ticked by every domain (monotonic counters
+   whose races at worst lose increments, never corrupt structure). *)
 let root = zero ()
 
-let frames : t list ref = ref []
+let frames : t list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
 
 let with_counters f =
   let frame = zero () in
-  frames := frame :: !frames;
+  Domain.DLS.set frames (frame :: Domain.DLS.get frames);
   let result =
-    Fun.protect ~finally:(fun () -> frames := List.tl !frames) f
+    Fun.protect ~finally:(fun () -> Domain.DLS.set frames (List.tl (Domain.DLS.get frames))) f
   in
   (result, frame)
 
 let each g =
   g root;
-  List.iter g !frames
+  List.iter g (Domain.DLS.get frames)
 
 let tick () = each (fun c -> c.sub_ops <- c.sub_ops + 1)
 

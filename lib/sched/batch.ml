@@ -1,0 +1,185 @@
+(** Batch analysis driver (see the interface). *)
+
+module Ir = Vrp_ir.Ir
+module Diag = Vrp_diag.Diag
+module Engine = Vrp_core.Engine
+module Interproc = Vrp_core.Interproc
+module Pipeline = Vrp_core.Pipeline
+module Summary_cache = Vrp_cache.Summary_cache
+
+type file_result = {
+  name : string;
+  error : string option;
+  functions : int;
+  predictions : ((string * int) * float * string) list;
+  demoted : (string * string) list;
+  report : Diag.report;
+  evaluations : int;
+}
+
+type aggregate = {
+  files : int;
+  failed_files : int;
+  functions : int;
+  branches : int;
+  fallbacks : int;
+  demoted_fns : int;
+}
+
+(* Fallback markers, same legend as [vrpc predict]: (fn, block) -> was the
+   heuristic fallback caused by degradation. *)
+let fallback_markers report =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Diag.diag) ->
+      match (d.Diag.kind, d.Diag.loc.Diag.fn, d.Diag.loc.Diag.block) with
+      | Diag.Fallback_heuristic, Some fn, Some bid ->
+        let degraded = d.Diag.severity <> Diag.Info in
+        let prev = Option.value ~default:false (Hashtbl.find_opt tbl (fn, bid)) in
+        Hashtbl.replace tbl (fn, bid) (degraded || prev)
+      | _ -> ())
+    (Diag.to_list report);
+  tbl
+
+let failed_result name msg report =
+  {
+    name;
+    error = Some msg;
+    functions = 0;
+    predictions = [];
+    demoted = [];
+    report;
+    evaluations = 0;
+  }
+
+let analyze_one ?cache ~config (name, source) =
+  let report = Diag.create () in
+  match Pipeline.compile_result source with
+  | Error d ->
+    Diag.add report Diag.Error d.Diag.kind d.Diag.message;
+    failed_result name d.Diag.message report
+  | Ok compiled ->
+    let ssa = compiled.Pipeline.ssa in
+    let groups = Callgraph.scc_groups ssa in
+    let analyze_fn =
+      match cache with
+      | Some c -> Summary_cache.memoized ~slot_prefix:(name ^ ":") c ssa
+      | None -> Interproc.default_analyze_fn
+    in
+    let vrp, ipa = Pipeline.vrp_predictions ~config ~report ~groups ~analyze_fn ssa in
+    let markers = fallback_markers report in
+    let predictions =
+      Hashtbl.fold
+        (fun key p acc ->
+          let marker =
+            match Hashtbl.find_opt markers key with
+            | Some true -> "!"
+            | Some false -> "*"
+            | None -> ""
+          in
+          (key, p, marker) :: acc)
+        vrp []
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    in
+    let demoted =
+      match ipa with
+      | None -> []
+      | Some ipa ->
+        List.sort compare
+          (Hashtbl.fold (fun fn why acc -> (fn, why) :: acc) ipa.Interproc.failed [])
+    in
+    let evaluations =
+      match ipa with
+      | None -> 0
+      | Some ipa ->
+        List.fold_left
+          (fun acc (fn : Ir.fn) ->
+            match Interproc.result ipa fn.Ir.fname with
+            | Some res -> acc + res.Engine.evaluations
+            | None -> acc)
+          0 ssa.Ir.fns
+    in
+    {
+      name;
+      error = None;
+      functions = List.length ssa.Ir.fns;
+      predictions;
+      demoted;
+      report;
+      evaluations;
+    }
+
+let analyze_sources ?(config = Engine.default_config) ?cache ~jobs sources =
+  Pool.with_pool ~jobs (fun pool ->
+      let outcomes =
+        Pool.map pool (analyze_one ?cache ~config) (Array.of_list sources)
+      in
+      List.map2
+        (fun (name, _) outcome ->
+          match outcome with
+          | Ok r -> r
+          | Error e ->
+            (* Whole-file containment: even a driver bug costs one file. *)
+            let report = Diag.create () in
+            let msg = Printf.sprintf "batch task crashed: %s" (Printexc.to_string e) in
+            Diag.add report Diag.Error Diag.Analysis_crashed msg;
+            failed_result name msg report)
+        sources
+        (Array.to_list outcomes))
+
+let aggregate results =
+  List.fold_left
+    (fun acc r ->
+      {
+        files = acc.files + 1;
+        failed_files = (acc.failed_files + if r.error = None then 0 else 1);
+        functions = acc.functions + r.functions;
+        branches = acc.branches + List.length r.predictions;
+        fallbacks =
+          acc.fallbacks
+          + List.length (List.filter (fun (_, _, m) -> m <> "") r.predictions);
+        demoted_fns = acc.demoted_fns + List.length r.demoted;
+      })
+    { files = 0; failed_files = 0; functions = 0; branches = 0; fallbacks = 0;
+      demoted_fns = 0 }
+    results
+
+let render results =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (Printf.sprintf "== %s ==\n" r.name);
+      (match r.error with
+      | Some msg -> Buffer.add_string buf (Printf.sprintf "error: %s\n" msg)
+      | None -> begin
+        Buffer.add_string buf
+          (Printf.sprintf "functions: %d, branches: %d\n" r.functions
+             (List.length r.predictions));
+        List.iter
+          (fun ((fn, bid), p, marker) ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %-28s %6.1f%%%s\n"
+                 (Printf.sprintf "%s.B%d" fn bid)
+                 (100.0 *. p) marker))
+          r.predictions;
+        List.iter
+          (fun (fn, why) ->
+            Buffer.add_string buf (Printf.sprintf "  demoted: %s (%s)\n" fn why))
+          r.demoted
+      end))
+    results;
+  let a = aggregate results in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "== aggregate ==\nfiles: %d (%d failed), functions: %d, branches: %d, \
+        heuristic fallbacks: %d, demoted functions: %d\n"
+       a.files a.failed_files a.functions a.branches a.fallbacks a.demoted_fns);
+  Buffer.contents buf
+
+let list_dir dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         List.mem (Filename.extension f) [ ".mc"; ".minic"; ".c" ]
+         && not (Sys.is_directory (Filename.concat dir f)))
+  |> List.sort String.compare
+  |> List.map (Filename.concat dir)

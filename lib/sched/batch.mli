@@ -1,0 +1,55 @@
+(** High-throughput batch analysis: fan out over many MiniC sources on a
+    domain pool, analysing each file's call graph in SCC condensation order
+    with an optional content-addressed summary cache.
+
+    Determinism contract: for fixed inputs and configuration, the rendered
+    report is byte-identical whatever [jobs] is — results are merged in
+    file order, per-file analysis follows the deterministic wavefront
+    driver, and cached summaries are content-addressed so a hit returns
+    exactly what the miss would have computed. Timing and cache-traffic
+    numbers are deliberately excluded from {!render}; surface them
+    separately (they legitimately vary run to run). *)
+
+module Ir = Vrp_ir.Ir
+module Diag = Vrp_diag.Diag
+module Engine = Vrp_core.Engine
+
+type file_result = {
+  name : string;
+  error : string option;  (** front-end failure, making the file empty *)
+  functions : int;
+  predictions : ((string * int) * float * string) list;
+      (** ((fn, block), P(true edge), marker) sorted by function then block;
+          marker as in [vrpc predict]: ["*"] ordinary ⊥-range fallback,
+          ["!"] degraded (crash / fuel / timeout), [""] exact VRP *)
+  demoted : (string * string) list;  (** (fn, crash reason), sorted *)
+  report : Diag.report;  (** full structured diagnostics of this file *)
+  evaluations : int;  (** engine expression evaluations (cost proxy) *)
+}
+
+type aggregate = {
+  files : int;
+  failed_files : int;
+  functions : int;
+  branches : int;
+  fallbacks : int;  (** branches predicted by heuristics, not VRP *)
+  demoted_fns : int;
+}
+
+(** Analyse [(name, source)] pairs, [jobs]-wide across files. Results come
+    back in input order. A file that fails the front end or crashes the
+    driver is contained: its [error] is set and the batch continues. *)
+val analyze_sources :
+  ?config:Engine.config ->
+  ?cache:Vrp_cache.Summary_cache.t ->
+  jobs:int ->
+  (string * string) list ->
+  file_result list
+
+val aggregate : file_result list -> aggregate
+
+(** Deterministic report (see the module header). *)
+val render : file_result list -> string
+
+(** MiniC files ([.mc], [.minic], [.c]) directly under [dir], sorted. *)
+val list_dir : string -> string list

@@ -746,7 +746,13 @@ let analyze ?(config = default_config) ?report
     branch_fallback = st.bfallback;
     visited = st.svisited;
     evaluations = st.evals;
-    calls_seen = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.calls [];
+    calls_seen =
+      (* Sorted by site (block, index): callers of this list — jump-function
+         accumulation, frequency relaxation, cache digests — must see a
+         canonical order, not hash-table layout. *)
+      List.sort
+        (fun ((a : int * int), _) (b, _) -> compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.calls []);
     return_value;
     fuel_limit;
     fuel_spent;

@@ -164,4 +164,9 @@ let hottest_blocks (t : t) : (string * int * float) list =
       let cf = Option.value ~default:0.0 (Hashtbl.find_opt t.call_freq fname) in
       Array.to_list (Array.mapi (fun bid f -> (fname, bid, f *. cf)) ff.block_freq) @ acc)
     t.per_fn []
-  |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+  |> List.sort (fun (fa, ba, a) (fb, bb, b) ->
+         (* Frequency-descending with a (function, block) tie-break: equal
+            frequencies must not surface hash-table order. *)
+         match Float.compare b a with
+         | 0 -> compare (fa, ba) (fb, bb)
+         | c -> c)

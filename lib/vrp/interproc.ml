@@ -14,7 +14,18 @@
     each callee's merged return range (the return-jump functions, footnote
     3). [main]'s parameters are program input, hence ⊥. Rounds repeat until
     the parameter/return environments stabilise or [max_rounds] is hit —
-    recursion makes the environments oscillate at most down to ⊥. *)
+    recursion makes the environments oscillate at most down to ⊥.
+
+    Scheduling: within a round, functions are analysed in {e waves} — the
+    levels of a breadth-first sweep of the executable call graph from
+    [main], i.e. the dynamic topological order of the call-graph SCC
+    condensation restricted to code the analysis can reach. Every function
+    in a wave reads only the {e previous} round's environments, so the
+    functions of one wave are independent: the [run_tasks] seam lets
+    [Vrp_sched] execute them on a domain pool, and the [groups] plan
+    co-locates the members of one SCC in a single task. Results, recorded
+    call sites and diagnostics are merged in deterministic task order, so a
+    parallel run is byte-identical to the sequential default. *)
 
 module Ir = Vrp_ir.Ir
 module Value = Vrp_ranges.Value
@@ -30,11 +41,47 @@ type t = {
   rounds : int;  (** rounds actually executed *)
 }
 
+(** Per-function analysis outcome inside one wave. [Skipped] marks a
+    function that was scheduled but not analysable (no parameter
+    environment, or demoted in an earlier round). *)
+type outcome = Analyzed of Engine.t | Crashed of string | Skipped
+
+(** One schedulable unit: the functions of one call-graph SCC discovered in
+    the same wave. [run] is pure with respect to shared driver state — it
+    reads the previous round's environments only — so tasks of one wave may
+    execute concurrently. Each function comes back with a private
+    diagnostics report, merged by the driver in task order. *)
+type task = {
+  group : string list;
+  run : unit -> (string * outcome * Diag.report) list;
+}
+
+(** The scheduler seam: execute a wave of independent tasks and return
+    their results {e in task order}. The default runs them sequentially in
+    the calling domain, which is the exact legacy behaviour. *)
+type runner = task array -> (string * outcome * Diag.report) list array
+
+(** The per-function analysis seam: [Vrp_cache] interposes a memoizing
+    wrapper here. The default is {!Engine.analyze}. *)
+type analyze_fn =
+  config:Engine.config ->
+  report:Diag.report option ->
+  call_oracle:(string -> Value.t list -> Value.t) ->
+  param_values:Value.t list ->
+  Ir.fn ->
+  Engine.t
+
 let result t fname = Hashtbl.find_opt t.results fname
 
 let failure t fname = Hashtbl.find_opt t.failed fname
 
 let default_max_rounds = 5
+
+let sequential_runner : runner = Array.map (fun task -> task.run ())
+
+let default_analyze_fn : analyze_fn =
+ fun ~config ~report ~call_oracle ~param_values fn ->
+  Engine.analyze ~config ?report ~call_oracle ~param_values fn
 
 let env_equal (a : (string, Value.t list) Hashtbl.t) (b : (string, Value.t list) Hashtbl.t) =
   Hashtbl.length a = Hashtbl.length b
@@ -47,14 +94,22 @@ let env_equal (a : (string, Value.t list) Hashtbl.t) (b : (string, Value.t list)
          | None -> false)
        a true
 
+(* Sorted key list of a string-keyed table: environment rebuilds iterate in
+   canonical order so runs are reproducible whatever the hash layout. *)
+let sorted_keys tbl =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
 (** Whole-program analysis, entered at [main]. Per-function fault
-    containment: a function whose [Engine.analyze] raises (divergence guard,
+    containment: a function whose analysis raises (divergence guard,
     injected fault, internal bug) is recorded in [failed] with an
     [Analysis_crashed] diagnostic and excluded from the environments — the
     rest of the program is still analysed, and the pipeline demotes just
-    that function to the heuristic predictor. *)
+    that function to the heuristic predictor. Containment composes with the
+    scheduler: a crash inside a pooled task demotes only that function. *)
 let analyze ?(config = Engine.default_config) ?report
-    ?(max_rounds = default_max_rounds) (program : Ir.program) : t =
+    ?(max_rounds = default_max_rounds) ?(groups : string list list = [])
+    ?(run_tasks = sequential_runner) ?(analyze_fn = default_analyze_fn)
+    (program : Ir.program) : t =
   let param_env : (string, Value.t list) Hashtbl.t = Hashtbl.create 16 in
   let return_env : (string, Value.t) Hashtbl.t = Hashtbl.create 16 in
   let failed : (string, string) Hashtbl.t = Hashtbl.create 4 in
@@ -62,119 +117,178 @@ let analyze ?(config = Engine.default_config) ?report
   | Some main ->
     Hashtbl.replace param_env "main" (List.map (fun _ -> Value.bottom) main.Ir.params)
   | None -> invalid_arg "Interproc.analyze: program has no main");
+  (* Grouping plan: function name -> (group id, members in analysis order).
+     Ungrouped functions are singleton groups. *)
+  let group_of : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun gid members -> List.iter (fun name -> Hashtbl.replace group_of name gid) members)
+    groups;
+  let gid_of name =
+    match Hashtbl.find_opt group_of name with
+    | Some gid -> gid
+    | None -> (* singleton: a unique synthetic id per name *) -1 - Hashtbl.hash name
+  in
   let results = ref (Hashtbl.create 16) in
   let rounds = ref 0 in
   let continue = ref true in
   while !continue && !rounds < max_rounds do
     incr rounds;
     let round_results = Hashtbl.create 16 in
-    (* Jump-function accumulation for the next round: one weighted entry per
-       executable call site. *)
-    let next_params : (string, (float * Value.t) list array option ref) Hashtbl.t =
+    (* Executable (callee, args) records of this round, in deterministic
+       discovery order — the jump functions for the next round. *)
+    let recorded : (string * Value.t list) list ref = ref [] in
+    (* Functions already scheduled into some wave this round. *)
+    let done_fns : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    (* Previous-round environments are read-only for the whole round, so
+       wave tasks may safely share them across domains. *)
+    let call_oracle callee _args =
+      match Hashtbl.find_opt return_env callee with
+      | Some v -> v
+      | None -> Value.bottom
+    in
+    let make_task members =
+      {
+        group = members;
+        run =
+          (fun () ->
+            List.map
+              (fun name ->
+                let local = Diag.create () in
+                match (Ir.find_fn program name, Hashtbl.find_opt param_env name) with
+                | Some fn, Some param_values when not (Hashtbl.mem failed name) -> (
+                  match
+                    analyze_fn ~config ~report:(Some local) ~call_oracle ~param_values fn
+                  with
+                  | res -> (name, Analyzed res, local)
+                  | exception e ->
+                    let why =
+                      match e with
+                      | Diag.Fault.Injected msg -> msg
+                      | e -> Printexc.to_string e
+                    in
+                    (name, Crashed why, local))
+                | _ -> (name, Skipped, local))
+              members);
+      }
+    in
+    (* Wave 0 is main alone; each subsequent wave is the set of
+       not-yet-scheduled functions called by an executable call site of the
+       preceding waves, grouped by the SCC plan in first-discovery order. *)
+    let wave = ref [ [ "main" ] ] in
+    List.iter (fun members -> List.iter (fun n -> Hashtbl.replace done_fns n ()) members) !wave;
+    while !wave <> [] do
+      let task_results = run_tasks (Array.of_list (List.map make_task !wave)) in
+      (* Merge in task order: results, failures, diagnostics, call records
+         and the next frontier are all deterministic. *)
+      let frontier = ref [] (* reversed first-discovery order *) in
+      let in_frontier : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+      Array.iter
+        (fun per_fn ->
+          List.iter
+            (fun (name, outcome, local) ->
+              (match report with
+              | Some r -> Diag.merge ~into:r local
+              | None -> ());
+              match outcome with
+              | Skipped -> ()
+              | Crashed why ->
+                (* Containment: demote this function, keep the run alive.
+                   The function stays demoted for the remaining rounds — a
+                   crash is deterministic for given inputs, and retrying
+                   would only duplicate the diagnostic. *)
+                Hashtbl.replace failed name why;
+                (match report with
+                | Some r ->
+                  Diag.add r ~fn:name Diag.Error Diag.Analysis_crashed
+                    (Printf.sprintf
+                       "analysis raised (%s); function demoted to heuristics" why)
+                | None -> ())
+              | Analyzed res ->
+                Hashtbl.replace round_results name res;
+                List.iter
+                  (fun (_site, (callee, args)) ->
+                    match Ir.find_fn program callee with
+                    | None -> () (* builtin *)
+                    | Some cfn ->
+                      if List.length args = List.length cfn.Ir.params then
+                        recorded := (callee, args) :: !recorded;
+                      if not (Hashtbl.mem param_env callee) then
+                        (* make the callee analysable this round if it only
+                           just became reachable *)
+                        Hashtbl.replace param_env callee
+                          (List.map (fun _ -> Value.bottom) cfn.Ir.params);
+                      if
+                        (not (Hashtbl.mem done_fns callee))
+                        && not (Hashtbl.mem in_frontier callee)
+                      then begin
+                        Hashtbl.replace in_frontier callee ();
+                        frontier := callee :: !frontier
+                      end)
+                  res.Engine.calls_seen)
+            per_fn)
+        task_results;
+      (* Bucket the frontier by SCC group, buckets ordered by the group's
+         first appearance, members kept in discovery order. *)
+      let frontier = List.rev !frontier in
+      let buckets : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+      let bucket_order = ref [] in
+      List.iter
+        (fun name ->
+          let gid = gid_of name in
+          match Hashtbl.find_opt buckets gid with
+          | Some members -> members := name :: !members
+          | None ->
+            let members = ref [ name ] in
+            Hashtbl.replace buckets gid members;
+            bucket_order := gid :: !bucket_order)
+        frontier;
+      let next_wave =
+        List.rev_map
+          (fun gid -> List.rev !(Hashtbl.find buckets gid))
+          !bucket_order
+      in
+      List.iter
+        (fun members -> List.iter (fun n -> Hashtbl.replace done_fns n ()) members)
+        next_wave;
+      wave := next_wave
+    done;
+    (* Build next round's environments from the recorded jump functions.
+       Contributions are accumulated per parameter in record order (one
+       weighted entry per executable call site). *)
+    let next_params : (string, (float * Value.t) list array) Hashtbl.t =
       Hashtbl.create 16
     in
-    let record_call callee (args : Value.t list) =
-      match Ir.find_fn program callee with
-      | None -> () (* builtin *)
-      | Some cfn ->
-        let nparams = List.length cfn.Ir.params in
-        if List.length args = nparams then begin
-          let slot =
-            match Hashtbl.find_opt next_params callee with
-            | Some r -> r
-            | None ->
-              let r = ref None in
-              Hashtbl.replace next_params callee r;
-              r
-          in
-          let arr =
-            match !slot with
-            | Some arr -> arr
-            | None ->
-              let arr = Array.make nparams [] in
-              slot := Some arr;
-              arr
-          in
-          List.iteri (fun i v -> arr.(i) <- (1.0, v) :: arr.(i)) args
-        end
-    in
-    (* Analyse every function that currently has parameter ranges, in a BFS
-       order from main so callees see this round's caller information. *)
-    let analyzed = Hashtbl.create 16 in
-    let queue = Queue.create () in
-    Queue.add "main" queue;
-    while not (Queue.is_empty queue) do
-      let name = Queue.pop queue in
-      if not (Hashtbl.mem analyzed name) then begin
-        Hashtbl.replace analyzed name ();
-        match (Ir.find_fn program name, Hashtbl.find_opt param_env name) with
-        | Some fn, Some param_values when not (Hashtbl.mem failed name) -> (
-          let call_oracle callee _args =
-            match Hashtbl.find_opt return_env callee with
-            | Some v -> v
-            | None -> Value.bottom
-          in
-          match Engine.analyze ~config ?report ~call_oracle ~param_values fn with
-          | exception e ->
-            (* Containment: demote this function, keep the run alive. The
-               function stays demoted for the remaining rounds — a crash is
-               deterministic for given inputs, and retrying would only
-               duplicate the diagnostic. *)
-            let why =
-              match e with
-              | Diag.Fault.Injected msg -> msg
-              | e -> Printexc.to_string e
-            in
-            Hashtbl.replace failed name why;
-            (match report with
-            | Some r ->
-              Diag.add r ~fn:name Diag.Error Diag.Analysis_crashed
-                (Printf.sprintf
-                   "analysis raised (%s); function demoted to heuristics" why)
-            | None -> ())
-          | res ->
-          Hashtbl.replace round_results name res;
-          List.iter
-            (fun (_site, (callee, args)) ->
-              record_call callee args;
-              if Ir.find_fn program callee <> None && not (Hashtbl.mem analyzed callee)
-              then begin
-                (* make the callee analysable this round if it only just
-                   became reachable *)
-                if not (Hashtbl.mem param_env callee) then begin
-                  match Ir.find_fn program callee with
-                  | Some cfn ->
-                    Hashtbl.replace param_env callee
-                      (List.map (fun _ -> Value.bottom) cfn.Ir.params)
-                  | None -> ()
-                end;
-                Queue.add callee queue
-              end)
-            res.Engine.calls_seen)
-        | _ -> ()
-      end
-    done;
-    (* Build next round's environments. *)
+    List.iter
+      (fun (callee, args) ->
+        let arr =
+          match Hashtbl.find_opt next_params callee with
+          | Some arr -> arr
+          | None ->
+            let arr = Array.make (List.length args) [] in
+            Hashtbl.replace next_params callee arr;
+            arr
+        in
+        List.iteri (fun i v -> arr.(i) <- (1.0, v) :: arr.(i)) args)
+      (List.rev !recorded);
     let new_param_env = Hashtbl.create 16 in
     (match Ir.find_fn program "main" with
     | Some main ->
       Hashtbl.replace new_param_env "main"
         (List.map (fun _ -> Value.bottom) main.Ir.params)
     | None -> ());
-    Hashtbl.iter
-      (fun callee slot ->
-        if callee <> "main" then begin
-          match !slot with
-          | Some arr ->
-            Hashtbl.replace new_param_env callee
-              (Array.to_list (Array.map Value.union_weighted arr))
-          | None -> ()
-        end)
-      next_params;
+    List.iter
+      (fun callee ->
+        if callee <> "main" then
+          let arr = Hashtbl.find next_params callee in
+          Hashtbl.replace new_param_env callee
+            (Array.to_list (Array.map Value.union_weighted arr)))
+      (sorted_keys next_params);
     let new_return_env = Hashtbl.create 16 in
-    Hashtbl.iter
-      (fun name (res : Engine.t) -> Hashtbl.replace new_return_env name res.Engine.return_value)
-      round_results;
+    List.iter
+      (fun name ->
+        let res : Engine.t = Hashtbl.find round_results name in
+        Hashtbl.replace new_return_env name res.Engine.return_value)
+      (sorted_keys round_results);
     let ret_equal =
       Hashtbl.length new_return_env = Hashtbl.length return_env
       && Hashtbl.fold

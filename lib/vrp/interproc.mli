@@ -1,7 +1,10 @@
 (** Interprocedural value range propagation (paper §3.7): a round-based
     whole-program driver where jump functions are the argument ranges
     observed at executable call sites and return-jump functions flow callee
-    return ranges back. *)
+    return ranges back. Within a round, functions are analysed in waves —
+    the dynamic topological order of the executable call graph's SCC
+    condensation — and every wave's tasks are independent, which is the
+    scheduling seam the [Vrp_sched] domain pool plugs into. *)
 
 module Ir = Vrp_ir.Ir
 module Value = Vrp_ranges.Value
@@ -24,9 +27,52 @@ val failure : t -> string -> string option
 
 val default_max_rounds : int
 
+(** Per-function analysis outcome inside one wave. *)
+type outcome = Analyzed of Engine.t | Crashed of string | Skipped
+
+(** One schedulable unit: the functions of one call-graph SCC discovered in
+    the same wave. [run] reads only the previous round's environments, so
+    the tasks of one wave may execute concurrently. *)
+type task = {
+  group : string list;
+  run : unit -> (string * outcome * Diag.report) list;
+}
+
+(** The scheduler seam: execute a wave of independent tasks, returning
+    results in task order. The default is sequential in-domain execution —
+    the exact legacy behaviour. *)
+type runner = task array -> (string * outcome * Diag.report) list array
+
+val sequential_runner : runner
+
+(** The per-function analysis seam; [Vrp_cache] interposes a memoizing
+    wrapper here. The default is {!Engine.analyze}. *)
+type analyze_fn =
+  config:Engine.config ->
+  report:Diag.report option ->
+  call_oracle:(string -> Value.t list -> Value.t) ->
+  param_values:Value.t list ->
+  Ir.fn ->
+  Engine.t
+
+val default_analyze_fn : analyze_fn
+
 (** Whole-program analysis entered at [main], with per-function fault
     containment: a function whose analysis raises is recorded in [failed]
-    (and in [report] as [Analysis_crashed]) instead of aborting the run.
+    (and in [report] as [Analysis_crashed]) instead of aborting the run —
+    also under a parallel [run_tasks], where a crash inside a pooled task
+    demotes only that function. [groups] is an SCC partition of the call
+    graph used to co-locate mutually recursive functions in one task;
+    ungrouped functions are singletons. Results and diagnostics are merged
+    in deterministic task order: for a fixed [groups] plan the output is
+    byte-identical whatever [run_tasks] parallelism executes the waves.
     @raise Invalid_argument if the program has no [main]. *)
 val analyze :
-  ?config:Engine.config -> ?report:Diag.report -> ?max_rounds:int -> Ir.program -> t
+  ?config:Engine.config ->
+  ?report:Diag.report ->
+  ?max_rounds:int ->
+  ?groups:string list list ->
+  ?run_tasks:runner ->
+  ?analyze_fn:analyze_fn ->
+  Ir.program ->
+  t

@@ -58,7 +58,8 @@ let compile_result (source : string) : (compiled, Diag.diag) result =
     infrastructure degradation, info when it is the paper's ordinary
     ⊥-range fallback). *)
 let vrp_predictions ?(config = Engine.default_config) ?(interprocedural = true)
-    ?report (ssa : Ir.program) : Predictor.prediction * Interproc.t option =
+    ?report ?groups ?run_tasks ?analyze_fn (ssa : Ir.program) :
+    Predictor.prediction * Interproc.t option =
   let out = Hashtbl.create 64 in
   let record ?fn ?block severity kind message =
     match report with
@@ -137,7 +138,7 @@ let vrp_predictions ?(config = Engine.default_config) ?(interprocedural = true)
       ssa.Ir.fns
   in
   if interprocedural then begin
-    match Interproc.analyze ~config ?report ssa with
+    match Interproc.analyze ~config ?report ?groups ?run_tasks ?analyze_fn ssa with
     | ipa ->
       List.iter
         (fun (fn : Ir.fn) ->

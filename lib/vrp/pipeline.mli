@@ -28,11 +28,18 @@ val compile_result : string -> (compiled, Diag.diag) result
     functions fall back to Ball–Larus, and a per-function crash or governor
     trip demotes only that function. With [report], every fallback is
     recorded as a [Fallback_heuristic] diagnostic (warning severity when
-    caused by infrastructure degradation). *)
+    caused by infrastructure degradation).
+
+    [groups], [run_tasks] and [analyze_fn] are the interprocedural driver's
+    scheduling and memoization seams (see {!Interproc.analyze}); the
+    defaults are sequential, uncached analysis. *)
 val vrp_predictions :
   ?config:Engine.config ->
   ?interprocedural:bool ->
   ?report:Diag.report ->
+  ?groups:string list list ->
+  ?run_tasks:Interproc.runner ->
+  ?analyze_fn:Interproc.analyze_fn ->
   Ir.program ->
   Predictor.prediction * Interproc.t option
 

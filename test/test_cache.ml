@@ -1,0 +1,210 @@
+(** Summary-cache tests: structural digest stability and sensitivity,
+    configuration digests, LRU and disk tiers, invalidation accounting, and
+    the headline soundness property — cached analysis results are
+    indistinguishable from fresh ones. *)
+
+module Ir = Vrp_ir.Ir
+module Engine = Vrp_core.Engine
+module Pipeline = Vrp_core.Pipeline
+module Digest_key = Vrp_cache.Digest_key
+module Summary_cache = Vrp_cache.Summary_cache
+module Batch = Vrp_sched.Batch
+
+let tc = Alcotest.test_case
+
+let src =
+  {|
+int helper(int k) {
+  int acc = 0;
+  for (int i = 0; i < 10; i++) { if (i < 7) { acc = acc + 1; } }
+  return acc + k;
+}
+int main(int n, int s) { if (n > 0) { return helper(n); } return helper(s); }
+|}
+
+let fn_digests source =
+  let c = Helpers.compile source in
+  List.map
+    (fun (fn : Ir.fn) -> (fn.Ir.fname, Digest_key.fn_digest fn))
+    c.Pipeline.ssa.Ir.fns
+
+(* --- Digests --- *)
+
+let digest_stable_across_recompiles () =
+  Alcotest.(check (list (pair string string)))
+    "two parse->SSA round-trips digest identically" (fn_digests src) (fn_digests src)
+
+let digest_changes_on_ir_edit () =
+  let edited = Astring.String.cuts ~sep:"i < 7" src |> String.concat "i < 8" in
+  let orig = List.assoc "helper" (fn_digests src) in
+  let changed = List.assoc "helper" (fn_digests edited) in
+  Alcotest.(check bool) "constant edit changes the digest" true (orig <> changed);
+  (* the untouched sibling keeps its digest: per-function granularity *)
+  Alcotest.(check string) "main unaffected by helper edit"
+    (List.assoc "main" (fn_digests src))
+    (List.assoc "main" (fn_digests edited))
+
+let config_digest_covers_every_knob () =
+  let d = Engine.default_config in
+  let variants =
+    [
+      ("default", d);
+      ("numeric", { d with Engine.symbolic = false });
+      ("no-asserts", { d with Engine.use_assertions = false });
+      ("no-derive", { d with Engine.use_derivation = false });
+      ("quota", { d with Engine.eval_quota = d.Engine.eval_quota + 1 });
+      ("trip-prior", { d with Engine.trip_prior = d.Engine.trip_prior +. 1.0 });
+      ("ssa-first", { d with Engine.flow_first = not d.Engine.flow_first });
+      ("fallback", { d with Engine.fallback = Engine.Even });
+      ("fuel", { d with Engine.fuel = Some 123456 });
+      ("time-limit", { d with Engine.time_limit_s = Some 9.5 });
+      ("max-growth", { d with Engine.max_growth = d.Engine.max_growth + 1 });
+    ]
+  in
+  let digests = List.map (fun (name, c) -> (Digest_key.config_digest c, name)) variants in
+  let uniq = List.sort_uniq compare (List.map fst digests) in
+  if List.length uniq <> List.length digests then
+    Alcotest.failf "config digest collision among: %s"
+      (String.concat ", " (List.map snd digests));
+  (* the global range budget is part of the configuration identity *)
+  Alcotest.(check bool) "max_ranges is in the digest" true
+    (Vrp_ranges.Config.with_max_ranges 8 (fun () -> Digest_key.config_digest d)
+    <> Digest_key.config_digest d)
+
+let task_key_depends_on_inputs () =
+  let fnd = List.assoc "helper" (fn_digests src) in
+  let cfgd = Digest_key.config_digest Engine.default_config in
+  let key ~params ~returns =
+    Digest_key.task_key ~fn_digest:fnd ~config_digest:cfgd ~param_values:params
+      ~callee_returns:returns
+  in
+  let v1 = Vrp_ranges.Value.const_int 1 and v2 = Vrp_ranges.Value.const_int 2 in
+  Alcotest.(check bool) "param ranges keyed" true
+    (key ~params:[ v1 ] ~returns:[] <> key ~params:[ v2 ] ~returns:[]);
+  Alcotest.(check bool) "callee returns keyed" true
+    (key ~params:[ v1 ] ~returns:[ ("f", v1) ] <> key ~params:[ v1 ] ~returns:[ ("f", v2) ]);
+  Alcotest.(check string) "equal inputs, equal key"
+    (key ~params:[ v1 ] ~returns:[ ("f", v2) ])
+    (key ~params:[ v1 ] ~returns:[ ("f", v2) ])
+
+(* --- Store behaviour --- *)
+
+let some_summary = lazy (Helpers.analyze_main "int main(int n, int s) { return n; }")
+
+let counters_check what (c : Summary_cache.counters) ~hits ~misses ~invalidations =
+  Alcotest.(check int) (what ^ ": hits") hits c.Summary_cache.hits;
+  Alcotest.(check int) (what ^ ": misses") misses c.Summary_cache.misses;
+  Alcotest.(check int) (what ^ ": invalidations") invalidations c.Summary_cache.invalidations
+
+let miss_hit_and_invalidation () =
+  let t = Summary_cache.create () in
+  let res = Lazy.force some_summary in
+  let get ~stamp ~key = Summary_cache.find_or_compute t ~slot:"f" ~stamp ~key (fun () -> res) in
+  ignore (get ~stamp:"s1" ~key:"k1");
+  counters_check "first lookup" (Summary_cache.counters t) ~hits:0 ~misses:1 ~invalidations:0;
+  ignore (get ~stamp:"s1" ~key:"k1");
+  counters_check "repeat lookup" (Summary_cache.counters t) ~hits:1 ~misses:1 ~invalidations:0;
+  (* same slot under a new stamp: the function changed underneath us *)
+  ignore (get ~stamp:"s2" ~key:"k2");
+  counters_check "stamp change" (Summary_cache.counters t) ~hits:1 ~misses:2 ~invalidations:1
+
+let lru_evicts_oldest () =
+  let t = Summary_cache.create ~memory_capacity:4 () in
+  let res = Lazy.force some_summary in
+  let get key = ignore (Summary_cache.find_or_compute t ~slot:key ~stamp:"s" ~key (fun () -> res)) in
+  List.iter get [ "k1"; "k2"; "k3"; "k4"; "k5" ];
+  (* exceeding capacity 4 evicts down to 3 entries: k1 and k2 are gone *)
+  get "k5";
+  get "k1";
+  let c = Summary_cache.counters t in
+  Alcotest.(check int) "k5 still cached" 1 c.Summary_cache.hits;
+  Alcotest.(check int) "k1 was evicted" 6 c.Summary_cache.misses
+
+let temp_dir () =
+  let path = Filename.temp_file "vrpcache" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path
+
+let disk_tier_survives_processes () =
+  let dir = temp_dir () in
+  let res = Lazy.force some_summary in
+  let writer = Summary_cache.create ~disk_dir:dir () in
+  ignore (Summary_cache.find_or_compute writer ~slot:"f" ~stamp:"s" ~key:"k1" (fun () -> res));
+  (* a fresh store over the same directory models a new process *)
+  let reader = Summary_cache.create ~disk_dir:dir () in
+  let loaded =
+    Summary_cache.find_or_compute reader ~slot:"f" ~stamp:"s" ~key:"k1" (fun () ->
+        Alcotest.fail "disk hit expected, compute ran")
+  in
+  Alcotest.(check string) "same function came back"
+    res.Engine.fn.Ir.fname loaded.Engine.fn.Ir.fname;
+  Alcotest.(check string) "same return range"
+    (Vrp_ranges.Value.to_string res.Engine.return_value)
+    (Vrp_ranges.Value.to_string loaded.Engine.return_value);
+  let c = Summary_cache.counters reader in
+  Alcotest.(check int) "served from disk" 1 c.Summary_cache.disk_hits;
+  (* a corrupt entry is a miss, never an error *)
+  let oc = open_out_bin (Filename.concat dir "k2.sum") in
+  output_string oc "garbage";
+  close_out oc;
+  let computed = ref false in
+  ignore
+    (Summary_cache.find_or_compute reader ~slot:"g" ~stamp:"s" ~key:"k2" (fun () ->
+         computed := true;
+         res));
+  Alcotest.(check bool) "corrupt file fell back to compute" true !computed
+
+(* --- Cached == fresh, end to end --- *)
+
+let warm_run_computes_nothing () =
+  let sources = [ ("t.mc", src) ] in
+  let fresh = Batch.render (Batch.analyze_sources ~jobs:1 sources) in
+  let cache = Summary_cache.create () in
+  let cold = Batch.render (Batch.analyze_sources ~cache ~jobs:1 sources) in
+  let after_cold = Summary_cache.counters cache in
+  let warm = Batch.render (Batch.analyze_sources ~cache ~jobs:1 sources) in
+  let after_warm = Summary_cache.counters cache in
+  Alcotest.(check string) "cold run matches uncached analysis" fresh cold;
+  Alcotest.(check string) "warm run matches uncached analysis" fresh warm;
+  Alcotest.(check int) "warm run misses nothing" after_cold.Summary_cache.misses
+    after_warm.Summary_cache.misses;
+  Alcotest.(check bool) "warm run actually hit" true
+    (after_warm.Summary_cache.hits > after_cold.Summary_cache.hits)
+
+let config_change_invalidates () =
+  let sources = [ ("t.mc", src) ] in
+  let cache = Summary_cache.create () in
+  ignore (Batch.analyze_sources ~cache ~jobs:1 sources);
+  Alcotest.(check int) "first run sees only fresh slots" 0
+    (Summary_cache.counters cache).Summary_cache.invalidations;
+  ignore (Batch.analyze_sources ~config:Engine.numeric_only_config ~cache ~jobs:1 sources);
+  Alcotest.(check bool) "config flip invalidates every cached function" true
+    ((Summary_cache.counters cache).Summary_cache.invalidations > 0)
+
+let cached_equals_fresh_prop =
+  Helpers.qtest ~count:15 "synth programs: cached == fresh report"
+    QCheck2.Gen.(pair (int_range 4 24) (int_range 0 1_000_000))
+    (fun (units, seed) ->
+      let sources = [ ("synth.mc", Vrp_suite.Synth.generate ~units ~seed) ] in
+      let fresh = Batch.render (Batch.analyze_sources ~jobs:1 sources) in
+      let cache = Summary_cache.create () in
+      ignore (Batch.analyze_sources ~cache ~jobs:1 sources);
+      let warm = Batch.render (Batch.analyze_sources ~cache ~jobs:1 sources) in
+      String.equal fresh warm
+      && (Summary_cache.counters cache).Summary_cache.hits > 0)
+
+let suite =
+  ( "cache",
+    [
+      tc "digest: stable across recompiles" `Quick digest_stable_across_recompiles;
+      tc "digest: sensitive to IR edits" `Quick digest_changes_on_ir_edit;
+      tc "digest: config knobs all keyed" `Quick config_digest_covers_every_knob;
+      tc "digest: task key covers analysis inputs" `Quick task_key_depends_on_inputs;
+      tc "store: miss, hit, invalidation" `Quick miss_hit_and_invalidation;
+      tc "store: LRU evicts the oldest" `Quick lru_evicts_oldest;
+      tc "store: disk tier round-trips" `Quick disk_tier_survives_processes;
+      tc "batch: warm run computes nothing" `Quick warm_run_computes_nothing;
+      tc "batch: config change invalidates" `Quick config_change_invalidates;
+      cached_equals_fresh_prop;
+    ] )

@@ -17,5 +17,7 @@ let () =
       Test_diag.suite;
       Test_resilience.suite;
       Test_frequency.suite;
+      Test_sched.suite;
+      Test_cache.suite;
       Test_integration.suite;
     ]

@@ -1,0 +1,204 @@
+(** Scheduler-subsystem tests: the domain pool (ordering, crash
+    containment), the call-graph SCC condensation plan, and the headline
+    determinism guarantee — wavefront-parallel and batch-parallel analysis
+    must be byte-identical to the sequential reference, including under
+    injected per-function faults and malformed input files. *)
+
+module Ir = Vrp_ir.Ir
+module Engine = Vrp_core.Engine
+module Interproc = Vrp_core.Interproc
+module Diag = Vrp_diag.Diag
+module Pool = Vrp_sched.Pool
+module Callgraph = Vrp_sched.Callgraph
+module Wavefront = Vrp_sched.Wavefront
+module Batch = Vrp_sched.Batch
+module Suite = Vrp_suite.Suite
+
+let tc = Alcotest.test_case
+
+(* The parallel width the determinism tests compare against jobs = 1. CI
+   additionally runs the whole suite with VRP_TEST_JOBS=4. *)
+let test_jobs =
+  match Sys.getenv_opt "VRP_TEST_JOBS" with
+  | Some s -> ( try max 2 (int_of_string s) with _ -> 3)
+  | None -> 3
+
+let suite_sources =
+  List.map
+    (fun (b : Suite.benchmark) -> (b.Suite.name ^ ".mc", b.Suite.source))
+    Suite.benchmarks
+
+(* --- Pool --- *)
+
+let pool_preserves_task_order () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let input = Array.init 100 Fun.id in
+          let out = Pool.map pool (fun x -> x * x) input in
+          Array.iteri
+            (fun i r ->
+              match r with
+              | Ok v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) v
+              | Error e -> Alcotest.failf "slot %d raised %s" i (Printexc.to_string e))
+            out))
+    [ 1; test_jobs ]
+
+let pool_contains_crashes () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let out =
+            Pool.map pool
+              (fun x -> if x = 2 then failwith "poisoned task" else x + 1)
+              [| 0; 1; 2; 3; 4 |]
+          in
+          Array.iteri
+            (fun i r ->
+              match (i, r) with
+              | 2, Error (Failure msg) ->
+                Alcotest.(check string) "reason" "poisoned task" msg
+              | 2, _ -> Alcotest.fail "poisoned slot did not yield its error"
+              | i, Ok v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i + 1) v
+              | i, Error e -> Alcotest.failf "slot %d raised %s" i (Printexc.to_string e))
+            out;
+          (* the pool survives a poisoned batch *)
+          match Pool.map pool succ [| 41 |] with
+          | [| Ok 42 |] -> ()
+          | _ -> Alcotest.fail "pool unusable after a task crashed"))
+    [ 1; test_jobs ]
+
+let pool_clamps_jobs () =
+  Pool.with_pool ~jobs:(-3) (fun pool -> Alcotest.(check int) "clamped" 1 (Pool.jobs pool))
+
+(* --- Call graph --- *)
+
+let chain_src =
+  {|
+int leaf(int n) { if (n > 3) { return n; } return 3; }
+int mid(int n) { if (n > 1) { return leaf(n); } return leaf(n + 1); }
+int main(int n, int s) { if (n > 0) { return mid(n); } return mid(s); }
+|}
+
+let scc_plan_is_topological () =
+  let c = Helpers.compile chain_src in
+  let groups = Callgraph.scc_groups c.Vrp_core.Pipeline.ssa in
+  let flat = List.concat groups in
+  Alcotest.(check (list string))
+    "every function in exactly one SCC" [ "leaf"; "main"; "mid" ]
+    (List.sort compare flat);
+  let pos name =
+    match List.find_index (List.mem name) groups with
+    | Some i -> i
+    | None -> Alcotest.failf "%s not in any SCC" name
+  in
+  Alcotest.(check bool) "main before mid" true (pos "main" < pos "mid");
+  Alcotest.(check bool) "mid before leaf" true (pos "mid" < pos "leaf")
+
+let self_recursion_is_own_scc () =
+  let src =
+    {|
+int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+int main(int n, int s) { return fact(n); }
+|}
+  in
+  let c = Helpers.compile src in
+  let cg = Callgraph.build c.Vrp_core.Pipeline.ssa in
+  Alcotest.(check (list string)) "fact calls itself" [ "fact" ] (Callgraph.callees cg "fact");
+  let groups = Callgraph.sccs cg in
+  Alcotest.(check bool) "fact is a singleton SCC" true (List.mem [ "fact" ] groups)
+
+(* --- Wavefront determinism --- *)
+
+(* Order-insensitive fingerprint of an interprocedural result: per-function
+   branch probabilities, return range and the demotion table. *)
+let ipa_signature (ipa : Interproc.t) =
+  let results =
+    Hashtbl.fold
+      (fun name (res : Engine.t) acc ->
+        let probs = ref [] in
+        Ir.iter_blocks res.Engine.fn (fun b ->
+            match Engine.branch_prob res b.Ir.bid with
+            | Some p -> probs := (b.Ir.bid, p) :: !probs
+            | None -> ());
+        ( name,
+          List.sort compare !probs,
+          Vrp_ranges.Value.to_string res.Engine.return_value )
+        :: acc)
+      ipa.Interproc.results []
+    |> List.sort compare
+  in
+  let failed =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) ipa.Interproc.failed []
+    |> List.sort compare
+  in
+  (results, failed)
+
+let wavefront_matches_sequential () =
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let c = Helpers.compile b.Suite.source in
+      let ssa = c.Vrp_core.Pipeline.ssa in
+      let seq = Interproc.analyze ssa in
+      let par = Wavefront.analyze ~jobs:test_jobs ssa in
+      if ipa_signature par <> ipa_signature seq then
+        Alcotest.failf "%s: parallel wavefront diverged from sequential" b.Suite.name)
+    Suite.benchmarks
+
+(* --- Batch determinism (the --jobs 1 vs --jobs N regression test) --- *)
+
+let batch_render ?config ~jobs sources = Batch.render (Batch.analyze_sources ?config ~jobs sources)
+
+let batch_is_deterministic () =
+  let reference = batch_render ~jobs:1 suite_sources in
+  Alcotest.(check string)
+    (Printf.sprintf "jobs=%d report identical to jobs=1" test_jobs)
+    reference
+    (batch_render ~jobs:test_jobs suite_sources);
+  Alcotest.(check bool) "report is non-trivial" true (String.length reference > 100)
+
+let batch_contains_bad_files () =
+  let sources =
+    [ ("bad.mc", "int main( {"); ("good.mc", chain_src) ]
+  in
+  let results = Batch.analyze_sources ~jobs:test_jobs sources in
+  (match results with
+  | [ bad; good ] ->
+    Alcotest.(check bool) "bad file has an error" true (bad.Batch.error <> None);
+    Alcotest.(check bool) "good file analysed" true
+      (good.Batch.error = None && good.Batch.predictions <> [])
+  | _ -> Alcotest.fail "expected two file results in input order");
+  let a = Batch.aggregate results in
+  Alcotest.(check int) "one failed file" 1 a.Batch.failed_files;
+  Alcotest.(check string) "containment is deterministic"
+    (batch_render ~jobs:1 sources)
+    (Batch.render results)
+
+let batch_deterministic_under_faults () =
+  let config = { Engine.default_config with Engine.fault = Some (Diag.Fault.Crash_fn "mid") } in
+  let sources = [ ("a.mc", chain_src); ("b.mc", chain_src) ] in
+  let reference = batch_render ~config ~jobs:1 sources in
+  Alcotest.(check string) "crash-injected run identical across jobs" reference
+    (batch_render ~config ~jobs:test_jobs sources);
+  let results = Batch.analyze_sources ~config ~jobs:test_jobs sources in
+  List.iter
+    (fun (r : Batch.file_result) ->
+      Alcotest.(check bool)
+        (r.Batch.name ^ ": mid demoted")
+        true
+        (List.exists (fun (fn, _) -> fn = "mid") r.Batch.demoted))
+    results
+
+let suite =
+  ( "sched",
+    [
+      tc "pool: results in task order" `Quick pool_preserves_task_order;
+      tc "pool: crash containment" `Quick pool_contains_crashes;
+      tc "pool: jobs clamped to 1" `Quick pool_clamps_jobs;
+      tc "callgraph: SCC plan is topological" `Quick scc_plan_is_topological;
+      tc "callgraph: self-recursion" `Quick self_recursion_is_own_scc;
+      tc "wavefront: parallel == sequential on the suite" `Slow wavefront_matches_sequential;
+      tc "batch: jobs=1 vs jobs=N byte-identical" `Slow batch_is_deterministic;
+      tc "batch: malformed file contained" `Quick batch_contains_bad_files;
+      tc "batch: deterministic under injected faults" `Quick batch_deterministic_under_faults;
+    ] )

@@ -182,6 +182,7 @@ let ablate_trip_prior () =
    speedup of ~1.0 on a 1-core box is not mistaken for a scheduler bug. *)
 let batch_bench ~json () =
   let module Batch = Vrp_sched.Batch in
+  let module Supervisor = Vrp_sched.Supervisor in
   let module Summary_cache = Vrp_cache.Summary_cache in
   let sources =
     List.map
@@ -206,6 +207,19 @@ let batch_bench ~json () =
   let warm, warm_s = time (fun () -> Batch.analyze_sources ~cache ~jobs sources) in
   if Batch.render warm <> Batch.render reference then
     failwith "batch bench: warm-cache run diverged from fresh analysis";
+  (* Supervised pass: a generous deadline that healthy analyses never hit,
+     cross-checked byte-identical — supervision must be a no-op on results. *)
+  let sup_policy =
+    { Supervisor.default_policy with deadline_ms = Some 30_000; retries = 1 }
+  in
+  let (supervised, sup_counters), sup_s =
+    time (fun () ->
+        Supervisor.with_supervisor ~policy:sup_policy (fun supervisor ->
+            let r = Batch.analyze_sources ~supervisor ~jobs sources in
+            (r, Supervisor.counters supervisor)))
+  in
+  if Batch.render supervised <> Batch.render reference then
+    failwith "batch bench: supervised run diverged from the sequential reference";
   let agg = Batch.aggregate reference in
   let c = Summary_cache.counters cache in
   let hit_rate =
@@ -222,19 +236,23 @@ let batch_bench ~json () =
       "{\"files\": %d, \"functions\": %d, \"branches\": %d, \"jobs\": %d, \
        \"cores\": %d,\n\
       \ \"wall_s\": {\"jobs1\": %.6f, \"jobs%d\": %.6f, \"cache_cold\": %.6f, \
-       \"cache_warm\": %.6f},\n\
+       \"cache_warm\": %.6f, \"supervised\": %.6f},\n\
       \ \"functions_per_sec\": {\"jobs1\": %.1f, \"jobs%d\": %.1f, \
        \"cache_warm\": %.1f},\n\
       \ \"speedup_vs_jobs1\": %.3f, \"warm_speedup_vs_jobs1\": %.3f,\n\
       \ \"cache\": {\"hits\": %d, \"disk_hits\": %d, \"misses\": %d, \
-       \"invalidations\": %d, \"hit_rate\": %.3f},\n\
+       \"invalidations\": %d, \"quarantined\": %d, \"hit_rate\": %.3f},\n\
+      \ \"supervision\": {\"deadline_ms\": 30000, \"retries_allowed\": 1, \
+       \"deadline_hits\": %d, \"retries\": %d, \"gave_up\": %d},\n\
       \ \"deterministic\": true}\n"
       agg.Batch.files agg.Batch.functions agg.Batch.branches jobs cores seq_s
-      jobs par_s cold_s warm_s (fns_per_sec seq_s) jobs (fns_per_sec par_s)
+      jobs par_s cold_s warm_s sup_s (fns_per_sec seq_s) jobs (fns_per_sec par_s)
       (fns_per_sec warm_s) speedup
       (if warm_s > 0.0 then seq_s /. warm_s else 0.0)
       c.Summary_cache.hits c.Summary_cache.disk_hits c.Summary_cache.misses
-      c.Summary_cache.invalidations hit_rate
+      c.Summary_cache.invalidations c.Summary_cache.quarantined hit_rate
+      sup_counters.Supervisor.deadline_hits sup_counters.Supervisor.retry_count
+      sup_counters.Supervisor.gave_up
   else begin
     header "Batch analysis: domain-pool scheduler + summary cache";
     Printf.printf "  corpus: %d files, %d functions, %d branches (%d cores available)\n"
@@ -247,10 +265,13 @@ let batch_bench ~json () =
         (Printf.sprintf "jobs=%d" jobs, par_s);
         ("cache cold", cold_s);
         ("cache warm", warm_s);
+        ("supervised", sup_s);
       ];
     Printf.printf "  speedup vs jobs=1: %.2fx parallel, %.2fx warm cache\n" speedup
       (if warm_s > 0.0 then seq_s /. warm_s else 0.0);
     Printf.printf "  %s\n" (Summary_cache.counters_line cache);
+    Printf.printf "  supervision (30s deadline, 1 retry): %d deadline hit(s), %d retry(ies)\n"
+      sup_counters.Supervisor.deadline_hits sup_counters.Supervisor.retry_count;
     Printf.printf "  all variants rendered byte-identically to jobs=1\n%!"
   end
 

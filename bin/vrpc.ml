@@ -7,7 +7,10 @@
 
    Exit codes: 0 success; 1 bad input program or internal analysis error;
    2 usage error (no input given); 3 analysis degraded under --strict;
-   124 malformed command line (cmdliner's standard). *)
+   124 malformed command line (cmdliner's standard). In batch mode the
+   per-severity codes are: 2 when any file failed (front-end error or a
+   crashed task — the batch still completes and reports every other file),
+   3 under --strict when no file failed but some analysis degraded. *)
 
 open Cmdliner
 
@@ -135,8 +138,10 @@ let diag_args =
       & opt (some fault_conv) None
       & info [ "inject-fault" ] ~docv:"SPEC" ~docs:"TESTING (HIDDEN)"
           ~doc:
-            "Inject a deterministic analysis fault: $(b,crash:FN), \
-             $(b,fuel:FN), $(b,timeout:FN) or $(b,steps:N).")
+            "Inject a deterministic fault: $(b,crash:FN), $(b,fuel:FN), \
+             $(b,timeout:FN), $(b,steps:N), $(b,hang:FN), $(b,flaky:FN:K), \
+             $(b,crash-file:NAME), $(b,corrupt-cache:N) or \
+             $(b,torn-journal:N).")
   in
   Term.(const (fun d s f -> (d, s, f)) $ diagnostics $ strict $ fault)
 
@@ -383,11 +388,15 @@ let dot file bench fn_filter annotate =
         (select_fns c.Pipeline.ssa fn_filter))
 
 (* Batch mode: fan out over a directory of MiniC files on a domain pool,
-   with an optional content-addressed summary cache. Predictions go to
-   stdout and are byte-identical for any --jobs; timing and cache traffic —
-   which legitimately vary — go to stderr. *)
-let batch dir jobs cache_dir numeric (diagnostics, strict, fault) =
+   with an optional content-addressed summary cache, per-task supervision
+   (--deadline-ms / --retries) and checkpoint/resume (--resume JOURNAL).
+   Predictions go to stdout and are byte-identical for any --jobs and for
+   resumed runs; timing, cache traffic and supervision counters — which
+   legitimately vary — go to stderr. *)
+let batch dir jobs cache_dir cache_max_mb deadline_ms retries resume numeric
+    (diagnostics, strict, fault) =
   let module Batch = Vrp_sched.Batch in
+  let module Supervisor = Vrp_sched.Supervisor in
   let module Summary_cache = Vrp_cache.Summary_cache in
   let paths =
     match Batch.list_dir dir with
@@ -401,10 +410,38 @@ let batch dir jobs cache_dir numeric (diagnostics, strict, fault) =
       exit 2
   in
   let sources = List.map (fun p -> (p, read_file p)) paths in
-  let cache = Option.map (fun dir -> Summary_cache.create ~disk_dir:dir ()) cache_dir in
-  let config = { (config_of_flags numeric) with Engine.fault } in
+  (* One fault spec, routed to the layer it exercises: the cache writer,
+     the journal writer, or the analysis engine. *)
+  let cache_fault, journal_fault, engine_fault =
+    match fault with
+    | Some (Diag.Fault.Corrupt_cache _) -> (fault, None, None)
+    | Some (Diag.Fault.Torn_journal _) -> (None, fault, None)
+    | _ -> (None, None, fault)
+  in
+  let cache =
+    Option.map
+      (fun dir ->
+        Summary_cache.create ~disk_dir:dir ?max_disk_mb:cache_max_mb
+          ?fault:cache_fault ())
+      cache_dir
+  in
+  let config = { (config_of_flags numeric) with Engine.fault = engine_fault } in
+  let supervisor =
+    if deadline_ms <> None || retries > 0 then
+      Some
+        (Supervisor.create
+           ~policy:{ Supervisor.default_policy with deadline_ms; retries }
+           ())
+    else None
+  in
   let t0 = Unix.gettimeofday () in
-  let results = Batch.analyze_sources ~config ?cache ~jobs sources in
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Supervisor.shutdown supervisor)
+      (fun () ->
+        Batch.analyze_sources ~config ?cache ?supervisor ?journal:resume
+          ?journal_fault ~jobs sources)
+  in
   let elapsed = Unix.gettimeofday () -. t0 in
   print_string (Batch.render results);
   let a = Batch.aggregate results in
@@ -412,6 +449,10 @@ let batch dir jobs cache_dir numeric (diagnostics, strict, fault) =
     a.Batch.files a.Batch.functions a.Batch.branches elapsed jobs
     (if jobs = 1 then "" else "s")
     (if elapsed > 0.0 then float_of_int a.Batch.functions /. elapsed else 0.0);
+  if resume <> None then
+    Printf.eprintf "journal: %d of %d file(s) resumed from checkpoint\n"
+      a.Batch.resumed_files a.Batch.files;
+  Option.iter (fun s -> prerr_endline (Supervisor.counters_line s)) supervisor;
   (match cache with
   | Some c -> prerr_endline (Summary_cache.counters_line c)
   | None -> ());
@@ -423,9 +464,7 @@ let batch dir jobs cache_dir numeric (diagnostics, strict, fault) =
           prerr_string (Diag.render r.Batch.report)
         end)
       results;
-  if a.Batch.failed_files > 0 then exit 1;
-  if strict && List.exists (fun (r : Batch.file_result) -> Diag.degraded r.Batch.report) results
-  then exit 3
+  exit (Batch.exit_code ~strict results)
 
 let list_benchmarks () =
   List.iter
@@ -466,9 +505,50 @@ let batch_cmd =
       & pos 0 (some dir) None
       & info [] ~docv:"DIR" ~doc:"Directory of MiniC files to analyse.")
   in
+  let cache_max_mb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-max-mb" ] ~docv:"MB"
+          ~doc:
+            "Cap the on-disk summary cache at $(docv) megabytes; the oldest \
+             entries are evicted at startup to fit the budget.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Cancel any single function analysis running longer than \
+             $(docv) milliseconds of wall clock; the function is demoted to \
+             the Ball–Larus fallback instead of stalling the batch.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a failed or cancelled function analysis up to $(docv) \
+             times (with deterministic backoff) before demoting it.")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"JOURNAL"
+          ~doc:
+            "Checkpoint each completed file to $(docv) and, if it already \
+             holds records from an interrupted run, skip the files whose \
+             inputs are unchanged — the report stays byte-identical to an \
+             uninterrupted run.")
+  in
   cmd_of "batch"
-    "Analyse every MiniC file in a directory concurrently with summary caching."
-    Term.(const batch $ dir_arg $ jobs_arg $ cache_arg $ numeric_arg $ diag_args)
+    "Analyse every MiniC file in a directory concurrently with summary \
+     caching, supervision and checkpoint/resume."
+    Term.(
+      const batch $ dir_arg $ jobs_arg $ cache_arg $ cache_max_mb_arg
+      $ deadline_arg $ retries_arg $ resume_arg $ numeric_arg $ diag_args)
 
 let run_cmd =
   let args =

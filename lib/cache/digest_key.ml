@@ -176,6 +176,9 @@ let config_digest (c : Engine.config) =
   add_int buf c.Engine.max_growth;
   add_option buf (fun buf fault -> add_string buf (Vrp_diag.Diag.Fault.to_string fault))
     c.Engine.fault;
+  (* [c.Engine.cancel] is deliberately NOT digested: a supervision token is
+     non-semantic (it can only abort an analysis, never change its result),
+     and keying on it would make every retry attempt a spurious miss. *)
   (* Global tunables the engine reads outside its config record. *)
   add_int buf !Vrp_ranges.Config.max_ranges;
   Digest.to_hex (Digest.string (Buffer.contents buf))

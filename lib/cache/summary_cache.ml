@@ -11,10 +11,12 @@ type counters = {
   mutable misses : int;
   mutable stores : int;
   mutable invalidations : int;
+  mutable quarantined : int;
 }
 
 let zero_counters () =
-  { hits = 0; disk_hits = 0; misses = 0; stores = 0; invalidations = 0 }
+  { hits = 0; disk_hits = 0; misses = 0; stores = 0; invalidations = 0;
+    quarantined = 0 }
 
 type entry = { res : Engine.t; mutable last_use : int }
 
@@ -26,12 +28,107 @@ type t = {
   lock : Mutex.t;
   c : counters;
   mutable tick : int;
+  mutable maintenance : bool;
+      (* this process holds the directory lock and may sweep/evict *)
+  mutable lock_fd : Unix.file_descr option;  (* held until [close] / exit *)
+  fault : Diag.Fault.t option;
+  mutable disk_writes : int;  (* for Corrupt_cache cadence *)
 }
 
-let create ?(memory_capacity = 4096) ?disk_dir () =
+let is_sum_file name = Filename.check_suffix name ".sum"
+
+let is_stale_debris name =
+  (* Temp files a killed writer left behind ([KEY.sum.tmp.PID.DOMAIN]) and
+     quarantined corrupt entries from earlier runs. *)
+  Vrp_util.Strutil.is_infix ~affix:".sum.tmp." name
+  || Filename.check_suffix name ".sum.bad"
+
+(* Advisory exclusive lock on DIR/.lock. The holder is the maintenance
+   process for the directory: only it sweeps debris and applies the disk
+   eviction cap, so two concurrent [vrpc batch --cache DIR] runs cannot
+   delete files out from under each other. Entry reads/writes themselves
+   are lock-free — they are content-addressed and atomically renamed, so
+   the worst cross-process race is a harmless double write of identical
+   bytes. The lock is released when the process exits. *)
+(* POSIX record locks are per-process: a second [lockf] from the same
+   process would succeed (and closing either fd would drop both), so the
+   cross-process [lockf] is paired with a process-local registry giving two
+   in-process stores over one directory the same winner-takes-it semantics
+   two processes get. Maintenance rights are held until the process exits. *)
+let process_locked_dirs : (string, unit) Hashtbl.t = Hashtbl.create 4
+let process_locked_dirs_mutex = Mutex.create ()
+
+let try_lock_dir dir =
+  Mutex.lock process_locked_dirs_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock process_locked_dirs_mutex)
+    (fun () ->
+      if Hashtbl.mem process_locked_dirs dir then (false, None)
+      else
+        match
+          Unix.openfile (Filename.concat dir ".lock")
+            [ Unix.O_CREAT; Unix.O_RDWR ] 0o644
+        with
+        | exception Unix.Unix_error _ -> (false, None)
+        | fd -> (
+          match Unix.lockf fd Unix.F_TLOCK 0 with
+          | () ->
+            Hashtbl.replace process_locked_dirs dir ();
+            (true, Some fd)
+          | exception Unix.Unix_error _ ->
+            Unix.close fd;
+            (false, None)))
+
+let sweep_debris dir =
+  Array.iter
+    (fun name ->
+      if is_stale_debris name then
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||])
+
+(* Cap the disk tier at [max_mb] megabytes by deleting the oldest entries
+   (mtime order) until under budget. Runs only at open, under the lock. *)
+let evict_to_cap dir max_mb =
+  let budget = max_mb * 1024 * 1024 in
+  let entries =
+    (try Sys.readdir dir with Sys_error _ -> [||])
+    |> Array.to_list
+    |> List.filter_map (fun name ->
+           if not (is_sum_file name) then None
+           else
+             let path = Filename.concat dir name in
+             match Unix.stat path with
+             | st -> Some (st.Unix.st_mtime, st.Unix.st_size, path)
+             | exception Unix.Unix_error _ -> None)
+  in
+  let total = List.fold_left (fun acc (_, sz, _) -> acc + sz) 0 entries in
+  if total > budget then begin
+    let by_age = List.sort compare entries in
+    let excess = ref (total - budget) in
+    List.iter
+      (fun (_, sz, path) ->
+        if !excess > 0 then begin
+          (try Sys.remove path with Sys_error _ -> ());
+          excess := !excess - sz
+        end)
+      by_age
+  end
+
+let create ?(memory_capacity = 4096) ?disk_dir ?max_disk_mb ?fault () =
   (match disk_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | _ -> ());
+  let maintenance, lock_fd =
+    match disk_dir with
+    | None -> (false, None)
+    | Some dir ->
+      let locked, fd = try_lock_dir dir in
+      if locked then begin
+        sweep_debris dir;
+        Option.iter (fun mb -> evict_to_cap dir (max 0 mb)) max_disk_mb
+      end;
+      (locked, fd)
+  in
   {
     capacity = max 1 memory_capacity;
     mem = Hashtbl.create 256;
@@ -40,6 +137,10 @@ let create ?(memory_capacity = 4096) ?disk_dir () =
     lock = Mutex.create ();
     c = zero_counters ();
     tick = 0;
+    maintenance;
+    lock_fd;
+    fault;
+    disk_writes = 0;
   }
 
 let locked t f =
@@ -54,12 +155,31 @@ let counters t =
         misses = t.c.misses;
         stores = t.c.stores;
         invalidations = t.c.invalidations;
+        quarantined = t.c.quarantined;
       })
+
+let holds_maintenance_lock t = t.maintenance
+
+(* Release the maintenance lock (closing the fd drops the [lockf] lock).
+   The entry tiers stay usable; only the right to sweep/evict is given up,
+   exactly as if the owning process had exited. *)
+let close t =
+  locked t (fun () ->
+      (match (t.lock_fd, t.disk_dir) with
+      | Some fd, Some dir ->
+        Mutex.lock process_locked_dirs_mutex;
+        Hashtbl.remove process_locked_dirs dir;
+        Mutex.unlock process_locked_dirs_mutex;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      | _ -> ());
+      t.lock_fd <- None;
+      t.maintenance <- false)
 
 let counters_line t =
   let c = counters t in
-  Printf.sprintf "summary cache: %d hits (%d from disk), %d misses, %d invalidations"
-    c.hits c.disk_hits c.misses c.invalidations
+  Printf.sprintf
+    "summary cache: %d hits (%d from disk), %d misses, %d invalidations, %d quarantined"
+    c.hits c.disk_hits c.misses c.invalidations c.quarantined
 
 let report_into t report =
   Diag.add report Diag.Info Diag.Cache_event (counters_line t)
@@ -81,36 +201,72 @@ let insert_locked t key res =
 
 (* --- Disk tier ---
 
-   One marshalled file per key, written atomically (temp file + rename).
-   Any read problem — torn file, format drift across builds — is treated
-   as a miss; [format_version] inside the payload guards deliberate format
-   changes. *)
+   One file per key, written atomically (temp file + rename), framed for
+   end-to-end integrity verification:
 
-let disk_magic = "vrpsum1"
+     magic (7 bytes) | payload length (8 hex) | MD5(payload) (32 hex) | payload
+
+   where payload = Marshal (format_version, summary). Reads classify every
+   entry as served / stale (clean frame, old format version — deleted and
+   recomputed) / corrupt (torn write, bit rot, foreign bytes — quarantined
+   aside as KEY.sum.bad so it is kept as evidence but never retried). Both
+   degradations are a counted miss plus an invalidation; neither can crash
+   or poison the run. *)
+
+let disk_magic = "vrpsum2"
 
 let disk_path dir key = Filename.concat dir (key ^ ".sum")
 
+type disk_read = Served of Engine.t | Stale | Corrupt | Absent
+
+let read_frame path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let magic = really_input_string ic (String.length disk_magic) in
+        if not (String.equal magic disk_magic) then Corrupt
+        else
+          match int_of_string_opt ("0x" ^ really_input_string ic 8) with
+          | None -> Corrupt
+          | Some len ->
+            let sum = really_input_string ic 32 in
+            let payload = really_input_string ic len in
+            if not (String.equal sum (Digest.to_hex (Digest.string payload))) then
+              Corrupt
+            else
+              let version, (res : Engine.t) = Marshal.from_string payload 0 in
+              if version <> Digest_key.format_version then Stale else Served res)
+  with
+  | End_of_file -> Corrupt  (* truncated frame *)
+  | _ -> Corrupt
+
 let disk_load t key =
   match t.disk_dir with
-  | None -> None
-  | Some dir -> (
+  | None -> Absent
+  | Some dir ->
     let path = disk_path dir key in
-    if not (Sys.file_exists path) then None
-    else
-      try
-        let ic = open_in_bin path in
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () ->
-            let magic = really_input_string ic (String.length disk_magic) in
-            if not (String.equal magic disk_magic) then None
-            else
-              let version : int = Marshal.from_channel ic in
-              if version <> Digest_key.format_version then None
-              else
-                let res : Engine.t = Marshal.from_channel ic in
-                Some res)
-      with _ -> None)
+    if not (Sys.file_exists path) then Absent
+    else begin
+      match read_frame path with
+      | Served res -> Served res
+      | Stale ->
+        (* old format: no foul play, just drop it for rewrite *)
+        (try Sys.remove path with Sys_error _ -> ());
+        Stale
+      | Corrupt ->
+        (* quarantine: keep the bytes as evidence, never retry them *)
+        (try Sys.rename path (path ^ ".bad")
+         with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
+        Corrupt
+      | Absent -> Absent
+    end
+
+let frame_of payload =
+  Printf.sprintf "%s%08x%s%s" disk_magic (String.length payload)
+    (Digest.to_hex (Digest.string payload))
+    payload
 
 let disk_store t key (res : Engine.t) =
   match t.disk_dir with
@@ -121,14 +277,30 @@ let disk_store t key (res : Engine.t) =
       Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
         (Domain.self () :> int)
     in
+    let payload = Marshal.to_string (Digest_key.format_version, res) [] in
+    let frame = frame_of payload in
+    let frame =
+      (* Fault injection: flip a payload bit *after* framing, so the stored
+         checksum still describes the original bytes — exactly what on-disk
+         bit rot looks like. The read path must fail verification and
+         quarantine the entry; the corrupt bytes must never reach Marshal. *)
+      match t.fault with
+      | Some (Diag.Fault.Corrupt_cache n) when n >= 1 ->
+        let nth = locked t (fun () -> t.disk_writes <- t.disk_writes + 1; t.disk_writes) in
+        if nth mod n = 0 then begin
+          let b = Bytes.of_string frame in
+          let mid = String.length frame - (String.length payload / 2) - 1 in
+          Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0xff));
+          Bytes.to_string b
+        end
+        else frame
+      | _ -> frame
+    in
     try
       let oc = open_out_bin tmp in
       Fun.protect
         ~finally:(fun () -> close_out_noerr oc)
-        (fun () ->
-          output_string oc disk_magic;
-          Marshal.to_channel oc Digest_key.format_version [];
-          Marshal.to_channel oc res []);
+        (fun () -> output_string oc frame);
       Sys.rename tmp path
     with _ -> ( try Sys.remove tmp with _ -> ()))
 
@@ -154,14 +326,21 @@ let find_or_compute t ~slot ~stamp ~key compute =
   | Some res -> res
   | None -> (
     match disk_load t key with
-    | Some res ->
+    | Served res ->
       locked t (fun () ->
           t.c.hits <- t.c.hits + 1;
           t.c.disk_hits <- t.c.disk_hits + 1;
           insert_locked t key res);
       res
-    | None ->
-      locked t (fun () -> t.c.misses <- t.c.misses + 1);
+    | (Stale | Corrupt | Absent) as verdict ->
+      locked t (fun () ->
+          t.c.misses <- t.c.misses + 1;
+          match verdict with
+          | Stale -> t.c.invalidations <- t.c.invalidations + 1
+          | Corrupt ->
+            t.c.invalidations <- t.c.invalidations + 1;
+            t.c.quarantined <- t.c.quarantined + 1
+          | Served _ | Absent -> ());
       let res = compute () in
       locked t (fun () -> insert_locked t key res);
       disk_store t key res;

@@ -1,9 +1,22 @@
 (** Content-addressed function-summary store.
 
     Two tiers: a bounded in-memory LRU map from {!Digest_key.task_key} to
-    the full analysis result, and an optional on-disk tier (one marshalled
+    the full analysis result, and an optional on-disk tier (one checksummed
     file per key under [disk_dir]) that survives across processes — a warm
     [vrpc batch --cache DIR] run re-analyzes zero unchanged functions.
+
+    Disk-tier integrity: every entry is framed with a payload checksum that
+    is verified on read. A torn, truncated, or bit-rotted entry is counted
+    as a miss plus an invalidation, quarantined aside as [KEY.sum.bad], and
+    recomputed — corruption can degrade performance but never crashes a run
+    or poisons a result. An entry written by an older format version is
+    silently dropped and rewritten. At open, the first process to take the
+    advisory lock file ([DIR/.lock]) becomes the directory's maintenance
+    process: it sweeps debris left by killed writers (stale [*.sum.tmp.*]
+    temp files, old quarantine files) and applies the optional disk budget
+    by evicting the oldest entries. Entry reads and writes themselves are
+    lock-free: they are content-addressed and atomically renamed, so the
+    worst cross-process race is a harmless double write of identical bytes.
 
     Thread safety: every operation is mutex-guarded except the summary
     computation itself, which runs unlocked — two domains racing on the
@@ -24,15 +37,38 @@ type counters = {
   mutable invalidations : int;
       (** lookups whose slot (function) was previously cached under a
           different IR or configuration digest — an IR edit or a config
-          change made the old summaries stale *)
+          change made the old summaries stale — plus disk entries dropped
+          as stale-format or corrupt *)
+  mutable quarantined : int;
+      (** disk entries that failed checksum or frame verification and were
+          moved aside as [KEY.sum.bad]; always a subset of [invalidations] *)
 }
 
 type t
 
 (** [create ()] builds a store with an in-memory LRU of [memory_capacity]
     entries (default 4096) and, when [disk_dir] is given, a persistent tier
-    under that directory (created if missing). *)
-val create : ?memory_capacity:int -> ?disk_dir:string -> unit -> t
+    under that directory (created if missing). [max_disk_mb] caps the disk
+    tier's total size in megabytes, enforced at open by the maintenance
+    process (oldest entries evicted first). [fault] enables deterministic
+    fault injection — [corrupt-cache:N] flips a payload bit in every Nth
+    disk write so the verified read path can be exercised end to end. *)
+val create :
+  ?memory_capacity:int ->
+  ?disk_dir:string ->
+  ?max_disk_mb:int ->
+  ?fault:Diag.Fault.t ->
+  unit ->
+  t
+
+(** True when this store won the advisory directory lock at [create] time
+    and performed (and may perform) debris sweeping and eviction. *)
+val holds_maintenance_lock : t -> bool
+
+(** Release the maintenance lock so another store (or process) can take it
+    over; lookups and stores keep working. A process exiting releases the
+    lock implicitly — this is for long-running embedders and tests. *)
+val close : t -> unit
 
 (** Snapshot of the traffic counters. *)
 val counters : t -> counters

@@ -27,6 +27,9 @@ type kind =
   | Front_end_error  (** parse / type / IR-check failure *)
   | Fault_injected  (** a deterministic test fault fired *)
   | Cache_event  (** summary-cache traffic: hits / misses / invalidations *)
+  | Deadline_exceeded  (** a supervised task overran its wall-clock deadline *)
+  | Task_retry  (** a supervised task failed and was retried *)
+  | Journal_event  (** batch journal traffic: checkpoints, resumes *)
   | Note  (** free-form informational event *)
 
 type location = { fn : string option; block : int option }
@@ -86,6 +89,9 @@ let kind_to_string = function
   | Front_end_error -> "front-end-error"
   | Fault_injected -> "fault-injected"
   | Cache_event -> "cache-event"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Task_retry -> "task-retry"
+  | Journal_event -> "journal-event"
   | Note -> "note"
 
 let location_to_string loc =
@@ -141,6 +147,40 @@ let render report =
        (if degraded report then "; run degraded" else ""));
   Buffer.contents buf
 
+(** Cooperative cancellation for supervised tasks. The token is shared
+    domain-safe state: the worker running a task beats the heartbeat and
+    polls [cancelled] at its safe points (one atomic load per worklist
+    step), while a monitor in another domain watches the wall clock and
+    flips the flag when the task's deadline passes. Cancellation is how a
+    hung or overrunning analysis is broken out of — OCaml domains cannot be
+    killed, so the engine must volunteer. *)
+module Cancel = struct
+  type token = {
+    cancelled : bool Atomic.t;
+    heartbeat : int Atomic.t;
+        (* liveness counter: lets a monitor tell "hung" (beats stalled)
+           from "slow but alive" when it reports a deadline hit *)
+    attempt : int;  (* 0-based retry attempt this token belongs to *)
+  }
+
+  exception Cancelled of string
+  (** Raised by a worker that observed its cancellation flag; the argument
+      names the task (function) that was cut short. *)
+
+  let make ?(attempt = 0) () =
+    { cancelled = Atomic.make false; heartbeat = Atomic.make 0; attempt }
+
+  let beat token = Atomic.incr token.heartbeat
+  let beats token = Atomic.get token.heartbeat
+  let cancel token = Atomic.set token.cancelled true
+  let cancelled token = Atomic.get token.cancelled
+  let attempt token = token.attempt
+
+  (** Raise {!Cancelled} if the token was cancelled; cheap enough for a
+      per-worklist-step call. *)
+  let check token ~name = if cancelled token then raise (Cancelled name)
+end
+
 (** Deterministic fault injection, used by the tests and a hidden CLI flag
     to prove every degradation path actually degrades instead of crashing.
     Faults are pure configuration — no global state, no randomness. *)
@@ -154,6 +194,23 @@ module Fault = struct
         (** trip the wall-clock governor immediately in this function *)
     | Trip_after of int
         (** raise {!Injected} after N engine steps in any function *)
+    | Hang_fn of string
+        (** wedge this function's analysis: it stops making progress and
+            only a supervisor's cancellation (deadline) can break it out *)
+    | Flaky_fn of string * int
+        (** raise {!Injected} on the first N attempts at this function,
+            then succeed — exercises the retry path end to end *)
+    | Crash_file of string
+        (** raise {!Injected} in the batch task of any file whose name
+            contains this substring — a worker crash outside per-function
+            containment, demoting the whole file *)
+    | Corrupt_cache of int
+        (** corrupt every Nth summary written to the cache's disk tier
+            (payload bit-flip under an unchanged checksum) *)
+    | Torn_journal of int
+        (** after N complete journal records, write a torn (truncated)
+            record and raise {!Injected} — the batch run dies mid-flight
+            exactly as a killed process would *)
 
   exception Injected of string
 
@@ -162,31 +219,58 @@ module Fault = struct
     | Starve_fuel fn -> "fuel:" ^ fn
     | Timeout_fn fn -> "timeout:" ^ fn
     | Trip_after n -> "steps:" ^ string_of_int n
+    | Hang_fn fn -> "hang:" ^ fn
+    | Flaky_fn (fn, n) -> Printf.sprintf "flaky:%s:%d" fn n
+    | Crash_file name -> "crash-file:" ^ name
+    | Corrupt_cache n -> "corrupt-cache:" ^ string_of_int n
+    | Torn_journal n -> "torn-journal:" ^ string_of_int n
 
-  (** Parse a CLI spec: [crash:FN], [fuel:FN], [timeout:FN] or [steps:N]. *)
+  let spec_help =
+    "crash:FN, fuel:FN, timeout:FN, steps:N, hang:FN, flaky:FN:K, \
+     crash-file:NAME, corrupt-cache:N or torn-journal:N"
+
+  (** Parse a CLI spec (see {!spec_help}). *)
   let parse spec =
     match String.index_opt spec ':' with
     | None ->
       Result.Error
-        (Printf.sprintf
-           "bad fault spec %S: want crash:FN, fuel:FN, timeout:FN or steps:N"
-           spec)
+        (Printf.sprintf "bad fault spec %S: want %s" spec spec_help)
     | Some i -> (
       let key = String.sub spec 0 i in
       let arg = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let count ~min_ ok =
+        match int_of_string_opt arg with
+        | Some n when n >= min_ -> Result.Ok (ok n)
+        | Some _ | None ->
+          Result.Error
+            (Printf.sprintf "bad fault spec %S: %s wants a count >= %d" spec key min_)
+      in
       match key with
       | _ when arg = "" -> Result.Error (Printf.sprintf "bad fault spec %S: empty argument" spec)
       | "crash" -> Result.Ok (Crash_fn arg)
       | "fuel" -> Result.Ok (Starve_fuel arg)
       | "timeout" -> Result.Ok (Timeout_fn arg)
-      | "steps" -> (
-        match int_of_string_opt arg with
-        | Some n when n >= 0 -> Result.Ok (Trip_after n)
-        | Some _ | None ->
-          Result.Error (Printf.sprintf "bad fault spec %S: steps wants a count >= 0" spec))
+      | "steps" -> count ~min_:0 (fun n -> Trip_after n)
+      | "hang" -> Result.Ok (Hang_fn arg)
+      | "flaky" -> (
+        match String.rindex_opt arg ':' with
+        | None ->
+          Result.Error (Printf.sprintf "bad fault spec %S: want flaky:FN:K" spec)
+        | Some j -> (
+          let fn = String.sub arg 0 j in
+          let k = String.sub arg (j + 1) (String.length arg - j - 1) in
+          match (fn, int_of_string_opt k) with
+          | "", _ | _, None ->
+            Result.Error (Printf.sprintf "bad fault spec %S: want flaky:FN:K" spec)
+          | fn, Some k when k >= 1 -> Result.Ok (Flaky_fn (fn, k))
+          | _ ->
+            Result.Error
+              (Printf.sprintf "bad fault spec %S: flaky wants K >= 1 failures" spec)))
+      | "crash-file" -> Result.Ok (Crash_file arg)
+      | "corrupt-cache" -> count ~min_:1 (fun n -> Corrupt_cache n)
+      | "torn-journal" -> count ~min_:0 (fun n -> Torn_journal n)
       | _ ->
         Result.Error
-          (Printf.sprintf
-             "bad fault spec %S: unknown fault %S (want crash, fuel, timeout or steps)"
-             spec key))
+          (Printf.sprintf "bad fault spec %S: unknown fault %S (want %s)" spec key
+             spec_help))
 end

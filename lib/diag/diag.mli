@@ -17,6 +17,9 @@ type kind =
   | Front_end_error  (** parse / type / IR-check failure *)
   | Fault_injected  (** a deterministic test fault fired *)
   | Cache_event  (** summary-cache traffic: hits / misses / invalidations *)
+  | Deadline_exceeded  (** a supervised task overran its wall-clock deadline *)
+  | Task_retry  (** a supervised task failed and was retried *)
+  | Journal_event  (** batch journal traffic: checkpoints, resumes *)
   | Note  (** free-form informational event *)
 
 type location = { fn : string option; block : int option }
@@ -55,6 +58,33 @@ val diag_to_string : diag -> string
 (** One line per diagnostic plus a summary line. *)
 val render : report -> string
 
+(** Cooperative cancellation for supervised tasks: a domain-safe token the
+    worker beats and polls while a monitor domain watches the wall clock.
+    Workers raise {!Cancel.Cancelled} at their next safe point after the
+    monitor cancels them — this is how a hung analysis is broken out of. *)
+module Cancel : sig
+  type token
+
+  exception Cancelled of string
+  (** Raised by a worker that observed its cancellation flag; the argument
+      names the task that was cut short. *)
+
+  (** [make ~attempt ()] builds a fresh token; [attempt] is the 0-based
+      retry attempt it belongs to (fault injection keys off it). *)
+  val make : ?attempt:int -> unit -> token
+
+  (** Publish liveness: one beat per unit of worker progress. *)
+  val beat : token -> unit
+
+  val beats : token -> int
+  val cancel : token -> unit
+  val cancelled : token -> bool
+  val attempt : token -> int
+
+  (** Raise {!Cancelled} carrying [name] if the token was cancelled. *)
+  val check : token -> name:string -> unit
+end
+
 (** Deterministic fault injection: pure configuration, no global state. *)
 module Fault : sig
   type t =
@@ -66,11 +96,28 @@ module Fault : sig
         (** trip the wall-clock governor immediately in this function *)
     | Trip_after of int
         (** raise {!Injected} after N engine steps in any function *)
+    | Hang_fn of string
+        (** wedge this function's analysis until a supervisor's deadline
+            cancellation breaks it out *)
+    | Flaky_fn of string * int
+        (** fail the first N attempts at this function, then succeed *)
+    | Crash_file of string
+        (** crash the batch task of any file whose name contains this
+            substring (outside per-function containment) *)
+    | Corrupt_cache of int
+        (** corrupt every Nth summary written to the cache's disk tier *)
+    | Torn_journal of int
+        (** tear the journal after N complete records and abort the task *)
 
   exception Injected of string
 
   val to_string : t -> string
 
-  (** Parse a CLI spec: [crash:FN], [fuel:FN], [timeout:FN] or [steps:N]. *)
+  (** Human-readable list of the accepted spec forms. *)
+  val spec_help : string
+
+  (** Parse a CLI spec: [crash:FN], [fuel:FN], [timeout:FN], [steps:N],
+      [hang:FN], [flaky:FN:K], [crash-file:NAME], [corrupt-cache:N] or
+      [torn-journal:N]. *)
   val parse : string -> (t, string) result
 end

@@ -6,6 +6,7 @@ module Engine = Vrp_core.Engine
 module Interproc = Vrp_core.Interproc
 module Pipeline = Vrp_core.Pipeline
 module Summary_cache = Vrp_cache.Summary_cache
+module Digest_key = Vrp_cache.Digest_key
 
 type file_result = {
   name : string;
@@ -15,6 +16,7 @@ type file_result = {
   demoted : (string * string) list;
   report : Diag.report;
   evaluations : int;
+  resumed : bool;
 }
 
 type aggregate = {
@@ -24,6 +26,7 @@ type aggregate = {
   branches : int;
   fallbacks : int;
   demoted_fns : int;
+  resumed_files : int;
 }
 
 (* Fallback markers, same legend as [vrpc predict]: (fn, block) -> was the
@@ -50,9 +53,17 @@ let failed_result name msg report =
     demoted = [];
     report;
     evaluations = 0;
+    resumed = false;
   }
 
-let analyze_one ?cache ~config (name, source) =
+let analyze_one ?cache ?supervisor ~config (name, source) =
+  (* The crash-file fault fires before any containment the file's own
+     analysis sets up: it models a worker dying mid-wave, so only the
+     pool's whole-file containment may catch it. *)
+  (match config.Engine.fault with
+  | Some (Diag.Fault.Crash_file affix) when Vrp_util.Strutil.is_infix ~affix name ->
+    raise (Diag.Fault.Injected (Printf.sprintf "injected batch-task crash in %s" name))
+  | _ -> ());
   let report = Diag.create () in
   match Pipeline.compile_result source with
   | Error d ->
@@ -65,6 +76,13 @@ let analyze_one ?cache ~config (name, source) =
       match cache with
       | Some c -> Summary_cache.memoized ~slot_prefix:(name ^ ":") c ssa
       | None -> Interproc.default_analyze_fn
+    in
+    (* Supervision wraps outside the cache: a cache hit is served without
+       burning a deadline or a retry attempt. *)
+    let analyze_fn =
+      match supervisor with
+      | Some s -> Supervisor.wrap_analyze_fn s analyze_fn
+      | None -> analyze_fn
     in
     let vrp, ipa = Pipeline.vrp_predictions ~config ~report ~groups ~analyze_fn ssa in
     let markers = fallback_markers report in
@@ -107,25 +125,89 @@ let analyze_one ?cache ~config (name, source) =
       demoted;
       report;
       evaluations;
+      resumed = false;
     }
 
-let analyze_sources ?(config = Engine.default_config) ?cache ~jobs sources =
-  Pool.with_pool ~jobs (fun pool ->
-      let outcomes =
-        Pool.map pool (analyze_one ?cache ~config) (Array.of_list sources)
-      in
-      List.map2
-        (fun (name, _) outcome ->
-          match outcome with
-          | Ok r -> r
-          | Error e ->
-            (* Whole-file containment: even a driver bug costs one file. *)
-            let report = Diag.create () in
-            let msg = Printf.sprintf "batch task crashed: %s" (Printexc.to_string e) in
-            Diag.add report Diag.Error Diag.Analysis_crashed msg;
-            failed_result name msg report)
-        sources
-        (Array.to_list outcomes))
+(* The checkpoint identity of one batch input: the source bytes plus every
+   configuration knob that can change its analysis. A resumed run replays a
+   journalled result only when both still match, so an edited file or a
+   different flag set is re-analyzed, never served stale. *)
+let input_digest ~config source =
+  Digest.to_hex (Digest.string source) ^ "-" ^ Digest_key.config_digest config
+
+let crash_result name e =
+  (* Whole-file containment: even a driver bug costs one file. *)
+  let report = Diag.create () in
+  let why =
+    match e with
+    | Diag.Fault.Injected msg -> msg
+    | e -> Printexc.to_string e
+  in
+  let msg = Printf.sprintf "batch task crashed: %s" why in
+  Diag.add report Diag.Error Diag.Analysis_crashed msg;
+  failed_result name msg report
+
+let analyze_sources ?(config = Engine.default_config) ?cache ?supervisor
+    ?journal ?journal_fault ~jobs sources =
+  (* Resume: trust every intact journal record whose input digest still
+     matches; last record wins if a file was journalled twice. *)
+  let completed : (string * string, string) Hashtbl.t = Hashtbl.create 16 in
+  (match journal with
+  | None -> ()
+  | Some path ->
+    List.iter
+      (fun (r : Journal.record) ->
+        Hashtbl.replace completed (r.Journal.name, r.Journal.input_digest)
+          r.Journal.payload)
+      (Journal.load path));
+  let keyed =
+    List.map (fun (name, source) -> (name, source, input_digest ~config source)) sources
+  in
+  let fresh =
+    List.filter (fun (name, _, d) -> not (Hashtbl.mem completed (name, d))) keyed
+  in
+  let writer = Option.map (Journal.open_append ?fault:journal_fault) journal in
+  let fresh_results =
+    Pool.with_pool ~jobs (fun pool ->
+        let task (name, source, digest) =
+          let r = analyze_one ?cache ?supervisor ~config (name, source) in
+          (* Checkpoint after the result exists; a task that crashes (or is
+             torn mid-append) leaves no record, so resume re-analyzes it. *)
+          (match writer with
+          | None -> ()
+          | Some w ->
+            Journal.append w
+              {
+                Journal.name;
+                input_digest = digest;
+                payload = Marshal.to_string r [];
+              });
+          r
+        in
+        let outcomes = Pool.map pool task (Array.of_list fresh) in
+        List.map2
+          (fun (name, _, _) outcome ->
+            match outcome with
+            | Ok r -> r
+            | Error e -> crash_result name e)
+          fresh
+          (Array.to_list outcomes))
+  in
+  Option.iter Journal.close writer;
+  (* Merge journalled and fresh results back into input order. *)
+  let fresh_by_name = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace fresh_by_name r.name r) fresh_results;
+  List.map
+    (fun (name, _, digest) ->
+      match Hashtbl.find_opt fresh_by_name name with
+      | Some r -> r
+      | None ->
+        let payload = Hashtbl.find completed (name, digest) in
+        let r : file_result = Marshal.from_string payload 0 in
+        Diag.add r.report Diag.Info Diag.Journal_event
+          "result replayed from checkpoint journal (inputs unchanged)";
+        { r with resumed = true })
+    keyed
 
 let aggregate results =
   List.fold_left
@@ -139,10 +221,21 @@ let aggregate results =
           acc.fallbacks
           + List.length (List.filter (fun (_, _, m) -> m <> "") r.predictions);
         demoted_fns = acc.demoted_fns + List.length r.demoted;
+        resumed_files = (acc.resumed_files + if r.resumed then 1 else 0);
       })
     { files = 0; failed_files = 0; functions = 0; branches = 0; fallbacks = 0;
-      demoted_fns = 0 }
+      demoted_fns = 0; resumed_files = 0 }
     results
+
+(* Exit-code policy shared by the CLI and pinned by the tests: failed files
+   dominate strictness (a 2 is a 2 even under [--strict]). The rendered
+   report deliberately excludes [resumed_files] so a resumed run stays
+   byte-identical to an uninterrupted one. *)
+let exit_code ~strict results =
+  let a = aggregate results in
+  if a.failed_files > 0 then 2
+  else if strict && List.exists (fun r -> Diag.degraded r.report) results then 3
+  else 0
 
 let render results =
   let buf = Buffer.create 4096 in

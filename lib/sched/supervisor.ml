@@ -1,0 +1,157 @@
+(** Task supervision: deadlines, retries, escalation (see the interface). *)
+
+module Diag = Vrp_diag.Diag
+module Engine = Vrp_core.Engine
+module Ir = Vrp_ir.Ir
+module Interproc = Vrp_core.Interproc
+
+type policy = {
+  deadline_ms : int option;
+  retries : int;
+  backoff_ms : int;
+}
+
+let default_policy = { deadline_ms = None; retries = 0; backoff_ms = 10 }
+
+type counters = {
+  mutable deadline_hits : int;
+  mutable retry_count : int;
+  mutable gave_up : int;
+}
+
+(* A running supervised task, visible to the monitor domain. *)
+type running = {
+  token : Diag.Cancel.token;
+  deadline : float;  (* absolute, Unix.gettimeofday clock *)
+}
+
+type t = {
+  policy : policy;
+  lock : Mutex.t;  (* guards registry, next_id and counters *)
+  registry : (int, running) Hashtbl.t;
+  mutable next_id : int;
+  c : counters;
+  stop : bool Atomic.t;
+  mutable monitor : unit Domain.t option;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* The monitor never touches reports or results: it only flips cancellation
+   flags and bumps counters, so all observable diagnostics are emitted from
+   the worker that owns the task — no cross-domain races on reports. *)
+let monitor_loop t () =
+  while not (Atomic.get t.stop) do
+    locked t (fun () ->
+        let now = Unix.gettimeofday () in
+        Hashtbl.iter
+          (fun _ r ->
+            if now > r.deadline && not (Diag.Cancel.cancelled r.token) then begin
+              Diag.Cancel.cancel r.token;
+              t.c.deadline_hits <- t.c.deadline_hits + 1
+            end)
+          t.registry);
+    Unix.sleepf 0.002
+  done
+
+let create ?(policy = default_policy) () =
+  let t =
+    {
+      policy;
+      lock = Mutex.create ();
+      registry = Hashtbl.create 32;
+      next_id = 0;
+      c = { deadline_hits = 0; retry_count = 0; gave_up = 0 };
+      stop = Atomic.make false;
+      monitor = None;
+    }
+  in
+  (* No deadline means nothing to watch: skip the monitor domain so a
+     retries-only supervisor costs nothing at idle. *)
+  (match policy.deadline_ms with
+  | None -> ()
+  | Some _ -> t.monitor <- Some (Domain.spawn (monitor_loop t)));
+  t
+
+let shutdown t =
+  Atomic.set t.stop true;
+  Option.iter Domain.join t.monitor;
+  t.monitor <- None
+
+let with_supervisor ?policy f =
+  let t = create ?policy () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let policy t = t.policy
+
+let counters t =
+  locked t (fun () ->
+      {
+        deadline_hits = t.c.deadline_hits;
+        retry_count = t.c.retry_count;
+        gave_up = t.c.gave_up;
+      })
+
+let counters_line t =
+  let c = counters t in
+  Printf.sprintf
+    "supervision: %d deadline hit(s), %d retry(ies), %d task(s) gave up"
+    c.deadline_hits c.retry_count c.gave_up
+
+let register t token =
+  locked t (fun () ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      (match t.policy.deadline_ms with
+      | None -> ()
+      | Some ms ->
+        let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+        Hashtbl.replace t.registry id { token; deadline });
+      id)
+
+let unregister t id = locked t (fun () -> Hashtbl.remove t.registry id)
+
+let supervise t ~name ?report f =
+  let emit severity kind message =
+    match report with
+    | None -> ()
+    | Some r -> Diag.add r ~fn:name severity kind message
+  in
+  let rec attempt n =
+    let token = Diag.Cancel.make ~attempt:n () in
+    let id = register t token in
+    match Fun.protect ~finally:(fun () -> unregister t id) (fun () -> f token) with
+    | v -> v
+    | exception e ->
+      (* Deterministic messages: never include wall-clock measurements, so
+         reports stay byte-identical across jobs counts and machine load. *)
+      (match e with
+      | Diag.Cancel.Cancelled _ ->
+        emit Diag.Warning Diag.Deadline_exceeded
+          (Printf.sprintf "deadline exceeded in %s; analysis cancelled" name)
+      | _ -> ());
+      if n < t.policy.retries then begin
+        locked t (fun () -> t.c.retry_count <- t.c.retry_count + 1);
+        emit Diag.Info Diag.Task_retry
+          (Printf.sprintf "retrying %s (attempt %d of %d)" name (n + 2)
+             (t.policy.retries + 1));
+        (* Linear deterministic backoff; bounded by policy, not by load. *)
+        Unix.sleepf (float_of_int (t.policy.backoff_ms * (n + 1)) /. 1000.);
+        attempt (n + 1)
+      end
+      else begin
+        locked t (fun () -> t.c.gave_up <- t.c.gave_up + 1);
+        raise e
+      end
+  in
+  attempt 0
+
+let wrap_analyze_fn t (inner : Interproc.analyze_fn) : Interproc.analyze_fn =
+ fun ~config ~report ~call_oracle ~param_values fn ->
+  let name = fn.Ir.fname in
+  supervise t ~name ?report (fun token ->
+      inner
+        ~config:{ config with Engine.cancel = Some token }
+        ~report ~call_oracle ~param_values fn)

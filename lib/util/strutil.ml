@@ -1,0 +1,13 @@
+(** Small string helpers the stdlib lacks (see the interface). *)
+
+let is_infix ~affix s =
+  let la = String.length affix and ls = String.length s in
+  if la = 0 then true
+  else if la > ls then false
+  else
+    let rec scan i =
+      if i > ls - la then false
+      else if String.sub s i la = affix then true
+      else scan (i + 1)
+    in
+    scan 0

@@ -1,0 +1,5 @@
+(** Small string helpers the stdlib lacks. *)
+
+(** [is_infix ~affix s] is true iff [affix] occurs as a substring of [s].
+    The empty affix is an infix of everything. *)
+val is_infix : affix:string -> string -> bool

@@ -67,6 +67,11 @@ type config = {
           {!Vrp_ranges.Config.max_ranges}, which ablation sweeps can raise) *)
   fault : Diag.Fault.t option;
       (** deterministic fault injection for tests and the hidden CLI flag *)
+  cancel : Diag.Cancel.token option;
+      (** supervision hook: the engine beats the token once per worklist
+          step and raises {!Diag.Cancel.Cancelled} when it was cancelled
+          (a supervisor's deadline tripped). Non-semantic — deliberately
+          excluded from the cache's configuration digest *)
 }
 
 let default_config =
@@ -82,6 +87,7 @@ let default_config =
     time_limit_s = None;
     max_growth = 32;
     fault = None;
+    cancel = None;
   }
 
 let numeric_only_config = { default_config with symbolic = false }
@@ -582,6 +588,38 @@ let analyze ?(config = default_config) ?report
   (match config.fault with
   | Some (Diag.Fault.Crash_fn f) when String.equal f fname ->
     raise (Diag.Fault.Injected (Printf.sprintf "injected crash in %s" fname))
+  | Some (Diag.Fault.Flaky_fn (f, k)) when String.equal f fname ->
+    (* Transient failure: crash the first [k] attempts, succeed after.
+       The attempt number rides on the supervision token, so without a
+       retrying supervisor this behaves like a plain crash. *)
+    let attempt =
+      match config.cancel with Some t -> Diag.Cancel.attempt t | None -> 0
+    in
+    if attempt < k then
+      raise
+        (Diag.Fault.Injected
+           (Printf.sprintf "injected flaky failure in %s (attempt %d of %d)"
+              fname (attempt + 1) k))
+  | Some (Diag.Fault.Hang_fn f) when String.equal f fname ->
+    (* Simulated hang: the analysis stops making progress and only beats
+       its heartbeat. A supervisor's deadline cancellation breaks it out;
+       a CPU-time cap bounds the unsupervised case so a misconfigured test
+       degrades to a contained crash instead of wedging the run. *)
+    let cap = Sys.time () +. 5.0 in
+    let rec wedge () =
+      (match config.cancel with
+      | Some token ->
+        Diag.Cancel.beat token;
+        Diag.Cancel.check token ~name:fname
+      | None -> ());
+      if Sys.time () > cap then
+        raise
+          (Diag.Fault.Injected
+             (Printf.sprintf "injected hang in %s exceeded its safety cap" fname));
+      Domain.cpu_relax ();
+      wedge ()
+    in
+    wedge ()
   | _ -> ());
   let starved =
     match config.fault with
@@ -691,6 +729,13 @@ let analyze ?(config = default_config) ?report
       stop := true
     end
     else begin
+      (* Supervision: publish liveness and honour a deadline cancellation
+         at every step — the cost is one atomic increment and one load. *)
+      (match config.cancel with
+      | Some token ->
+        Diag.Cancel.beat token;
+        Diag.Cancel.check token ~name:fname
+      | None -> ());
       (match trip_after with
       | Some n when fuel_limit - !fuel >= n ->
         raise

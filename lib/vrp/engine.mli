@@ -25,6 +25,10 @@ type config = {
   time_limit_s : float option;  (** wall-clock governor (partial results) *)
   max_growth : int;  (** per-variable range-set size cap before widening *)
   fault : Diag.Fault.t option;  (** deterministic fault injection *)
+  cancel : Diag.Cancel.token option;
+      (** supervision hook: heartbeat per worklist step, cooperative
+          cancellation via {!Diag.Cancel.Cancelled}. Non-semantic (not in
+          the cache's configuration digest) *)
 }
 
 val default_config : config

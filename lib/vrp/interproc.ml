@@ -164,6 +164,10 @@ let analyze ?(config = Engine.default_config) ?report
                     let why =
                       match e with
                       | Diag.Fault.Injected msg -> msg
+                      (* Deterministic reason — no wall-clock numbers — so
+                         a deadline demotion renders identically at any
+                         parallelism. *)
+                      | Diag.Cancel.Cancelled _ -> "deadline exceeded"
                       | e -> Printexc.to_string e
                     in
                     (name, Crashed why, local))

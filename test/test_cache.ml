@@ -59,6 +59,7 @@ let config_digest_covers_every_knob () =
       ("fuel", { d with Engine.fuel = Some 123456 });
       ("time-limit", { d with Engine.time_limit_s = Some 9.5 });
       ("max-growth", { d with Engine.max_growth = d.Engine.max_growth + 1 });
+      ("fault", { d with Engine.fault = Some (Vrp_diag.Diag.Fault.Crash_fn "x") });
     ]
   in
   let digests = List.map (fun (name, c) -> (Digest_key.config_digest c, name)) variants in
@@ -69,7 +70,13 @@ let config_digest_covers_every_knob () =
   (* the global range budget is part of the configuration identity *)
   Alcotest.(check bool) "max_ranges is in the digest" true
     (Vrp_ranges.Config.with_max_ranges 8 (fun () -> Digest_key.config_digest d)
-    <> Digest_key.config_digest d)
+    <> Digest_key.config_digest d);
+  (* a supervision token is non-semantic and must NOT move the digest,
+     or every retry attempt would be a spurious miss *)
+  Alcotest.(check string) "cancel token is not in the digest"
+    (Digest_key.config_digest d)
+    (Digest_key.config_digest
+       { d with Engine.cancel = Some (Vrp_diag.Diag.Cancel.make ()) })
 
 let task_key_depends_on_inputs () =
   let fnd = List.assoc "helper" (fn_digests src) in
@@ -155,6 +162,188 @@ let disk_tier_survives_processes () =
          res));
   Alcotest.(check bool) "corrupt file fell back to compute" true !computed
 
+(* --- Disk-tier integrity: corruption is a counted miss, never a crash --- *)
+
+let entry_path dir key = Filename.concat dir (key ^ ".sum")
+
+(* Write one real entry through the cache, then hand the file to [mangle]
+   and assert a fresh store treats the lookup as a recomputing miss with
+   the expected invalidation/quarantine accounting. *)
+let corruption_case what ~mangle ~quarantined_delta () =
+  let dir = temp_dir () in
+  let res = Lazy.force some_summary in
+  let writer = Summary_cache.create ~disk_dir:dir () in
+  ignore (Summary_cache.find_or_compute writer ~slot:"f" ~stamp:"s" ~key:"k1" (fun () -> res));
+  mangle (entry_path dir "k1");
+  let reader = Summary_cache.create ~disk_dir:dir () in
+  let computed = ref false in
+  ignore
+    (Summary_cache.find_or_compute reader ~slot:"f" ~stamp:"s" ~key:"k1" (fun () ->
+         computed := true;
+         res));
+  Alcotest.(check bool) (what ^ ": fell back to compute") true !computed;
+  let c = Summary_cache.counters reader in
+  Alcotest.(check int) (what ^ ": one miss") 1 c.Summary_cache.misses;
+  Alcotest.(check int) (what ^ ": no hits") 0 c.Summary_cache.hits;
+  Alcotest.(check int) (what ^ ": invalidation counted") 1 c.Summary_cache.invalidations;
+  Alcotest.(check int) (what ^ ": quarantine accounting") quarantined_delta
+    c.Summary_cache.quarantined;
+  (* the recomputed entry was rewritten; a third store serves it again *)
+  let again = Summary_cache.create ~disk_dir:dir () in
+  ignore
+    (Summary_cache.find_or_compute again ~slot:"f" ~stamp:"s" ~key:"k1" (fun () ->
+         Alcotest.fail (what ^ ": repaired entry should hit")));
+  Alcotest.(check int)
+    (what ^ ": repaired entry served from disk")
+    1 (Summary_cache.counters again).Summary_cache.disk_hits
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let truncated_entry_is_quarantined =
+  corruption_case "truncated entry" ~quarantined_delta:1 ~mangle:(fun path ->
+      let s = read_file path in
+      write_file path (String.sub s 0 (String.length s / 2)))
+
+let bitflip_is_quarantined =
+  corruption_case "bit-flipped payload" ~quarantined_delta:1 ~mangle:(fun path ->
+      let b = Bytes.of_string (read_file path) in
+      let i = Bytes.length b - 3 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+      write_file path (Bytes.to_string b))
+
+let wrong_version_is_dropped_not_quarantined =
+  (* A clean frame from a future format: no foul play, so it is removed and
+     recomputed without quarantine. Framing mirrors the store's layout. *)
+  corruption_case "wrong format version" ~quarantined_delta:0 ~mangle:(fun path ->
+      let res = Lazy.force some_summary in
+      let payload =
+        Marshal.to_string (Digest_key.format_version + 1, res) []
+      in
+      write_file path
+        (Printf.sprintf "vrpsum2%08x%s%s" (String.length payload)
+           (Digest.to_hex (Digest.string payload))
+           payload))
+
+let quarantine_moves_entry_aside () =
+  let dir = temp_dir () in
+  let res = Lazy.force some_summary in
+  let writer = Summary_cache.create ~disk_dir:dir () in
+  ignore (Summary_cache.find_or_compute writer ~slot:"f" ~stamp:"s" ~key:"k1" (fun () -> res));
+  write_file (entry_path dir "k1") "garbage";
+  let reader = Summary_cache.create ~disk_dir:dir () in
+  ignore (Summary_cache.find_or_compute reader ~slot:"f" ~stamp:"s" ~key:"k1" (fun () -> res));
+  Alcotest.(check bool) "corrupt bytes moved to .bad" true
+    (Sys.file_exists (entry_path dir "k1" ^ ".bad"))
+
+let corrupt_cache_fault_round_trip () =
+  (* The injected bit-flip happens under the original checksum, so every
+     poisoned write must come back as a quarantined miss — and the result
+     values must be unaffected because corruption only costs recomputation. *)
+  let dir = temp_dir () in
+  let sources = [ ("t.mc", src) ] in
+  let fresh = Batch.render (Batch.analyze_sources ~jobs:1 sources) in
+  let poisoned =
+    Summary_cache.create ~disk_dir:dir
+      ~fault:(Vrp_diag.Diag.Fault.Corrupt_cache 1) ()
+  in
+  ignore (Batch.analyze_sources ~cache:poisoned ~jobs:1 sources);
+  let reader = Summary_cache.create ~disk_dir:dir () in
+  let warm = Batch.render (Batch.analyze_sources ~cache:reader ~jobs:1 sources) in
+  Alcotest.(check string) "fully corrupted tier still yields the right report"
+    fresh warm;
+  let c = Summary_cache.counters reader in
+  Alcotest.(check int) "nothing served from the poisoned tier" 0
+    c.Summary_cache.disk_hits;
+  Alcotest.(check bool) "every disk entry quarantined" true
+    (c.Summary_cache.quarantined > 0
+    && c.Summary_cache.quarantined = c.Summary_cache.misses)
+
+let maintenance_sweeps_debris_and_evicts () =
+  let dir = temp_dir () in
+  let res = Lazy.force some_summary in
+  let writer = Summary_cache.create ~disk_dir:dir () in
+  List.iteri
+    (fun i key ->
+      ignore
+        (Summary_cache.find_or_compute writer ~slot:key ~stamp:"s" ~key (fun () -> res));
+      (* age entries deterministically: mtime drives eviction order *)
+      let age = float_of_int (1_000_000 + i) in
+      Unix.utimes (entry_path dir key) age age)
+    [ "k1"; "k2"; "k3" ];
+  (* debris a killed writer would leave behind *)
+  write_file (Filename.concat dir "k9.sum.tmp.123.4") "partial";
+  write_file (Filename.concat dir "k8.sum.bad") "old quarantine";
+  Summary_cache.close writer;  (* the writing "process" exits *)
+  let entry_size = (Unix.stat (entry_path dir "k1")).Unix.st_size in
+  Alcotest.(check bool) "entries are small enough for a 1 MB budget" true
+    (3 * entry_size < 1024 * 1024);
+  let t = Summary_cache.create ~disk_dir:dir ~max_disk_mb:0 () in
+  Alcotest.(check bool) "fresh store took the maintenance lock" true
+    (Summary_cache.holds_maintenance_lock t);
+  Alcotest.(check bool) "stale tmp swept" false
+    (Sys.file_exists (Filename.concat dir "k9.sum.tmp.123.4"));
+  Alcotest.(check bool) "old quarantine swept" false
+    (Sys.file_exists (Filename.concat dir "k8.sum.bad"));
+  (* budget 0 MB: every entry is over budget, oldest deleted first — all go *)
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " evicted") false
+        (Sys.file_exists (entry_path dir key)))
+    [ "k1"; "k2"; "k3" ]
+
+let eviction_is_oldest_first () =
+  let dir = temp_dir () in
+  let res = Lazy.force some_summary in
+  let writer = Summary_cache.create ~disk_dir:dir () in
+  List.iteri
+    (fun i key ->
+      ignore
+        (Summary_cache.find_or_compute writer ~slot:key ~stamp:"s" ~key (fun () -> res));
+      let age = float_of_int (1_000_000 + i) in
+      Unix.utimes (entry_path dir key) age age)
+    [ "k1"; "k2"; "k3"; "k4" ];
+  Summary_cache.close writer;
+  let entry_size = (Unix.stat (entry_path dir "k1")).Unix.st_size in
+  (* a budget that holds roughly half the tier: the two oldest must go *)
+  let budget_mb = max 1 (2 * entry_size / (1024 * 1024)) in
+  if 4 * entry_size > budget_mb * 1024 * 1024 then begin
+    ignore (Summary_cache.create ~disk_dir:dir ~max_disk_mb:budget_mb ());
+    Alcotest.(check bool) "oldest entry evicted" false
+      (Sys.file_exists (entry_path dir "k1"));
+    Alcotest.(check bool) "newest entry kept" true
+      (Sys.file_exists (entry_path dir "k4"))
+  end
+
+let concurrent_stores_share_a_directory () =
+  let dir = temp_dir () in
+  let res = Lazy.force some_summary in
+  let first = Summary_cache.create ~disk_dir:dir () in
+  let second = Summary_cache.create ~disk_dir:dir () in
+  Alcotest.(check bool) "first store holds the lock" true
+    (Summary_cache.holds_maintenance_lock first);
+  Alcotest.(check bool) "second store is denied maintenance" false
+    (Summary_cache.holds_maintenance_lock second);
+  ignore (Summary_cache.find_or_compute first ~slot:"f" ~stamp:"s" ~key:"k1" (fun () -> res));
+  ignore
+    (Summary_cache.find_or_compute second ~slot:"f" ~stamp:"s" ~key:"k1" (fun () ->
+         Alcotest.fail "second store should read the first store's entry"));
+  Alcotest.(check int) "entry flowed across stores" 1
+    (Summary_cache.counters second).Summary_cache.disk_hits;
+  (* releasing the lock hands maintenance to the next store *)
+  Summary_cache.close first;
+  let third = Summary_cache.create ~disk_dir:dir () in
+  Alcotest.(check bool) "released lock is re-acquirable" true
+    (Summary_cache.holds_maintenance_lock third)
+
 (* --- Cached == fresh, end to end --- *)
 
 let warm_run_computes_nothing () =
@@ -204,6 +393,14 @@ let suite =
       tc "store: miss, hit, invalidation" `Quick miss_hit_and_invalidation;
       tc "store: LRU evicts the oldest" `Quick lru_evicts_oldest;
       tc "store: disk tier round-trips" `Quick disk_tier_survives_processes;
+      tc "disk: truncated entry quarantined" `Quick truncated_entry_is_quarantined;
+      tc "disk: bit-flip quarantined" `Quick bitflip_is_quarantined;
+      tc "disk: stale format dropped cleanly" `Quick wrong_version_is_dropped_not_quarantined;
+      tc "disk: quarantine preserves evidence" `Quick quarantine_moves_entry_aside;
+      tc "disk: corrupt-cache fault round-trip" `Quick corrupt_cache_fault_round_trip;
+      tc "disk: maintenance sweeps and evicts" `Quick maintenance_sweeps_debris_and_evicts;
+      tc "disk: eviction is oldest-first" `Quick eviction_is_oldest_first;
+      tc "disk: two stores share a directory" `Quick concurrent_stores_share_a_directory;
       tc "batch: warm run computes nothing" `Quick warm_run_computes_nothing;
       tc "batch: config change invalidates" `Quick config_change_invalidates;
       cached_equals_fresh_prop;

@@ -48,7 +48,12 @@ let fault_parse_roundtrip () =
   ok "crash:main" (Diag.Fault.Crash_fn "main");
   ok "fuel:helper" (Diag.Fault.Starve_fuel "helper");
   ok "timeout:f" (Diag.Fault.Timeout_fn "f");
-  ok "steps:120" (Diag.Fault.Trip_after 120)
+  ok "steps:120" (Diag.Fault.Trip_after 120);
+  ok "hang:f" (Diag.Fault.Hang_fn "f");
+  ok "flaky:f:3" (Diag.Fault.Flaky_fn ("f", 3));
+  ok "crash-file:dir/x.mc" (Diag.Fault.Crash_file "dir/x.mc");
+  ok "corrupt-cache:2" (Diag.Fault.Corrupt_cache 2);
+  ok "torn-journal:0" (Diag.Fault.Torn_journal 0)
 
 let fault_parse_rejects_garbage () =
   List.iter
@@ -58,7 +63,10 @@ let fault_parse_rejects_garbage () =
       | Error msg ->
         Alcotest.(check bool) "message mentions the spec" true
           (Astring.String.is_infix ~affix:spec msg))
-    [ "bogus"; "crash:"; "steps:banana"; "steps:-4"; "explode:f" ]
+    [
+      "bogus"; "crash:"; "steps:banana"; "steps:-4"; "explode:f"; "hang:";
+      "flaky:f"; "flaky:f:0"; "flaky::2"; "corrupt-cache:0"; "torn-journal:-1";
+    ]
 
 (* --- Scoped counter frames --- *)
 

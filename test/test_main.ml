@@ -18,6 +18,7 @@ let () =
       Test_resilience.suite;
       Test_frequency.suite;
       Test_sched.suite;
+      Test_supervisor.suite;
       Test_cache.suite;
       Test_integration.suite;
     ]

@@ -190,7 +190,7 @@ let batch_bench ~json () =
       Suite.benchmarks
     @ List.init 6 (fun i ->
           ( Printf.sprintf "synth%02d.mc" i,
-            Vrp_suite.Synth.generate ~units:(12 + (6 * i)) ~seed:(4242 + i) ))
+            Vrp_suite.Synth.generate ~units:(12 + (6 * i)) ~seed:(4242 + i) () ))
   in
   let time f =
     let t0 = Unix.gettimeofday () in

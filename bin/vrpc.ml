@@ -140,8 +140,8 @@ let diag_args =
           ~doc:
             "Inject a deterministic fault: $(b,crash:FN), $(b,fuel:FN), \
              $(b,timeout:FN), $(b,steps:N), $(b,hang:FN), $(b,flaky:FN:K), \
-             $(b,crash-file:NAME), $(b,corrupt-cache:N) or \
-             $(b,torn-journal:N).")
+             $(b,crash-file:NAME), $(b,corrupt-cache:N), \
+             $(b,torn-journal:N) or $(b,skew:FN).")
   in
   Term.(const (fun d s f -> (d, s, f)) $ diagnostics $ strict $ fault)
 
@@ -480,6 +480,81 @@ let list_benchmarks () =
 let args_pair ~names ~doc ~default =
   Arg.(value & opt (pair ~sep:',' int int) default & info names ~docv:"N,SEED" ~doc)
 
+(* --- fuzz: property-based soundness campaign --- *)
+
+let fuzz seed count profile minimize out determinism_every
+    (_diagnostics, _strict, fault) =
+  let config = { Engine.default_config with Engine.fault } in
+  let profiles =
+    match profile with
+    | None -> Vrp_fuzz.Gen.profiles
+    | Some name -> (
+      match Vrp_fuzz.Gen.profile_named name with
+      | Some p -> [ p ]
+      | None ->
+        prerr_endline
+          (Printf.sprintf "vrpc: unknown fuzz profile %S; available: %s" name
+             (String.concat ", "
+                (List.map
+                   (fun (p : Vrp_fuzz.Gen.profile) -> p.Vrp_fuzz.Gen.pname)
+                   Vrp_fuzz.Gen.profiles)));
+        exit 2)
+  in
+  let summary =
+    Vrp_fuzz.Runner.run ~config ~minimize ~determinism_every ~seed ~count
+      ~profiles ()
+  in
+  print_string (Vrp_fuzz.Runner.render summary);
+  (match out with
+  | Some dir ->
+    List.iter
+      (fun f ->
+        let path = Vrp_fuzz.Runner.write_repro ~dir ~seed f in
+        Printf.printf "wrote %s\n" path)
+      summary.Vrp_fuzz.Runner.failures
+  | None -> ());
+  if summary.Vrp_fuzz.Runner.failures <> [] then exit 1
+
+let fuzz_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed; fixes every generated program.")
+
+let fuzz_count_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "count" ] ~docv:"N" ~doc:"Programs to generate per profile.")
+
+let fuzz_profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"NAME"
+        ~doc:
+          "Weight profile: $(b,mixed), $(b,loops), $(b,branches), \
+           $(b,arrays) or $(b,calls). Default: all of them.")
+
+let fuzz_minimize_arg =
+  Arg.(
+    value & flag
+    & info [ "minimize" ]
+        ~doc:"Shrink each failing program to a minimal repro before reporting.")
+
+let fuzz_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:"Write each failure as a replayable .mc repro under $(docv).")
+
+let fuzz_det_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "determinism-every" ] ~docv:"N"
+        ~doc:
+          "Run the (expensive) differential-determinism oracle on every \
+           $(docv)-th program; 0 disables it.")
+
 let cmd_of name doc term = Cmd.v (Cmd.info name ~doc) term
 
 let dump_ast_cmd =
@@ -596,6 +671,14 @@ let dot_cmd =
 let list_cmd =
   cmd_of "list" "List the built-in benchmark suite." Term.(const list_benchmarks $ const ())
 
+let fuzz_cmd =
+  cmd_of "fuzz"
+    "Property-based soundness fuzzing: generate random programs, check the \
+     analysis against the interpreter, shrink failures."
+    Term.(
+      const fuzz $ fuzz_seed_arg $ fuzz_count_arg $ fuzz_profile_arg
+      $ fuzz_minimize_arg $ fuzz_out_arg $ fuzz_det_arg $ diag_args)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "vrpc" ~version:"1.0.0"
@@ -614,6 +697,7 @@ let main_cmd =
       freq_cmd;
       dot_cmd;
       list_cmd;
+      fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -211,6 +211,10 @@ module Fault = struct
         (** after N complete journal records, write a torn (truncated)
             record and raise {!Injected} — the batch run dies mid-flight
             exactly as a killed process would *)
+    | Skew_range of string
+        (** off-by-one the final ranges of this function (shrink every
+            numeric upper bound by one stride) — a deliberately {e unsound}
+            result used to prove the fuzzing oracles can catch one *)
 
   exception Injected of string
 
@@ -224,10 +228,11 @@ module Fault = struct
     | Crash_file name -> "crash-file:" ^ name
     | Corrupt_cache n -> "corrupt-cache:" ^ string_of_int n
     | Torn_journal n -> "torn-journal:" ^ string_of_int n
+    | Skew_range fn -> "skew:" ^ fn
 
   let spec_help =
     "crash:FN, fuel:FN, timeout:FN, steps:N, hang:FN, flaky:FN:K, \
-     crash-file:NAME, corrupt-cache:N or torn-journal:N"
+     crash-file:NAME, corrupt-cache:N, torn-journal:N or skew:FN"
 
   (** Parse a CLI spec (see {!spec_help}). *)
   let parse spec =
@@ -252,6 +257,7 @@ module Fault = struct
       | "timeout" -> Result.Ok (Timeout_fn arg)
       | "steps" -> count ~min_:0 (fun n -> Trip_after n)
       | "hang" -> Result.Ok (Hang_fn arg)
+      | "skew" -> Result.Ok (Skew_range arg)
       | "flaky" -> (
         match String.rindex_opt arg ':' with
         | None ->

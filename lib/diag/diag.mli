@@ -108,6 +108,9 @@ module Fault : sig
         (** corrupt every Nth summary written to the cache's disk tier *)
     | Torn_journal of int
         (** tear the journal after N complete records and abort the task *)
+    | Skew_range of string
+        (** off-by-one the final ranges of this function — a deliberately
+            unsound result used to prove the fuzzing oracles catch one *)
 
   exception Injected of string
 
@@ -117,7 +120,7 @@ module Fault : sig
   val spec_help : string
 
   (** Parse a CLI spec: [crash:FN], [fuel:FN], [timeout:FN], [steps:N],
-      [hang:FN], [flaky:FN:K], [crash-file:NAME], [corrupt-cache:N] or
-      [torn-journal:N]. *)
+      [hang:FN], [flaky:FN:K], [crash-file:NAME], [corrupt-cache:N],
+      [torn-journal:N] or [skew:FN]. *)
   val parse : string -> (t, string) result
 end

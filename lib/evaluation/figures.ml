@@ -106,7 +106,7 @@ let fig5_6 ?(sizes = [ 2; 4; 8; 16; 24; 32; 48; 64; 96; 128; 192; 256; 384; 512;
   let synth_points =
     List.map
       (fun units ->
-        let src = Vrp_suite.Synth.generate ~units ~seed:(units * 7) in
+        let src = Vrp_suite.Synth.generate ~units ~seed:(units * 7) () in
         let c = Pipeline.compile src in
         complexity_of ~label:(Printf.sprintf "synth-%d" units) c.Pipeline.ssa)
       sizes

@@ -1,0 +1,78 @@
+(** Soundness oracles: the five checkable properties relating static
+    analysis claims to concrete interpreter behaviour.
+
+    The interpreter is the ground truth. {!check} compiles one program,
+    runs the full static pipeline (interprocedural VRP, SCCP, bounds-check
+    elimination), then executes the program under {!Vrp_profile.Interp}'s
+    observation hook for several argument vectors and compares every
+    event against the static claims:
+
+    - {b Range soundness} — every runtime value of every SSA definition
+      lies within its inferred range (symbolic ranges are conservatively
+      treated as containing; an executed definition the analysis claims
+      unreachable is a violation).
+    - {b Constant soundness} — every variable SCCP proves a constant
+      equals that constant at runtime.
+    - {b Bounds safety} — no access whose check was [provably_safe]
+      is ever out of bounds.
+    - {b Prediction consistency} — a branch VRP proves one-way
+      (probability exactly 0.0 or 1.0, no fallback) never takes the
+      other edge.
+    - {b Determinism} ({!check_determinism}) — parallel, cache-hit and
+      journal-resumed batch runs render byte-identically to sequential.
+
+    Membership-style oracles (range / bounds / prediction) are only armed
+    when the static results are trustworthy end to end: the
+    interprocedural driver converged, no function was demoted, and no
+    analysis exhausted fuel or timed out. Otherwise the documented
+    contracts already waive the claims, so checking them would only
+    produce false positives. The constant oracle is unconditional (SCCP is
+    intraprocedural and treats parameters and loads as ⊥).
+
+    Runtime traps (division by zero, out-of-bounds access, step budget)
+    are benign: events observed before the trap are still checked. *)
+
+module Engine = Vrp_core.Engine
+
+type property =
+  | Well_formed
+      (** the pipeline or interpreter itself failed on a generated program *)
+  | Range_soundness
+  | Constant_soundness
+  | Bounds_safety
+  | Prediction_consistency
+  | Determinism
+
+val property_name : property -> string
+
+type violation = { prop : property; vfn : string; detail : string }
+
+val violation_to_string : violation -> string
+
+(** Is [n] certainly a member of the value? ⊥ contains everything, ⊤
+    nothing, symbolic ranges conservatively everything. This is the
+    membership relation of the range-soundness oracle and of the
+    lattice-law property tests (member-set semantics). *)
+val value_contains : Vrp_ranges.Value.t -> int -> bool
+
+type outcome = {
+  violations : violation list;  (** deduplicated per site, capped *)
+  trapped : bool;  (** some run trapped (benign, events still checked) *)
+  membership_checked : bool;
+      (** static results were trusted end to end, so the range, bounds and
+          prediction oracles were armed *)
+}
+
+(** Check one program against the four execution oracles. [args_list]
+    (default {!Gen.main_args}) are the [main] argument vectors, padded or
+    truncated to [main]'s arity. *)
+val check :
+  ?config:Engine.config -> ?args_list:int list list -> string -> outcome
+
+(** Check the differential-determinism property for one [(name, source)]
+    program: sequential vs [--jobs 4], cold vs warm vs reopened summary
+    cache, and fresh vs resumed checkpoint journal must all render
+    byte-identical batch reports. Uses temporary cache/journal paths,
+    removed before returning. *)
+val check_determinism :
+  ?config:Engine.config -> name:string -> string -> violation list

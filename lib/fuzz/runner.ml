@@ -1,0 +1,157 @@
+(** Fuzzing campaign driver (see the interface). *)
+
+module Prng = Vrp_util.Prng
+module Pretty = Vrp_lang.Pretty
+module Engine = Vrp_core.Engine
+
+type failure = {
+  profile : string;
+  index : int;
+  source : string;
+  violations : Oracle.violation list;
+  minimized : string option;
+  shrink_tries : int;
+}
+
+type summary = {
+  programs : int;
+  trapped : int;
+  membership_checked : int;
+  determinism_checked : int;
+  failures : failure list;
+}
+
+(* Per-program seed: an explicit string/int mix (not [Hashtbl.hash], whose
+   algorithm is not a documented contract) so campaign coordinates map to
+   the same program forever. *)
+let mix_seed seed pname index =
+  let h = ref (seed land max_int) in
+  String.iter (fun c -> h := ((!h * 31) + Char.code c) land max_int) pname;
+  ((!h * 1_000_003) + index) land max_int
+
+let run ?(config = Engine.default_config) ?(minimize = false)
+    ?(determinism_every = 10) ?(shrink_budget = 500) ~seed ~count ~profiles ()
+    : summary =
+  let programs = ref 0 in
+  let trapped = ref 0 in
+  let checked = ref 0 in
+  let det = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun (p : Gen.profile) ->
+      for i = 0 to count - 1 do
+        incr programs;
+        let rng = Prng.create (mix_seed seed p.Gen.pname i) in
+        let ast = Gen.program rng ~weights:p.Gen.weights in
+        let source = Pretty.program_to_string ast in
+        let o = Oracle.check ~config source in
+        if o.Oracle.trapped then incr trapped;
+        if o.Oracle.membership_checked then incr checked;
+        let violations = ref o.Oracle.violations in
+        if determinism_every > 0 && i mod determinism_every = 0 then begin
+          incr det;
+          let name = Printf.sprintf "%s_%d" p.Gen.pname i in
+          violations := !violations @ Oracle.check_determinism ~config ~name source
+        end;
+        if !violations <> [] then begin
+          let prop = (List.hd !violations).Oracle.prop in
+          let minimized, shrink_tries =
+            if not minimize then (None, 0)
+            else begin
+              let still_fails cand =
+                let src = Pretty.program_to_string cand in
+                match prop with
+                | Oracle.Determinism ->
+                  Oracle.check_determinism ~config ~name:"shrink" src <> []
+                | _ ->
+                  let oc = Oracle.check ~config src in
+                  List.exists
+                    (fun (v : Oracle.violation) -> v.Oracle.prop = prop)
+                    oc.Oracle.violations
+              in
+              (* Guard against a pretty/AST mismatch: only shrink when the
+                 AST itself reproduces the failure. *)
+              if still_fails ast then begin
+                let small, tries =
+                  Shrink.minimize ~budget:shrink_budget ~still_fails ast
+                in
+                (Some (Pretty.program_to_string small), tries)
+              end
+              else (None, 0)
+            end
+          in
+          failures :=
+            {
+              profile = p.Gen.pname;
+              index = i;
+              source;
+              violations = !violations;
+              minimized;
+              shrink_tries;
+            }
+            :: !failures
+        end
+      done)
+    profiles;
+  {
+    programs = !programs;
+    trapped = !trapped;
+    membership_checked = !checked;
+    determinism_checked = !det;
+    failures = List.rev !failures;
+  }
+
+let line_count s =
+  String.split_on_char '\n' (String.trim s) |> List.length
+
+let render (s : summary) : string =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "programs: %d\n" s.programs;
+  Printf.bprintf b "trapped: %d\n" s.trapped;
+  Printf.bprintf b "membership-checked: %d\n" s.membership_checked;
+  Printf.bprintf b "determinism-checked: %d\n" s.determinism_checked;
+  Printf.bprintf b "failures: %d\n" (List.length s.failures);
+  List.iter
+    (fun f ->
+      Printf.bprintf b "\nFAIL profile=%s program=%d\n" f.profile f.index;
+      List.iter
+        (fun v -> Printf.bprintf b "  %s\n" (Oracle.violation_to_string v))
+        f.violations;
+      match f.minimized with
+      | Some m ->
+        Printf.bprintf b "  minimized to %d lines (%d shrink evaluations):\n"
+          (line_count m) f.shrink_tries;
+        List.iter
+          (fun l -> Printf.bprintf b "    %s\n" l)
+          (String.split_on_char '\n' (String.trim m))
+      | None -> ())
+    s.failures;
+  Buffer.contents b
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let write_repro ~dir ~seed (f : failure) : string =
+  mkdir_p dir;
+  let prop = Oracle.property_name (List.hd f.violations).Oracle.prop in
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "repro_%s_%s_%d_%d.mc" prop f.profile seed f.index)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "// vrpc fuzz repro\n";
+      Printf.fprintf oc "// campaign: seed %d, profile %s, program %d\n" seed
+        f.profile f.index;
+      List.iter
+        (fun v ->
+          Printf.fprintf oc "// %s\n" (Oracle.violation_to_string v))
+        f.violations;
+      Printf.fprintf oc "\n%s"
+        (match f.minimized with Some m -> m | None -> f.source));
+  path

@@ -1,0 +1,176 @@
+(** Greedy structural shrinker (see the interface for the strategy). *)
+
+module Ast = Vrp_lang.Ast
+open Ast
+
+let rec stmt_size (s : stmt) : int =
+  match s.sdesc with
+  | Sif (_, t, e) ->
+    1 + block_size t + (match e with Some b -> block_size b | None -> 0)
+  | Swhile (_, b) -> 1 + block_size b
+  | Sfor (init, _, step, b) ->
+    1
+    + (match init with Some s -> stmt_size s | None -> 0)
+    + (match step with Some s -> stmt_size s | None -> 0)
+    + block_size b
+  | Sdecl _ | Sassign _ | Sreturn _ | Sbreak | Scontinue | Sexpr _ -> 1
+
+and block_size (b : block) : int = List.fold_left (fun a s -> a + stmt_size s) 0 b
+
+let size (p : program) : int =
+  List.fold_left (fun a f -> a + block_size f.body) 0 p.funcs
+
+(* Expression rewrites, smaller-first: literal constants, then direct
+   subexpressions, then one side simplified recursively. Ill-typed results
+   (a float where an int is needed, a void call as a value) are fine —
+   the caller's predicate rejects anything that stops compiling. *)
+let rec expr_variants (e : expr) : expr list =
+  let atoms = match e with Int _ | Float _ -> [] | _ -> [ Int 0; Int 1 ] in
+  let subs =
+    match e with
+    | Binop (_, a, b) | Rel (_, a, b) | And (a, b) | Or (a, b) -> [ a; b ]
+    | Unop (_, a) -> [ a ]
+    | Index (_, i) -> [ i ]
+    | Call (_, args) -> args
+    | Int _ | Float _ | Var _ -> []
+  in
+  let inner =
+    match e with
+    | Binop (op, a, b) ->
+      List.map (fun a' -> Binop (op, a', b)) (expr_variants a)
+      @ List.map (fun b' -> Binop (op, a, b')) (expr_variants b)
+    | Rel (op, a, b) ->
+      List.map (fun a' -> Rel (op, a', b)) (expr_variants a)
+      @ List.map (fun b' -> Rel (op, a, b')) (expr_variants b)
+    | Index (a, i) -> List.map (fun i' -> Index (a, i')) (expr_variants i)
+    | Call (f, args) ->
+      List.concat
+        (List.mapi
+           (fun i a ->
+             List.map
+               (fun a' -> Call (f, List.mapi (fun j x -> if i = j then a' else x) args))
+               (expr_variants a))
+           args)
+    | _ -> []
+  in
+  atoms @ subs @ inner
+
+(* Replacing a compound statement with (a prefix of) its own body. *)
+let unwrap (s : stmt) : block option =
+  match s.sdesc with
+  | Sif (_, t, None) -> Some t
+  | Sif (_, t, Some e) -> Some (t @ e)
+  | Swhile (_, b) -> Some b
+  | Sfor (init, _, _, b) ->
+    Some ((match init with Some i -> [ i ] | None -> []) @ b)
+  | _ -> None
+
+let rec stmt_variants (s : stmt) : stmt list =
+  let mk sdesc = { s with sdesc } in
+  match s.sdesc with
+  | Sif (c, t, e) ->
+    (match e with Some _ -> [ mk (Sif (c, t, None)) ] | None -> [])
+    @ List.map (fun t' -> mk (Sif (c, t', e))) (block_variants t)
+    @ (match e with
+      | Some eb ->
+        List.map (fun e' -> mk (Sif (c, t, Some e'))) (block_variants eb)
+      | None -> [])
+    @ List.map (fun c' -> mk (Sif (c', t, e))) (expr_variants c)
+  | Swhile (c, b) ->
+    List.map (fun b' -> mk (Swhile (c, b'))) (block_variants b)
+    @ List.map (fun c' -> mk (Swhile (c', b))) (expr_variants c)
+  | Sfor (init, cond, step, b) ->
+    List.map (fun b' -> mk (Sfor (init, cond, step, b'))) (block_variants b)
+  | Sassign (lv, e) ->
+    List.map (fun e' -> mk (Sassign (lv, e'))) (expr_variants e)
+  | Sdecl (ty, n, Iscalar (Some e)) ->
+    mk (Sdecl (ty, n, Iscalar None))
+    :: List.map (fun e' -> mk (Sdecl (ty, n, Iscalar (Some e')))) (expr_variants e)
+  | Sreturn (Some e) ->
+    List.map (fun e' -> mk (Sreturn (Some e'))) (expr_variants e)
+  | Sexpr e -> List.map (fun e' -> mk (Sexpr e')) (expr_variants e)
+  | Sdecl _ | Sreturn None | Sbreak | Scontinue -> []
+
+and block_variants (b : block) : block list =
+  let replace_at i repl =
+    List.concat (List.mapi (fun j s -> if i = j then repl else [ s ]) b)
+  in
+  let drops = List.mapi (fun i _ -> replace_at i []) b in
+  let unwraps =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           match unwrap s with Some body -> [ replace_at i body ] | None -> [])
+         b)
+  in
+  let rewrites =
+    List.concat
+      (List.mapi
+         (fun i s -> List.map (fun s' -> replace_at i [ s' ]) (stmt_variants s))
+         b)
+  in
+  drops @ unwraps @ rewrites
+
+(* Candidate programs, coarsest-first. Lazily enumerated per round: the
+   greedy loop adopts the first accepted candidate and restarts, so later
+   (finer) candidates of a round are often never materialised. *)
+let candidates (p : program) : program Seq.t =
+  let drop_funcs =
+    List.filter_map
+      (fun (f : func) ->
+        if f.fname = "main" then None
+        else
+          Some
+            (fun () ->
+              { p with funcs = List.filter (fun g -> g.fname <> f.fname) p.funcs }))
+      p.funcs
+  in
+  let drop_globals =
+    List.map
+      (fun (g : global) ->
+        fun () ->
+          { p with globals = List.filter (fun h -> h.gname <> g.gname) p.globals })
+      p.globals
+  in
+  let body_rewrites =
+    List.concat_map
+      (fun (f : func) ->
+        List.map
+          (fun body' ->
+            fun () ->
+              {
+                p with
+                funcs =
+                  List.map
+                    (fun g -> if g.fname = f.fname then { g with body = body' } else g)
+                    p.funcs;
+              })
+          (block_variants f.body))
+      p.funcs
+  in
+  List.to_seq (drop_funcs @ drop_globals @ body_rewrites)
+  |> Seq.map (fun thunk -> thunk ())
+
+let minimize ?(budget = 500) ~(still_fails : program -> bool) (p0 : program) :
+    program * int =
+  let tries = ref 0 in
+  let current = ref p0 in
+  let progress = ref true in
+  while !progress && !tries < budget do
+    progress := false;
+    let rec scan seq =
+      if !tries >= budget then ()
+      else
+        match Seq.uncons seq with
+        | None -> ()
+        | Some (cand, rest) ->
+          incr tries;
+          if still_fails cand then begin
+            current := cand;
+            progress := true
+          end
+          else scan rest
+    in
+    scan (candidates !current)
+  done;
+  (!current, !tries)

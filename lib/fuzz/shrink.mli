@@ -1,0 +1,32 @@
+(** Greedy structural shrinker: minimise a failing program while
+    preserving its failure.
+
+    Candidates are tried coarsest-first — drop whole functions and
+    globals, drop statements, splice loop/conditional bodies into their
+    parent block, then rewrite expressions to constants or their own
+    subexpressions — and the first candidate accepted by [still_fails]
+    becomes the new current program, restarting the scan. The predicate is
+    total responsibility of the caller: it should pretty-print the
+    candidate, reject anything that no longer compiles, and accept only
+    candidates failing the {e same} oracle property, so the minimised
+    repro demonstrates the original bug and not a new one. *)
+
+module Ast = Vrp_lang.Ast
+
+(** Number of statements in a program (shrink progress metric). *)
+val size : Ast.program -> int
+
+(** The one-step shrink candidates of a program, coarsest first, lazily
+    materialised. A fully minimised program has none its predicate
+    accepts; an empty sequence means none exist at all. *)
+val candidates : Ast.program -> Ast.program Seq.t
+
+(** [minimize ~still_fails p] greedily shrinks [p], calling [still_fails]
+    at most [budget] (default 500) times. [still_fails p] itself must be
+    true — the caller established the failure. Returns the smallest
+    failing program found and the number of predicate evaluations used. *)
+val minimize :
+  ?budget:int ->
+  still_fails:(Ast.program -> bool) ->
+  Ast.program ->
+  Ast.program * int

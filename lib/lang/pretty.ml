@@ -44,10 +44,13 @@ let rec pp_expr buf e =
   in
   match e with
   | Int n ->
-    if n < 0 then Buffer.add_string buf (Printf.sprintf "(0 - %d)" (-n))
+    (* A parenthesised "(-5)" re-parses as the folded literal Int (-5),
+       unlike "(0 - 5)" which re-parses as a subtraction — so printing
+       is a fixpoint of parse ∘ pretty. *)
+    if n < 0 then Buffer.add_string buf (Printf.sprintf "(%d)" n)
     else Buffer.add_string buf (string_of_int n)
   | Float f ->
-    if f < 0.0 then Buffer.add_string buf (Printf.sprintf "(0.0 - %s)" (float_literal (-.f)))
+    if f < 0.0 then Buffer.add_string buf (Printf.sprintf "(-%s)" (float_literal (-.f)))
     else Buffer.add_string buf (float_literal f)
   | Var name -> Buffer.add_string buf name
   | Index (name, idx) ->

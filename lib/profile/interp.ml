@@ -47,13 +47,31 @@ let observed_prob profile key =
 let exec_count profile key =
   match Hashtbl.find_opt profile.branches key with Some { total; _ } -> total | None -> 0
 
+type event =
+  | Ev_enter of { fn : string; args : value list }
+  | Ev_def of { fn : string; var : Var.t; value : value }
+  | Ev_return of { fn : string; value : value }
+  | Ev_branch of { fn : string; block : int; taken : bool }
+  | Ev_access of {
+      fn : string;
+      block : int;
+      instr : int;
+      array : string;
+      index : int;
+      size : int;
+      is_store : bool;
+    }
+
 type state = {
   program : Ir.program;
   globals : (string, value array) Hashtbl.t;
   profile : profile;
   max_steps : int;
   print_sink : Buffer.t option;
+  observe : (event -> unit) option;
 }
+
+let emit st ev = match st.observe with None -> () | Some f -> f ev
 
 let zero_of_ty = function Ast.Tfloat -> Vfloat 0.0 | Ast.Tint | Ast.Tvoid -> Vint 0
 
@@ -112,6 +130,14 @@ let rec call_fn (st : state) (fn : Ir.fn) (args : value list) : value =
        (fun (p : Var.t) v -> vals.(p.Var.id) <- coerce p.Var.ty v)
        fn.params args
    with Invalid_argument _ -> trap "arity mismatch calling %s" fn.fname);
+  if st.observe <> None then begin
+    emit st
+      (Ev_enter
+         { fn = fn.fname; args = List.map (fun (p : Var.t) -> vals.(p.Var.id)) fn.params });
+    List.iter
+      (fun (p : Var.t) -> emit st (Ev_def { fn = fn.fname; var = p; value = vals.(p.Var.id) }))
+      fn.params
+  end;
   let local_arrays = Hashtbl.create 4 in
   List.iter
     (fun (info : Ir.array_info) -> Hashtbl.replace local_arrays info.aname (make_array info))
@@ -143,7 +169,25 @@ let rec call_fn (st : state) (fn : Ir.fn) (args : value list) : value =
     st.profile.steps <- st.profile.steps + 1;
     if st.profile.steps > st.max_steps then trap "step budget exhausted (%d)" st.max_steps
   in
-  let eval_rhs ~pred = function
+  (* Report an access to the hook before [array_ref] gets a chance to trap,
+     so an observer sees the out-of-bounds index that killed the run. *)
+  let observe_access ~site name iv is_store =
+    match (st.observe, iv) with
+    | Some _, Vint index -> (
+      let size =
+        match Hashtbl.find_opt local_arrays name with
+        | Some a -> Some (Array.length a)
+        | None -> Option.map Array.length (Hashtbl.find_opt st.globals name)
+      in
+      match size with
+      | Some size ->
+        let block, instr = site in
+        emit st
+          (Ev_access { fn = fn.fname; block; instr; array = name; index; size; is_store })
+      | None -> ())
+    | _ -> ()
+  in
+  let eval_rhs ~pred ~site = function
     | Ir.Op a -> operand a
     | Ir.Binop (op, a, b) -> binop_value op (operand a) (operand b)
     | Ir.Unop (Ir.Neg, a) -> (
@@ -152,7 +196,9 @@ let rec call_fn (st : state) (fn : Ir.fn) (args : value list) : value =
       match operand a with Vint n -> Vint (lnot n) | Vfloat _ -> trap "'~' on float")
     | Ir.Cmp (rel, a, b) -> Vint (if rel_holds rel (operand a) (operand b) then 1 else 0)
     | Ir.Load (name, idx) ->
-      let arr, i = array_ref name (operand idx) in
+      let iv = operand idx in
+      observe_access ~site name iv false;
+      let arr, i = array_ref name iv in
       arr.(i)
     | Ir.Call (name, args) -> do_call st fn.fname name (List.map operand args)
     | Ir.Phi args -> (
@@ -172,36 +218,45 @@ let rec call_fn (st : state) (fn : Ir.fn) (args : value list) : value =
     let rec run_phis = function
       | Ir.Def (v, Ir.Phi args) :: rest ->
         let rest_writes = run_phis rest in
-        (v, eval_rhs ~pred (Ir.Phi args)) :: rest_writes
+        (v, eval_rhs ~pred ~site:(bid, -1) (Ir.Phi args)) :: rest_writes
       | _ -> []
     in
     let phi_writes = run_phis blk.instrs in
     List.iter
       (fun ((v : Var.t), value) ->
         step ();
-        vals.(v.Var.id) <- coerce v.Var.ty value)
+        let value = coerce v.Var.ty value in
+        vals.(v.Var.id) <- value;
+        if st.observe <> None then emit st (Ev_def { fn = fn.fname; var = v; value }))
       phi_writes;
-    let rest =
-      let rec skip = function
-        | Ir.Def (_, Ir.Phi _) :: rest -> skip rest
-        | instrs -> instrs
+    let nphis =
+      let rec count n = function
+        | Ir.Def (_, Ir.Phi _) :: rest -> count (n + 1) rest
+        | _ -> n
       in
-      skip blk.instrs
+      count 0 blk.instrs
     in
-    List.iter
-      (fun instr ->
-        step ();
-        match instr with
-        | Ir.Def (v, rhs) -> vals.(v.Var.id) <- coerce v.Var.ty (eval_rhs ~pred rhs)
-        | Ir.Store (name, idx, v) ->
-          let arr, i = array_ref name (operand idx) in
-          let elem_ty =
-            match Ir.find_array st.program fn name with
-            | Some info -> info.elem_ty
-            | None -> Ast.Tint
-          in
-          arr.(i) <- coerce elem_ty (operand v))
-      rest;
+    List.iteri
+      (fun i instr ->
+        if i >= nphis then begin
+          step ();
+          match instr with
+          | Ir.Def (v, rhs) ->
+            let value = coerce v.Var.ty (eval_rhs ~pred ~site:(bid, i) rhs) in
+            vals.(v.Var.id) <- value;
+            if st.observe <> None then emit st (Ev_def { fn = fn.fname; var = v; value })
+          | Ir.Store (name, idx, v) ->
+            let iv = operand idx in
+            observe_access ~site:(bid, i) name iv true;
+            let arr, slot = array_ref name iv in
+            let elem_ty =
+              match Ir.find_array st.program fn name with
+              | Some info -> info.elem_ty
+              | None -> Ast.Tint
+            in
+            arr.(slot) <- coerce elem_ty (operand v)
+        end)
+      blk.instrs;
     step ();
     let record_edge dst =
       let key = (fn.fname, bid, dst) in
@@ -214,6 +269,7 @@ let rec call_fn (st : state) (fn : Ir.fn) (args : value list) : value =
       exec_block dst ~pred:bid
     | Ir.Br { rel; ba; bb; tdst; fdst } ->
       let taken = rel_holds rel (operand ba) (operand bb) in
+      if st.observe <> None then emit st (Ev_branch { fn = fn.fname; block = bid; taken });
       let key = (fn.fname, bid) in
       let stats =
         match Hashtbl.find_opt st.profile.branches key with
@@ -231,7 +287,9 @@ let rec call_fn (st : state) (fn : Ir.fn) (args : value list) : value =
     | Ir.Ret None -> Vint 0
     | Ir.Ret (Some op) -> coerce fn.ret_ty (operand op)
   in
-  exec_block Ir.entry_bid ~pred:(-1)
+  let ret = exec_block Ir.entry_bid ~pred:(-1) in
+  if st.observe <> None then emit st (Ev_return { fn = fn.fname; value = ret });
+  ret
 
 and do_call st caller name args : value =
   match name with
@@ -261,8 +319,8 @@ type result = { ret : value; profile : profile; output : string }
 
 (** [run program ~args] interprets [program]'s [main] on integer arguments.
     [max_steps] bounds total executed instructions (default 50M). *)
-let run ?(max_steps = 50_000_000) ?(capture_output = false) (program : Ir.program)
-    ~(args : int list) : result =
+let run ?(max_steps = 50_000_000) ?(capture_output = false) ?observe
+    (program : Ir.program) ~(args : int list) : result =
   let main =
     match Ir.find_fn program "main" with
     | Some fn -> fn
@@ -279,6 +337,7 @@ let run ?(max_steps = 50_000_000) ?(capture_output = false) (program : Ir.progra
       profile = fresh_profile ();
       max_steps;
       print_sink = (if capture_output then Some (Buffer.create 256) else None);
+      observe;
     }
   in
   let ret = call_fn st main (List.map (fun n -> Vint n) args) in

@@ -13,6 +13,10 @@ let max_ranges = ref default_max_ranges
 (** Probability tolerance for value equality (fixed-point detection). *)
 let eps = 1e-9
 
+(* Where a widened bound jumps: far beyond any generated literal, far below
+   [Sym.limit] so a single widened range stays representable. *)
+let widen_cap = 1 lsl 20
+
 let with_max_ranges r f =
   let saved = !max_ranges in
   max_ranges := r;

@@ -9,5 +9,9 @@ val max_ranges : int ref
 (** Probability tolerance for value equality (fixed-point detection). *)
 val eps : float
 
+(** Magnitude a widened bound jumps to (see [Value.widen]); growth past it
+    goes straight to ⊥. *)
+val widen_cap : int
+
 (** Run [f] with a temporary range budget (restored afterwards). *)
 val with_max_ranges : int -> (unit -> 'a) -> 'a

@@ -88,6 +88,37 @@ let count_common a b =
     end
   end
 
+(** The intersection progression itself (same CRT walk as {!count_common},
+    keeping the witnesses): common elements form a progression with stride
+    lcm of the two strides. *)
+let inter a b =
+  Counters.tick ();
+  if a.hi < b.lo || b.hi < a.lo then None
+  else if is_singleton a then if mem a.lo b then Some a else None
+  else if is_singleton b then if mem b.lo a then Some b else None
+  else begin
+    let g, u, _v = egcd a.stride b.stride in
+    let diff = b.lo - a.lo in
+    if diff mod g <> 0 then None
+    else begin
+      let lcm = a.stride / g * b.stride in
+      let t0 = diff / g * u in
+      let step_count = lcm / a.stride in
+      let tmod = ((t0 mod step_count) + step_count) mod step_count in
+      let x0 = a.lo + (a.stride * tmod) in
+      let win_lo = max a.lo b.lo and win_hi = min a.hi b.hi in
+      if win_hi < win_lo then None
+      else begin
+        let first =
+          if x0 >= win_lo then x0 - ((x0 - win_lo) / lcm * lcm)
+          else x0 + ((win_lo - x0 + lcm - 1) / lcm * lcm)
+        in
+        let first = if first < win_lo then first + lcm else first in
+        if first > win_hi then None else Some (make first win_hi lcm)
+      end
+    end
+  end
+
 (** Exact P(u = v) for independent uniform draws u ∈ a, v ∈ b. *)
 let prob_eq a b =
   let common = count_common a b in

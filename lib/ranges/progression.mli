@@ -34,6 +34,10 @@ val count_at_most : t -> int -> int
 (** Exact size of the intersection of two progressions (CRT). *)
 val count_common : t -> t -> int
 
+(** The intersection itself: the (unique) progression of common elements,
+    [None] when disjoint. *)
+val inter : t -> t -> t option
+
 (** Exact P(u = v) for independent uniform draws u ∈ a, v ∈ b. *)
 val prob_eq : t -> t -> float
 

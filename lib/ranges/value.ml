@@ -701,6 +701,95 @@ let purely_numeric (v : t) : t =
   | Top | Bottom -> v
   | Ranges rs -> if List.for_all Srange.is_numeric rs then v else Bottom
 
+(* --- Lattice operations ---
+
+   The propagation engine works with [union_weighted] merges and its
+   evaluation-quota safety valve; the operations below expose the plain
+   lattice view of the same domain — ⊤ ⊑ ranges ⊑ ⊥ ordered by member-set
+   inclusion — for the property-based test suite and the fuzzing oracles,
+   which check the algebraic laws (commutativity, absorption, widening
+   termination) over the member sets. *)
+
+let join a b = union_weighted [ (1.0, a); (1.0, b) ]
+
+let all_numeric rs = List.for_all Srange.is_numeric rs
+
+(* q ⊆ p on progressions, exactly. *)
+let prog_subset (q : P.t) (p : P.t) =
+  if P.is_singleton q then P.mem q.P.lo p
+  else if P.is_singleton p then false
+  else
+    p.P.lo <= q.P.lo && p.P.hi >= q.P.hi
+    && q.P.stride mod p.P.stride = 0
+    && (q.P.lo - p.P.lo) mod p.P.stride = 0
+
+(** Greatest lower bound by member sets, conservatively over-approximated:
+    numeric range sets intersect exactly (CRT per pair); as soon as a
+    symbolic bound is involved the intersection is undecidable and [a] is
+    returned unchanged (a superset of a ∩ b, hence sound). A provably
+    empty intersection is ⊤. *)
+let meet a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Bottom, v | v, Bottom -> v
+  | Ranges ra, Ranges rb ->
+    if not (all_numeric ra && all_numeric rb) then a
+    else begin
+      let pieces =
+        List.concat_map
+          (fun (r1 : Srange.t) ->
+            List.filter_map
+              (fun (r2 : Srange.t) ->
+                match (Srange.prog r1, Srange.prog r2) with
+                | Some p1, Some p2 ->
+                  Option.map
+                    (fun pi -> Srange.numeric ~p:(r1.Srange.p *. r2.Srange.p) pi)
+                    (P.inter p1 p2)
+                | _ -> None)
+              rb)
+          ra
+      in
+      if pieces = [] then Top else normalize pieces
+    end
+
+(** Classic widening, adapted to range sets: if [next] adds no members
+    beyond [prev] (checked conservatively, per-range containment), keep
+    [prev]; otherwise jump each growing bound straight to
+    ±{!Config.widen_cap} (stride 1); growth beyond the cap, and any
+    symbolic bound, goes to ⊥. Every chain
+    [x1, widen x1 x2, widen (widen x1 x2) x3, ...] therefore changes at
+    most three times: each step either is stable, caps one more bound, or
+    lands on ⊥/⊤-free stable ground. *)
+let widen ~prev ~next =
+  match (prev, next) with
+  | Bottom, _ | _, Bottom -> Bottom
+  | Top, v -> v
+  | _, Top -> prev
+  | Ranges rp, Ranges rn ->
+    if not (all_numeric rp && all_numeric rn) then Bottom
+    else begin
+      let progs rs = List.filter_map Srange.prog rs in
+      let pp = progs rp and pn = progs rn in
+      let covered = List.for_all (fun q -> List.exists (prog_subset q) pp) pn in
+      if covered then prev
+      else begin
+        let cap = Config.widen_cap in
+        let bounds ps =
+          List.fold_left
+            (fun (lo, hi) (p : P.t) -> (min lo p.P.lo, max hi p.P.hi))
+            (max_int, min_int) ps
+        in
+        let lo_p, hi_p = bounds pp in
+        let lo_n, hi_n = bounds (pp @ pn) in
+        if lo_n < -cap || hi_n > cap then Bottom
+        else begin
+          let lo' = if lo_n < lo_p then -cap else lo_p in
+          let hi' = if hi_n > hi_p then cap else hi_p in
+          of_ranges [ Srange.numeric ~p:1.0 (P.make lo' hi' 1) ]
+        end
+      end
+    end
+
 (* --- Printing --- *)
 
 let to_string = function

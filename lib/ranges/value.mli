@@ -77,4 +77,27 @@ val purely_numeric : t -> t
     aliasing). *)
 val subst : ?only_singleton:bool -> t -> lookup:(Var.t -> t) -> t
 
+(** {2 Lattice operations}
+
+    The plain lattice view of the domain, ordered by member-set inclusion
+    (⊤ ⊑ ranges ⊑ ⊥). These are what the property-based tests and the
+    fuzzing oracles exercise; the engine's own merges go through
+    {!union_weighted}. *)
+
+(** Least upper bound: the equal-weight union of the member sets. *)
+val join : t -> t -> t
+
+(** Greatest lower bound, conservatively over-approximated: numeric sets
+    intersect exactly (CRT per range pair; provably empty ⇒ ⊤), symbolic
+    bounds make the intersection undecidable and return the first argument
+    unchanged — a sound superset. Satisfies [meet x (join x y) = x] on
+    member sets. *)
+val meet : t -> t -> t
+
+(** [widen ~prev ~next] keeps [prev] when [next] adds no members; otherwise
+    jumps each growing bound to ±{!Config.widen_cap} (stride 1); growth
+    past the cap, or any symbolic bound, is ⊥. Any chain of widenings
+    changes value at most three times, guaranteeing termination. *)
+val widen : prev:t -> next:t -> t
+
 val to_string : t -> string

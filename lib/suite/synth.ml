@@ -8,7 +8,45 @@
     ingredient mix as the hand-written suite, scaled by [units]. The
     generator is deterministic in [(units, seed)]. *)
 
-let generate ~(units : int) ~(seed : int) : string =
+type weights = {
+  counted_loops : int;
+  nested_arrays : int;
+  data_loops : int;
+  branchy : int;
+  calls : int;
+}
+
+let default_weights =
+  { counted_loops = 1; nested_arrays = 1; data_loops = 1; branchy = 1; calls = 0 }
+
+(* Weighted shape choice. With [default_weights] the total is 4 and the
+   cumulative mapping is the identity, so the RNG stream (one [Prng.int]
+   draw of bound 4) and therefore the emitted program are unchanged from
+   the historical hard-coded mix. *)
+let pick_shape rng w =
+  let table =
+    [| w.counted_loops; w.nested_arrays; w.data_loops; w.branchy; w.calls |]
+  in
+  let total = Array.fold_left ( + ) 0 table in
+  if total <= 0 then 0
+  else begin
+    let r = Vrp_util.Prng.int rng total in
+    let shape = ref 0 and acc = ref 0 in
+    (try
+       Array.iteri
+         (fun i wi ->
+           acc := !acc + wi;
+           if r < !acc then begin
+             shape := i;
+             raise Exit
+           end)
+         table
+     with Exit -> ());
+    !shape
+  end
+
+let generate ?(weights = default_weights) ~(units : int) ~(seed : int) () :
+    string =
   let rng = Vrp_util.Prng.create (seed + 0x51e5) in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf Progs_int.rng_preamble;
@@ -18,7 +56,7 @@ let generate ~(units : int) ~(seed : int) : string =
     let bound = 8 + Vrp_util.Prng.int rng 56 in
     let stride = 1 + Vrp_util.Prng.int rng 3 in
     let threshold = Vrp_util.Prng.int rng bound in
-    let shape = Vrp_util.Prng.int rng 4 in
+    let shape = pick_shape rng weights in
     Buffer.add_string buf (Printf.sprintf "int unit%d(int a, int b) {\n" f);
     Buffer.add_string buf "  int acc = 0;\n";
     (match shape with
@@ -53,7 +91,7 @@ let generate ~(units : int) ~(seed : int) : string =
            \  }\n\
            \  acc = acc + b %% %d;\n"
            (threshold + 2))
-    | _ ->
+    | 3 ->
       (* chained conditionals on the parameters *)
       Buffer.add_string buf
         (Printf.sprintf
@@ -61,7 +99,20 @@ let generate ~(units : int) ~(seed : int) : string =
            \  if (t > %d) { acc = acc + 3; }\n\
            \  if (t %% 3 == 0) { acc = acc * 2; } else { acc = acc + b; }\n\
            \  for (int i = 0; i < %d; i++) { acc = acc + aux[i %% 1024]; }\n"
-           threshold bound));
+           threshold bound)
+    | _ ->
+      (* call-heavy: branch on the parameters, then lean on earlier units *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  int u = a %% 17;\n\
+           \  int v = b %% 13;\n\
+           \  if (u > v) { acc = u - v; } else { acc = v + 1; }\n");
+      if f > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  acc = acc + unit%d(u, v);\n\
+             \  acc = acc + unit%d(v, acc %% %d);\n"
+             (f - 1) (f - 1) (threshold + 3)));
     if f > 0 then
       Buffer.add_string buf
         (Printf.sprintf "  acc = acc + unit%d(acc, a %% 97);\n" (f - 1));

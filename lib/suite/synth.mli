@@ -2,4 +2,22 @@
     5/6): structured programs of parametric size with the same ingredient
     mix as the hand-written suite. Deterministic in [(units, seed)]. *)
 
-val generate : units:int -> seed:int -> string
+(** Relative weights of the statement shapes a generated unit can take.
+    The same table parameterises [Fuzz.Gen]'s statement mix so the two
+    generators cannot drift: a profile tuned for the fuzzer (loops-heavy,
+    call-heavy, ...) means the same thing here. Weights are non-negative
+    integers; a zero weight disables the shape. *)
+type weights = {
+  counted_loops : int;  (** counted loop with interior comparisons *)
+  nested_arrays : int;  (** nested loops with array traffic *)
+  data_loops : int;  (** data-dependent while loops *)
+  branchy : int;  (** chained conditionals *)
+  calls : int;  (** extra calls into earlier units *)
+}
+
+val default_weights : weights
+(** The historical fixed mix: the four original shapes equally weighted,
+    no extra call shape. [generate] with [default_weights] reproduces the
+    pre-[?weights] output byte for byte. *)
+
+val generate : ?weights:weights -> units:int -> seed:int -> unit -> string

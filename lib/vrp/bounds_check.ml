@@ -16,6 +16,11 @@ module Sym = Vrp_ranges.Sym
 
 type check = {
   block : int;
+  instr_index : int;
+      (** position of the access in [block]'s instruction list; with
+          [block] it identifies the access site exactly (an instruction
+          holds at most one access), which is how the fuzzing oracle maps
+          runtime accesses back to checks *)
   array : string;
   index : Ir.operand;
   is_store : bool;
@@ -61,8 +66,8 @@ let analyze (program : Ir.program) (res : Engine.t) : report =
   let checks = ref [] in
   Ir.iter_blocks fn (fun b ->
       if res.Engine.visited.(b.Ir.bid) then
-        List.iter
-          (fun instr ->
+        List.iteri
+          (fun i instr ->
             let record array index is_store =
               match Ir.find_array program fn array with
               | None -> ()
@@ -73,6 +78,7 @@ let analyze (program : Ir.program) (res : Engine.t) : report =
                 checks :=
                   {
                     block = b.Ir.bid;
+                    instr_index = i;
                     array;
                     index;
                     is_store;

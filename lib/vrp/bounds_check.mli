@@ -6,6 +6,9 @@ module Ir = Vrp_ir.Ir
 
 type check = {
   block : int;
+  instr_index : int;
+      (** position of the access in [block]'s instruction list — with
+          [block], an exact access-site identity *)
   array : string;
   index : Ir.operand;
   is_store : bool;

@@ -300,13 +300,25 @@ let attempt ~(ctx : ctx) ~(values : Var.t -> Value.t) ~(symbolic : bool)
                       else Some (Sym.num final, b.bdeps)
                     | Some _ -> None (* bound * variable is not representable *)
                   end
+                  else if rel = Ast.Ne then begin
+                    (* An Ne test behaves like an inclusive bound only when
+                       the progression actually lands on it: init ≡ bound
+                       (mod g) with comparable bases. A mis-phased Ne — an
+                       inner [if (x == c)] whose c the counter steps over,
+                       or a [while (x != U)] that never hits U — excludes
+                       one point but bounds nothing. *)
+                    if
+                      Sym.same_base adjusted init
+                      && (adjusted.Sym.off - init.Sym.off) mod g = 0
+                    then Some (adjusted, b.bdeps)
+                    else None
+                  end
                   else begin
                     (* additive: overshoot at most the max increment
                        (inclusive bounds add one step) *)
                     let slack =
                       match rel with
                       | Ast.Le | Ast.Ge -> max_mag
-                      | Ast.Ne -> 0 (* the loop exits exactly at the bound *)
                       | _ -> max_mag - 1
                     in
                     let final =
@@ -342,6 +354,25 @@ let attempt ~(ctx : ctx) ~(values : Var.t -> Value.t) ~(symbolic : bool)
             | _ -> raise No_match
           end
           else g
+        in
+        (* Anchor the progression's phase at the initial value: the φ's
+           values are init ± k·g, and membership is decided relative to the
+           range's lo, so the far endpoint must be congruent to init mod g.
+           Anchoring at the raw overshoot bound would phase-shift every
+           element (a countdown from 9 by 3 under [> 0] would claim
+           {-2,1,4,7} and exclude the actual {0,3,6,9}). Down-loops align
+           the loose lower end up; up-loops align the loose upper end down
+           (a strict tightening, since real values are init + k·g). *)
+        let final =
+          if g > 1 && Sym.same_base final init then begin
+            if down then
+              let shift = (((init.Sym.off - final.Sym.off) mod g) + g) mod g in
+              Sym.add_const final shift
+            else
+              let shift = (((final.Sym.off - init.Sym.off) mod g) + g) mod g in
+              Sym.add_const final (-shift)
+          end
+          else final
         in
         let lo = if up then init else final and hi = if up then final else init in
         let value =

@@ -784,6 +784,30 @@ let analyze ?(config = default_config) ?report
   let return_value =
     match !returns with [] -> Value.bottom | parts -> Value.union_weighted parts
   in
+  (* Deliberately unsound off-by-one behind fault injection: shrink every
+     multi-element numeric range's upper bound by one stride, so e.g. a loop
+     counter's final value escapes its reported range. The fuzzing oracles
+     must detect this skew from observed execution. *)
+  (match config.fault with
+  | Some (Diag.Fault.Skew_range f) when String.equal f fname ->
+    diag st Diag.Info Diag.Fault_injected "final ranges skewed by injected fault";
+    Array.iteri
+      (fun i v ->
+        match v with
+        | Value.Ranges rs ->
+          let skew (r : Vrp_ranges.Srange.t) =
+            if Vrp_ranges.Srange.is_numeric r && not (Vrp_ranges.Srange.is_singleton r)
+            then
+              let hi = Vrp_ranges.Sym.add_const r.hi (-max 1 r.stride) in
+              match Vrp_ranges.Srange.make ~p:r.p ~lo:r.lo ~hi ~stride:r.stride with
+              | Some r' -> r'
+              | None -> r
+            else r
+          in
+          st.vals.(i) <- Value.Ranges (List.map skew rs)
+        | Value.Top | Value.Bottom -> ())
+      st.vals
+  | _ -> ());
   {
     fn;
     values = st.vals;

@@ -39,6 +39,11 @@ type t = {
   param_env : (string, Value.t list) Hashtbl.t;
   return_env : (string, Value.t) Hashtbl.t;
   rounds : int;  (** rounds actually executed *)
+  converged : bool;
+      (** the environments stabilised before [max_rounds]; when false, the
+          final environments are one step ahead of the ones [results] were
+          computed against, and membership claims must not be trusted
+          end-to-end (the fuzzing oracles skip such programs) *)
 }
 
 (** Per-function analysis outcome inside one wave. [Skipped] marks a
@@ -312,4 +317,11 @@ let analyze ?(config = Engine.default_config) ?report
     Hashtbl.iter (Hashtbl.replace return_env) new_return_env;
     if params_equal && ret_equal then continue := false
   done;
-  { results = !results; failed; param_env; return_env; rounds = !rounds }
+  {
+    results = !results;
+    failed;
+    param_env;
+    return_env;
+    rounds = !rounds;
+    converged = not !continue;
+  }

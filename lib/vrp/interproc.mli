@@ -18,6 +18,10 @@ type t = {
   param_env : (string, Value.t list) Hashtbl.t;
   return_env : (string, Value.t) Hashtbl.t;
   rounds : int;  (** rounds actually executed *)
+  converged : bool;
+      (** environments stabilised before the round cap; when false the
+          final environments are one step ahead of [results] and
+          membership claims must not be trusted end-to-end *)
 }
 
 val result : t -> string -> Engine.t option

@@ -375,7 +375,7 @@ let cached_equals_fresh_prop =
   Helpers.qtest ~count:15 "synth programs: cached == fresh report"
     QCheck2.Gen.(pair (int_range 4 24) (int_range 0 1_000_000))
     (fun (units, seed) ->
-      let sources = [ ("synth.mc", Vrp_suite.Synth.generate ~units ~seed) ] in
+      let sources = [ ("synth.mc", Vrp_suite.Synth.generate ~units ~seed ()) ] in
       let fresh = Batch.render (Batch.analyze_sources ~jobs:1 sources) in
       let cache = Summary_cache.create () in
       ignore (Batch.analyze_sources ~cache ~jobs:1 sources);

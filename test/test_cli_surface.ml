@@ -62,15 +62,15 @@ let accuracy_render_has_all_predictors () =
     [ "profiling"; "ball-larus"; "vrp"; "vrp-numeric"; "90/50"; "random" ]
 
 let synth_deterministic () =
-  let a = Vrp_suite.Synth.generate ~units:7 ~seed:3 in
-  let b = Vrp_suite.Synth.generate ~units:7 ~seed:3 in
+  let a = Vrp_suite.Synth.generate ~units:7 ~seed:3 () in
+  let b = Vrp_suite.Synth.generate ~units:7 ~seed:3 () in
   Alcotest.(check string) "same source" a b;
-  let c = Vrp_suite.Synth.generate ~units:7 ~seed:4 in
+  let c = Vrp_suite.Synth.generate ~units:7 ~seed:4 () in
   Alcotest.(check bool) "seed changes source" true (a <> c)
 
 let synth_sizes_scale () =
   let size units =
-    let src = Vrp_suite.Synth.generate ~units ~seed:1 in
+    let src = Vrp_suite.Synth.generate ~units ~seed:1 () in
     Vrp_ir.Ir.program_size (Helpers.compile src).Vrp_core.Pipeline.ssa
   in
   let s1 = size 2 and s2 = size 20 and s3 = size 80 in

@@ -41,7 +41,7 @@ let all_benchmarks_compile_run_analyze () =
 let synth_programs_compile_run_analyze () =
   List.iter
     (fun units ->
-      let src = Vrp_suite.Synth.generate ~units ~seed:(units * 13) in
+      let src = Vrp_suite.Synth.generate ~units ~seed:(units * 13) () in
       let c = Helpers.compile src in
       Vrp_ir.Check.check_ssa_program c.Vrp_core.Pipeline.ssa;
       let r = Interp.run c.Vrp_core.Pipeline.ssa ~args:[ 10; 3 ] in
@@ -98,7 +98,7 @@ let prop_return_soundness =
   Helpers.qtest ~count:60 "return range contains actual result (synth programs)"
     QCheck2.Gen.(triple (int_range 1 12) (int_range 0 1000) (int_range 0 10000))
     (fun (units, n, seed) ->
-      let src = Vrp_suite.Synth.generate ~units ~seed:(units * 3) in
+      let src = Vrp_suite.Synth.generate ~units ~seed:(units * 3) () in
       let c = Helpers.compile src in
       let ssa = c.Vrp_core.Pipeline.ssa in
       match Interp.run ssa ~args:[ n; seed ] with

@@ -21,4 +21,5 @@ let () =
       Test_supervisor.suite;
       Test_cache.suite;
       Test_integration.suite;
+      Test_fuzz.suite;
     ]

@@ -417,6 +417,86 @@ let prop_sym_algebra =
       && Sym.sub sa sb = Some (Sym.num (a - b))
       && Sym.cmp sa sb = Some (Int.compare a b))
 
+(* --- Lattice laws, driven by the fuzzer's value generator ---
+
+   Equality is member-set equality: two values are "the same" when they
+   contain exactly the same integers, whatever their internal range lists
+   look like. Probes cover the fuzz generator's whole numeric span. *)
+
+let gen_fuzz_value : Value.t QCheck2.Gen.t =
+  QCheck2.Gen.map
+    (fun seed -> Vrp_fuzz.Gen.value (Vrp_util.Prng.create seed))
+    QCheck2.Gen.(int_range 0 1_000_000)
+
+let probes = List.init 601 (fun i -> i - 300)
+let vmem = Vrp_fuzz.Oracle.value_contains
+let same_members a b = List.for_all (fun n -> vmem a n = vmem b n) probes
+let subset_members a b = List.for_all (fun n -> (not (vmem a n)) || vmem b n) probes
+
+let prop_join_commutative =
+  Helpers.qtest ~count:300 "lattice: join commutative (member sets)"
+    QCheck2.Gen.(pair gen_fuzz_value gen_fuzz_value)
+    (fun (a, b) -> same_members (Value.join a b) (Value.join b a))
+
+let prop_join_idempotent =
+  Helpers.qtest ~count:300 "lattice: join idempotent (member sets)"
+    gen_fuzz_value
+    (fun a -> same_members (Value.join a a) a)
+
+let prop_join_associative_sound =
+  (* Compaction to the range budget may hull differently per grouping, so
+     the two groupings need not be member-identical — but both must contain
+     every member of every operand, and each grouping's members must come
+     from somewhere: check mutual soundness of the two groupings. *)
+  Helpers.qtest ~count:300 "lattice: join associative (mutual soundness)"
+    QCheck2.Gen.(triple gen_fuzz_value gen_fuzz_value gen_fuzz_value)
+    (fun (a, b, c) ->
+      let l = Value.join (Value.join a b) c in
+      let r = Value.join a (Value.join b c) in
+      List.for_all
+        (fun v -> subset_members v l && subset_members v r)
+        [ a; b; c ])
+
+let prop_absorption =
+  (* Only the soundness direction: compaction inside meet/join may hull
+     several progressions together (e.g. [-25:-1:1] and [-24:6:2] into
+     [-25:6:1]), so the absorbed value can gain members — but it must
+     never lose one of x's. *)
+  Helpers.qtest ~count:300 "lattice: absorption keeps every member of x"
+    QCheck2.Gen.(pair gen_fuzz_value gen_fuzz_value)
+    (fun (a, b) -> subset_members a (Value.meet a (Value.join a b)))
+
+let prop_meet_is_intersection =
+  Helpers.qtest ~count:300 "lattice: meet over-approximates intersection"
+    QCheck2.Gen.(pair gen_fuzz_value gen_fuzz_value)
+    (fun (a, b) ->
+      let m = Value.meet a b in
+      List.for_all (fun n -> (not (vmem a n && vmem b n)) || vmem m n) probes)
+
+let prop_widen_sound =
+  Helpers.qtest ~count:300 "lattice: widen contains next"
+    QCheck2.Gen.(pair gen_fuzz_value gen_fuzz_value)
+    (fun (prev, b) ->
+      let next = Value.join prev b in
+      subset_members next (Value.widen ~prev ~next))
+
+let prop_widen_terminates =
+  (* Every widened chain strictly descends through at most
+     ⊤ → several ranges → one stride-1 hull → lo capped → hi capped → ⊥,
+     so from an arbitrary start it changes at most 5 times. *)
+  Helpers.qtest ~count:200 "lattice: widening chain changes at most 5 times"
+    QCheck2.Gen.(pair gen_fuzz_value (list_size (return 12) gen_fuzz_value))
+    (fun (a, bs) ->
+      let changes = ref 0 in
+      let w = ref a in
+      List.iter
+        (fun b ->
+          let w' = Value.widen ~prev:!w ~next:(Value.join !w b) in
+          if not (Value.equal !w w') then incr changes;
+          w := w')
+        bs;
+      !changes <= 5)
+
 let suite =
   ( "ranges",
     [
@@ -450,4 +530,11 @@ let suite =
       prop_union_contains_parts;
       prop_unop_sound;
       prop_sym_algebra;
+      prop_join_commutative;
+      prop_join_idempotent;
+      prop_join_associative_sound;
+      prop_absorption;
+      prop_meet_is_intersection;
+      prop_widen_sound;
+      prop_widen_terminates;
     ] )

@@ -15,7 +15,9 @@
      bench/main.exe ablate-derive   with/without loop derivation
      bench/main.exe ablate-trip     trip-count prior sweep
      bench/main.exe perf            Bechamel micro/macro timings
-     bench/main.exe batch [--json]  batch scheduler + summary-cache throughput *)
+     bench/main.exe batch [--json]  batch scheduler + summary-cache throughput
+     bench/main.exe server [--json] vrpd request throughput, latency percentiles,
+                                    warm-cache hit rate and incremental re-analysis *)
 
 module Figures = Vrp_evaluation.Figures
 module Error_analysis = Vrp_evaluation.Error_analysis
@@ -275,6 +277,213 @@ let batch_bench ~json () =
     Printf.printf "  all variants rendered byte-identically to jobs=1\n%!"
   end
 
+(* --- Analysis-server throughput (vrpd request path) --- *)
+
+(* Drives the daemon's request seam ([Server.handle]) from concurrent
+   client threads — the same code path a socket connection runs, minus the
+   kernel round-trip — and measures what ISSUE acceptance pins: requests
+   per second, p50/p99 latency, summary-cache hit rate cold vs warm, and a
+   warm-daemon incremental re-analysis of a one-function edit beating the
+   cold one-shot CLI wall-clock. Every response is cross-checked
+   byte-identical to the one-shot [Ops] output along the way. *)
+let server_bench ~json () =
+  let module Server = Vrp_server.Server in
+  let module Protocol = Vrp_server.Protocol in
+  let module Json = Vrp_server.Json in
+  let module Ops = Vrp_server.Ops in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let sources =
+    List.map
+      (fun (b : Suite.benchmark) -> (b.Suite.name ^ ".mc", b.Suite.source))
+      Suite.benchmarks
+  in
+  (* Cold one-shot reference: what `vrpc predict FILE` costs and prints. *)
+  let expected, one_shot_s =
+    time (fun () ->
+        List.map
+          (fun (n, src) -> (n, Ops.predict ~opts:Ops.default_opts ~source:src ()))
+          sources)
+  in
+  let jobs = 4 and clients = 8 and warm_rounds = 3 in
+  let server = Server.create ~settings:{ Server.jobs; deadline_ms = None; fault = None } () in
+  Fun.protect ~finally:(fun () -> Server.shutdown server) @@ fun () ->
+  let predict_req (name, source) =
+    {
+      Protocol.id = 1;
+      op = "predict";
+      params = Json.Obj [ ("source", Json.String source); ("name", Json.String name) ];
+    }
+  in
+  let mismatches = Atomic.make 0 in
+  let check name (resp : Protocol.response) =
+    let want : Ops.outcome = List.assoc name expected in
+    if not (resp.Protocol.ok && resp.Protocol.out = want.Ops.out && resp.Protocol.code = want.Ops.code)
+    then Atomic.incr mismatches
+  in
+  (* Fan [reqs] out over [clients] threads; collect per-request latencies. *)
+  let run_pass reqs =
+    let slices = Array.make clients [] in
+    List.iteri (fun i r -> slices.(i mod clients) <- r :: slices.(i mod clients)) reqs;
+    let results = Array.make clients [] in
+    let threads =
+      Array.mapi
+        (fun i slice ->
+          Thread.create
+            (fun () ->
+              results.(i) <-
+                List.map
+                  (fun (name, src) ->
+                    let resp, dt = time (fun () -> Server.handle server (predict_req (name, src))) in
+                    check name resp;
+                    dt)
+                  slice)
+            ())
+        slices
+    in
+    Array.iter Thread.join threads;
+    Array.to_list results |> List.concat
+  in
+  let cache_counters () =
+    let r = Server.handle server { Protocol.id = 0; op = "status"; params = Json.Null } in
+    let c = Option.value ~default:Json.Null (List.assoc_opt "cache" r.Protocol.data) in
+    let f k = Option.value ~default:0 (Json.mem_int k c) in
+    (f "hits", f "misses")
+  in
+  let hit_rate (h0, m0) (h1, m1) =
+    let h = h1 - h0 and m = m1 - m0 in
+    (h, m, float_of_int h /. float_of_int (max 1 (h + m)))
+  in
+  let c0 = cache_counters () in
+  let cold_lat, cold_s = time (fun () -> run_pass sources) in
+  let c1 = cache_counters () in
+  let warm_reqs = List.concat (List.init warm_rounds (fun _ -> sources)) in
+  let warm_lat, warm_s = time (fun () -> run_pass warm_reqs) in
+  let c2 = cache_counters () in
+  if Atomic.get mismatches > 0 then
+    failwith "server bench: a daemon response diverged from the one-shot CLI";
+  let cold_hits, cold_misses, cold_rate = hit_rate c0 c1 in
+  let warm_hits, warm_misses, warm_rate = hit_rate c1 c2 in
+  let percentile p lat =
+    let a = Array.of_list lat in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then 0.0
+    else a.(min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1))
+  in
+  let ms t = 1000.0 *. t in
+  let rps n t = if t > 0.0 then float_of_int n /. t else 0.0 in
+  (* Incremental re-analysis: a session submits a many-function program,
+     then re-submits it with one function edited. The daemon re-runs only
+     the dirty call-graph cone; everything else is a warm cache hit. *)
+  let n_fns = 12 in
+  let inc_src cutoff =
+    let fn i k =
+      Printf.sprintf
+        "int f%d(int x) {\n\
+        \  int acc = 0;\n\
+        \  for (int i = 0; i < 40; i++) {\n\
+        \    if (x > %d) acc = (acc + i * %d) %% 257; else acc = acc - 1;\n\
+        \  }\n\
+        \  return acc %% 16;\n\
+         }\n"
+        i k (i + 2)
+    in
+    String.concat ""
+      (List.init n_fns (fun i -> fn i (if i = 0 then cutoff else 7))
+      @ [
+          "int main(int n, int seed) {\n  int s = 0;\n";
+          String.concat ""
+            (List.init n_fns (fun i -> Printf.sprintf "  s = s + f%d(n + %d);\n" i i));
+          "  return s;\n}\n";
+        ])
+  in
+  let v1 = inc_src 7 and v2 = inc_src 9 in
+  let analyze_req source =
+    {
+      Protocol.id = 1;
+      op = "analyze";
+      params =
+        Json.Obj
+          [
+            ("session", Json.String "bench");
+            ("name", Json.String "inc.mc");
+            ("source", Json.String source);
+          ];
+    }
+  in
+  let cold_edit, cold_edit_s =
+    time (fun () -> Ops.predict ~opts:Ops.default_opts ~source:v2 ())
+  in
+  ignore (Server.handle server (analyze_req v1));
+  let warm_edit, warm_edit_s = time (fun () -> Server.handle server (analyze_req v2)) in
+  if warm_edit.Protocol.out <> cold_edit.Ops.out then
+    failwith "server bench: incremental re-analysis diverged from the cold one-shot";
+  let plan = Option.value ~default:Json.Null (List.assoc_opt "plan" warm_edit.Protocol.data) in
+  let delta = Option.value ~default:Json.Null (List.assoc_opt "cache" warm_edit.Protocol.data) in
+  let plan_n k =
+    match Json.member k plan with Some (Json.List l) -> List.length l | _ -> 0
+  in
+  let delta_n k = Option.value ~default:0 (Json.mem_int k delta) in
+  let cores = Domain.recommended_domain_count () in
+  if json then
+    Printf.printf
+      "{\"requests\": %d, \"jobs\": %d, \"clients\": %d, \"cores\": %d,\n\
+      \ \"wall_s\": {\"one_shot_suite\": %.6f, \"server_cold\": %.6f, \
+       \"server_warm\": %.6f},\n\
+      \ \"requests_per_sec\": {\"cold\": %.1f, \"warm\": %.1f},\n\
+      \ \"latency_ms\": {\"cold\": {\"p50\": %.3f, \"p99\": %.3f}, \
+       \"warm\": {\"p50\": %.3f, \"p99\": %.3f}},\n\
+      \ \"cache\": {\"cold\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f}, \
+       \"warm\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f}},\n\
+      \ \"incremental\": {\"functions\": %d, \"changed\": %d, \"dirty\": %d, \
+       \"reused\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
+       \"invalidations\": %d,\n\
+      \   \"cold_one_shot_s\": %.6f, \"warm_incremental_s\": %.6f, \
+       \"speedup\": %.2f, \"warm_beats_cold\": %b},\n\
+      \ \"byte_identical\": true}\n"
+      (List.length sources) jobs clients cores one_shot_s cold_s warm_s
+      (rps (List.length sources) cold_s)
+      (rps (List.length warm_reqs) warm_s)
+      (ms (percentile 50.0 cold_lat))
+      (ms (percentile 99.0 cold_lat))
+      (ms (percentile 50.0 warm_lat))
+      (ms (percentile 99.0 warm_lat))
+      cold_hits cold_misses cold_rate warm_hits warm_misses warm_rate
+      (n_fns + 1) (plan_n "changed") (plan_n "dirty") (plan_n "reused")
+      (delta_n "hits") (delta_n "misses") (delta_n "invalidations")
+      cold_edit_s warm_edit_s
+      (if warm_edit_s > 0.0 then cold_edit_s /. warm_edit_s else 0.0)
+      (warm_edit_s < cold_edit_s)
+  else begin
+    header "Analysis server: request throughput + incremental re-analysis";
+    Printf.printf "  workload: %d predict requests over %d client threads (pool jobs=%d, %d cores)\n"
+      (List.length sources) clients jobs cores;
+    Printf.printf "  %-22s %10s %12s %10s %10s\n" "pass" "wall (s)" "req/s" "p50 (ms)" "p99 (ms)";
+    List.iter
+      (fun (name, n, t, lat) ->
+        Printf.printf "  %-22s %10.4f %12.1f %10.3f %10.3f\n" name t (rps n t)
+          (ms (percentile 50.0 lat))
+          (ms (percentile 99.0 lat)))
+      [
+        ("cold (empty cache)", List.length sources, cold_s, cold_lat);
+        ("warm (cache resident)", List.length warm_reqs, warm_s, warm_lat);
+      ];
+    Printf.printf "  cache hit rate: cold %.1f%% (%d/%d), warm %.1f%% (%d/%d)\n"
+      (100.0 *. cold_rate) cold_hits (cold_hits + cold_misses)
+      (100.0 *. warm_rate) warm_hits (warm_hits + warm_misses);
+    Printf.printf "  one-function edit (%d functions): changed=%d dirty=%d reused=%d, cache +%d hits +%d misses +%d invalidations\n"
+      (n_fns + 1) (plan_n "changed") (plan_n "dirty") (plan_n "reused")
+      (delta_n "hits") (delta_n "misses") (delta_n "invalidations");
+    Printf.printf "  warm incremental %.4fs vs cold one-shot %.4fs (%.2fx)\n"
+      warm_edit_s cold_edit_s
+      (if warm_edit_s > 0.0 then cold_edit_s /. warm_edit_s else 0.0);
+    Printf.printf "  every response byte-identical to the one-shot CLI\n%!"
+  end
+
 (* --- Bechamel timings --- *)
 
 let perf () =
@@ -368,7 +577,9 @@ let () =
   | [ _; "perf" ] -> perf ()
   | [ _; "batch" ] -> batch_bench ~json:false ()
   | [ _; "batch"; "--json" ] | [ _; "batch"; "-json" ] -> batch_bench ~json:true ()
+  | [ _; "server" ] -> server_bench ~json:false ()
+  | [ _; "server"; "--json" ] | [ _; "server"; "-json" ] -> server_bench ~json:true ()
   | _ ->
     prerr_endline
-      "usage: main.exe [all|fig4|fig5|fig6|fig7|fig8|ablate-r|ablate-worklist|ablate-assert|ablate-derive|ablate-trip|perf|batch [--json]]";
+      "usage: main.exe [all|fig4|fig5|fig6|fig7|fig8|ablate-r|ablate-worklist|ablate-assert|ablate-derive|ablate-trip|perf|batch [--json]|server [--json]]";
     exit 2

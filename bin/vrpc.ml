@@ -19,6 +19,10 @@ module Engine = Vrp_core.Engine
 module Pipeline = Vrp_core.Pipeline
 module Interp = Vrp_profile.Interp
 module Diag = Vrp_diag.Diag
+module Ops = Vrp_server.Ops
+module Json = Vrp_server.Json
+module Client = Vrp_server.Client
+module Protocol = Vrp_server.Protocol
 
 (* --- Program source selection --- *)
 
@@ -154,21 +158,6 @@ let with_diag (diagnostics, strict, fault) config k =
   if diagnostics then prerr_string (Diag.render report);
   if strict && Diag.degraded report then exit 3
 
-(* Branches the report attributes to heuristic fallback, for output
-   annotation: (fn, block) -> caused by degradation (vs ordinary ⊥). *)
-let fallback_branches report =
-  let tbl = Hashtbl.create 16 in
-  List.iter
-    (fun (d : Diag.diag) ->
-      match (d.Diag.kind, d.Diag.loc.Diag.fn, d.Diag.loc.Diag.block) with
-      | Diag.Fallback_heuristic, Some fn, Some bid ->
-        let degraded = d.Diag.severity <> Diag.Info in
-        let prev = Option.value ~default:false (Hashtbl.find_opt tbl (fn, bid)) in
-        Hashtbl.replace tbl (fn, bid) (degraded || prev)
-      | _ -> ())
-    (Diag.to_list report);
-  tbl
-
 let select_fns (p : Ir.program) = function
   | None -> p.Ir.fns
   | Some name -> List.filter (fun (fn : Ir.fn) -> String.equal fn.Ir.fname name) p.Ir.fns
@@ -209,40 +198,27 @@ let ranges file bench numeric fn_filter dopts =
                   b.Ir.instrs))
         (select_fns c.Pipeline.ssa fn_filter)))
 
+(* Print an Ops outcome exactly as the in-line implementation used to:
+   report on stdout, diagnostics/counters on stderr, code as exit code. *)
+let print_outcome (o : Ops.outcome) =
+  print_string o.Ops.out;
+  prerr_string o.Ops.err;
+  if o.Ops.code <> 0 then exit o.Ops.code
+
+let opts_of ?(jobs = 1) numeric (diagnostics, strict, fault) =
+  { Ops.default_opts with Ops.numeric; jobs; diagnostics; strict; fault }
+
+(* Resolve the input source, mapping selection errors to exit 2. *)
+let with_loaded file bench k =
+  match load_source file bench with
+  | Error msg ->
+    prerr_endline ("vrpc: " ^ msg);
+    exit 2
+  | Ok source -> k source
+
 let predict file bench numeric jobs dopts =
-  with_source file bench (fun c ->
-      with_diag dopts (config_of_flags numeric) (fun ~report ~config ->
-      (* Always schedule through the SCC wavefront plan so --jobs N is
-         byte-identical to --jobs 1 (the sequential reference). *)
-      let groups = Vrp_sched.Callgraph.scc_groups c.Pipeline.ssa in
-      let vrp, _ =
-        Vrp_sched.Pool.with_pool ~jobs (fun pool ->
-            Pipeline.vrp_predictions ~config ~report ~groups
-              ~run_tasks:(Vrp_sched.Wavefront.runner pool) c.Pipeline.ssa)
-      in
-      let bl = Vrp_predict.Predictor.ball_larus c.Pipeline.ssa in
-      let nf = Vrp_predict.Predictor.ninety_fifty c.Pipeline.ssa in
-      let fb = fallback_branches report in
-      Printf.printf "%-28s %9s %12s %8s\n" "branch" "vrp" "ball-larus" "90/50";
-      List.iter
-        (fun (((fname, bid) as key), (br : Ir.branch)) ->
-          let get tbl = Option.value ~default:Float.nan (Hashtbl.find_opt tbl key) in
-          let marker =
-            match Hashtbl.find_opt fb key with
-            | Some true -> "!"  (* degraded: crash / fuel / timeout *)
-            | Some false -> "*"  (* ordinary ⊥-range heuristic fallback *)
-            | None -> ""
-          in
-          Printf.printf "%-28s %7.1f%%%-1s %11.1f%% %7.1f%%\n"
-            (Printf.sprintf "%s.B%d (%s %s %s)" fname bid (Ir.operand_to_string br.ba)
-               (Vrp_lang.Ast.relop_to_string br.rel)
-               (Ir.operand_to_string br.bb))
-            (100.0 *. get vrp) marker (100.0 *. get bl) (100.0 *. get nf))
-        (Vrp_predict.Predictor.branches c.Pipeline.ssa);
-      if Hashtbl.length fb > 0 then
-        Printf.printf
-          "(* = Ball–Larus fallback on ⊥ range, ! = degraded: crashed, \
-           fuel-starved or timed-out analysis)\n"))
+  with_loaded file bench (fun source ->
+      print_outcome (Ops.predict ~opts:(opts_of ~jobs numeric dopts) ~source ()))
 
 let run file bench args =
   with_source file bench (fun c ->
@@ -260,51 +236,10 @@ let run file bench args =
         exit 1)
 
 let compare file bench train_args ref_args dopts =
-  with_source file bench (fun c ->
-      with_diag dopts Engine.default_config (fun ~report ~config ->
-      let train = (Interp.run c.Pipeline.ssa ~args:train_args).Interp.profile in
-      let observed = (Interp.run c.Pipeline.ssa ~args:ref_args).Interp.profile in
-      let predictors = Pipeline.all_predictors ~report ~config ~train c.Pipeline.ssa in
-      let fb = fallback_branches report in
-      Printf.printf "%-24s %8s" "branch" "actual";
-      List.iter (fun (name, _) -> Printf.printf " %12s" name) predictors;
-      print_newline ();
-      let keys =
-        Hashtbl.fold
-          (fun key (st : Interp.branch_stats) acc ->
-            if st.Interp.total > 0 then (key, st) :: acc else acc)
-          observed.Interp.branches []
-        |> List.sort compare
-      in
-      List.iter
-        (fun (((fname, bid) as key), (st : Interp.branch_stats)) ->
-          let actual = float_of_int st.Interp.taken /. float_of_int st.Interp.total in
-          let marker =
-            match Hashtbl.find_opt fb key with
-            | Some true -> "!"
-            | Some false -> "*"
-            | None -> ""
-          in
-          Printf.printf "%-24s %7.1f%%"
-            (Printf.sprintf "%s.B%d%s" fname bid marker)
-            (100.0 *. actual);
-          List.iter
-            (fun (_, p) ->
-              let v = Option.value ~default:Float.nan (Hashtbl.find_opt p key) in
-              Printf.printf " %11.1f%%" (100.0 *. v))
-            predictors;
-          print_newline ())
-        keys;
-      List.iter
-        (fun (name, p) ->
-          let errs = Vrp_evaluation.Error_analysis.branch_errors ~observed p in
-          Printf.printf "mean |error| %-12s unweighted %.2f pp, weighted %.2f pp\n" name
-            (Vrp_evaluation.Error_analysis.mean_error ~weighted:false errs)
-            (Vrp_evaluation.Error_analysis.mean_error ~weighted:true errs))
-        predictors;
-      if Hashtbl.length fb > 0 then
-        Printf.printf
-          "(* = vrp used Ball–Larus fallback, ! = degraded analysis)\n"))
+  with_loaded file bench (fun source ->
+      print_outcome
+        (Ops.compare_predictors ~opts:(opts_of false dopts) ~train:train_args
+           ~ref_args ~source ()))
 
 let optimize file bench numeric dopts =
   with_source file bench (fun c ->
@@ -393,31 +328,22 @@ let dot file bench fn_filter annotate =
    Predictions go to stdout and are byte-identical for any --jobs and for
    resumed runs; timing, cache traffic and supervision counters — which
    legitimately vary — go to stderr. *)
+let batch_paths dir =
+  match Vrp_sched.Batch.list_dir dir with
+  | [] ->
+    prerr_endline (Printf.sprintf "vrpc: no MiniC files (.mc, .minic, .c) in %s" dir);
+    exit 2
+  | paths -> paths
+  | exception Sys_error msg ->
+    prerr_endline ("vrpc: " ^ msg);
+    exit 2
+
 let batch dir jobs cache_dir cache_max_mb deadline_ms retries resume numeric
-    (diagnostics, strict, fault) =
-  let module Batch = Vrp_sched.Batch in
+    ((_, _, fault) as dopts) =
   let module Supervisor = Vrp_sched.Supervisor in
   let module Summary_cache = Vrp_cache.Summary_cache in
-  let paths =
-    match Batch.list_dir dir with
-    | [] ->
-      prerr_endline
-        (Printf.sprintf "vrpc: no MiniC files (.mc, .minic, .c) in %s" dir);
-      exit 2
-    | paths -> paths
-    | exception Sys_error msg ->
-      prerr_endline ("vrpc: " ^ msg);
-      exit 2
-  in
-  let sources = List.map (fun p -> (p, read_file p)) paths in
-  (* One fault spec, routed to the layer it exercises: the cache writer,
-     the journal writer, or the analysis engine. *)
-  let cache_fault, journal_fault, engine_fault =
-    match fault with
-    | Some (Diag.Fault.Corrupt_cache _) -> (fault, None, None)
-    | Some (Diag.Fault.Torn_journal _) -> (None, fault, None)
-    | _ -> (None, None, fault)
-  in
+  let sources = List.map (fun p -> (p, read_file p)) (batch_paths dir) in
+  let cache_fault, journal_fault, _ = Ops.route_fault fault in
   let cache =
     Option.map
       (fun dir ->
@@ -425,7 +351,6 @@ let batch dir jobs cache_dir cache_max_mb deadline_ms retries resume numeric
           ?fault:cache_fault ())
       cache_dir
   in
-  let config = { (config_of_flags numeric) with Engine.fault = engine_fault } in
   let supervisor =
     if deadline_ms <> None || retries > 0 then
       Some
@@ -434,37 +359,117 @@ let batch dir jobs cache_dir cache_max_mb deadline_ms retries resume numeric
            ())
     else None
   in
-  let t0 = Unix.gettimeofday () in
-  let results =
+  let o =
     Fun.protect
       ~finally:(fun () -> Option.iter Supervisor.shutdown supervisor)
       (fun () ->
-        Batch.analyze_sources ~config ?cache ?supervisor ?journal:resume
-          ?journal_fault ~jobs sources)
+        Ops.batch ?cache ?supervisor ?journal:resume ?journal_fault
+          ~opts:(opts_of ~jobs numeric dopts) ~sources ())
   in
-  let elapsed = Unix.gettimeofday () -. t0 in
-  print_string (Batch.render results);
-  let a = Batch.aggregate results in
-  Printf.eprintf "analyzed %d files (%d functions, %d branches) in %.3fs with %d job%s (%.1f functions/s)\n"
-    a.Batch.files a.Batch.functions a.Batch.branches elapsed jobs
-    (if jobs = 1 then "" else "s")
-    (if elapsed > 0.0 then float_of_int a.Batch.functions /. elapsed else 0.0);
-  if resume <> None then
-    Printf.eprintf "journal: %d of %d file(s) resumed from checkpoint\n"
-      a.Batch.resumed_files a.Batch.files;
-  Option.iter (fun s -> prerr_endline (Supervisor.counters_line s)) supervisor;
-  (match cache with
-  | Some c -> prerr_endline (Summary_cache.counters_line c)
-  | None -> ());
-  if diagnostics then
-    List.iter
-      (fun (r : Batch.file_result) ->
-        if Diag.count r.Batch.report > 0 then begin
-          Printf.eprintf "-- %s --\n" r.Batch.name;
-          prerr_string (Diag.render r.Batch.report)
-        end)
-      results;
-  exit (Batch.exit_code ~strict results)
+  print_string o.Ops.out;
+  prerr_string o.Ops.err;
+  exit o.Ops.code
+
+(* --- remote: drive a running vrpd daemon --- *)
+
+(* The daemon answers the byte-identical stdout/stderr/exit-code of the
+   one-shot subcommand, so a remote call prints exactly like a local one;
+   only daemon-unreachable errors are new (exit 2). *)
+
+let remote_call socket ~op params k =
+  match
+    Client.with_connection socket (fun c ->
+        Client.request c ~op ~params:(Json.Obj params) ())
+  with
+  | resp ->
+    print_string resp.Protocol.out;
+    prerr_string resp.Protocol.err;
+    k resp;
+    if resp.Protocol.code <> 0 then exit resp.Protocol.code
+  | exception Unix.Unix_error (e, _, _) ->
+    prerr_endline
+      (Printf.sprintf "vrpc: cannot reach vrpd at %s: %s" socket
+         (Unix.error_message e));
+    exit 2
+  | exception Failure msg ->
+    prerr_endline ("vrpc: " ^ msg);
+    exit 2
+
+let input_name file bench =
+  match (file, bench) with
+  | Some path, _ -> path
+  | None, Some name -> name
+  | None, None -> "<stdin>"
+
+let common_params numeric (diagnostics, strict, fault) =
+  [ ("numeric", Json.Bool numeric);
+    ("diagnostics", Json.Bool diagnostics);
+    ("strict", Json.Bool strict) ]
+  @
+  match fault with
+  | Some f -> [ ("fault", Json.String (Diag.Fault.to_string f)) ]
+  | None -> []
+
+let remote_predict socket file bench numeric dopts =
+  with_loaded file bench (fun source ->
+      remote_call socket ~op:"predict"
+        ([ ("source", Json.String source);
+           ("name", Json.String (input_name file bench)) ]
+        @ common_params numeric dopts)
+        (fun _ -> ()))
+
+let remote_analyze socket session name file bench numeric dopts =
+  with_loaded file bench (fun source ->
+      let name = Option.value ~default:(input_name file bench) name in
+      remote_call socket ~op:"analyze"
+        ([ ("session", Json.String session);
+           ("name", Json.String name);
+           ("source", Json.String source) ]
+        @ common_params numeric dopts)
+        (fun resp ->
+          (* Incremental accounting: what the daemon planned to re-analyze
+             and what its session cache actually did. Stderr, like every
+             other run-varying counter. *)
+          match List.assoc_opt "plan" resp.Protocol.data with
+          | None -> ()
+          | Some plan ->
+            let n k = Option.value ~default:0 (Json.mem_int k plan) in
+            let len k =
+              match Json.mem_list k plan with Some l -> List.length l | None -> 0
+            in
+            Printf.eprintf "plan: %d functions, %d changed, %d dirty, %d reused%s\n"
+              (n "functions") (len "changed") (len "dirty") (len "reused")
+              (if Json.mem_bool "fresh" plan = Some true then " (fresh)" else "");
+            (match List.assoc_opt "cache" resp.Protocol.data with
+            | Some c ->
+              let n k = Option.value ~default:0 (Json.mem_int k c) in
+              Printf.eprintf "cache: +%d hits, +%d misses, +%d invalidations\n"
+                (n "hits") (n "misses") (n "invalidations")
+            | None -> ())))
+
+let remote_compare socket file bench (tn, ts) (rn, rs) dopts =
+  with_loaded file bench (fun source ->
+      remote_call socket ~op:"compare"
+        ([ ("source", Json.String source);
+           ("name", Json.String (input_name file bench));
+           ("train", Json.List [ Json.Int tn; Json.Int ts ]);
+           ("reference", Json.List [ Json.Int rn; Json.Int rs ]) ]
+        @ common_params false dopts)
+        (fun _ -> ()))
+
+let remote_batch socket dir jobs numeric dopts =
+  let files =
+    List.map
+      (fun p ->
+        Json.Obj [ ("name", Json.String p); ("source", Json.String (read_file p)) ])
+      (batch_paths dir)
+  in
+  remote_call socket ~op:"batch"
+    ([ ("files", Json.List files); ("jobs", Json.Int jobs) ]
+    @ common_params numeric dopts)
+    (fun _ -> ())
+
+let remote_simple op socket = remote_call socket ~op [] (fun _ -> ())
 
 let list_benchmarks () =
   List.iter
@@ -679,10 +684,99 @@ let fuzz_cmd =
       const fuzz $ fuzz_seed_arg $ fuzz_count_arg $ fuzz_profile_arg
       $ fuzz_minimize_arg $ fuzz_out_arg $ fuzz_det_arg $ diag_args)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt string (Client.default_address ())
+    & info [ "socket" ] ~docv:"ADDR"
+        ~doc:
+          "vrpd address: a Unix-domain socket path, or $(b,HOST:PORT) for a \
+           daemon started with --listen.")
+
+let session_arg =
+  Arg.(
+    value & opt string "default"
+    & info [ "session" ] ~docv:"ID"
+        ~doc:
+          "Session id. Re-submitting an edited source under the same session \
+           re-analyses only the functions downstream of the edit.")
+
+let name_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "name" ] ~docv:"NAME"
+        ~doc:"Source name within the session (default: the file or benchmark name).")
+
+let remote_cmd =
+  let predict =
+    cmd_of "predict" "Predict through the daemon (byte-identical to local predict)."
+      Term.(
+        const remote_predict $ socket_arg $ file_arg $ bench_arg $ numeric_arg
+        $ diag_args)
+  in
+  let analyze =
+    cmd_of "analyze"
+      "Session-scoped incremental predict: unchanged functions come from the \
+       session's warm cache."
+      Term.(
+        const remote_analyze $ socket_arg $ session_arg $ name_arg $ file_arg
+        $ bench_arg $ numeric_arg $ diag_args)
+  in
+  let compare =
+    let train = args_pair ~names:[ "train" ] ~doc:"Training input." ~default:(100, 1) in
+    let ref_ =
+      args_pair ~names:[ "reference" ] ~doc:"Reference input." ~default:(1000, 2)
+    in
+    cmd_of "compare" "Compare predictors through the daemon."
+      Term.(const remote_compare $ socket_arg $ file_arg $ bench_arg $ train $ ref_
+            $ diag_args)
+  in
+  let batch =
+    let dir_arg =
+      Arg.(
+        required
+        & pos 0 (some dir) None
+        & info [] ~docv:"DIR" ~doc:"Directory of MiniC files to analyse.")
+    in
+    cmd_of "batch" "Batch-analyse a directory through the daemon."
+      Term.(
+        const remote_batch $ socket_arg $ dir_arg $ jobs_arg $ numeric_arg
+        $ diag_args)
+  in
+  let simple name doc op =
+    cmd_of name doc Term.(const (remote_simple op) $ socket_arg)
+  in
+  Cmd.group
+    (Cmd.info "remote" ~doc:"Drive a running vrpd analysis daemon.")
+    [
+      predict;
+      analyze;
+      compare;
+      batch;
+      simple "status" "Daemon version, sessions, request and cache counters." "status";
+      simple "evict" "Drop every cached summary from daemon memory." "evict";
+      simple "shutdown" "Stop the daemon after acknowledging." "shutdown";
+    ]
+
 let main_cmd =
   Cmd.group
-    (Cmd.info "vrpc" ~version:"1.0.0"
-       ~doc:"Static branch prediction by value range propagation (PLDI 1995)")
+    (Cmd.info "vrpc" ~version:Vrp_server.Version.version
+       ~doc:"Static branch prediction by value range propagation (PLDI 1995)"
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"success.";
+           Cmd.Exit.info 1
+             ~doc:
+               "bad input program, internal analysis error, or a failed fuzz \
+                campaign.";
+           Cmd.Exit.info 2
+             ~doc:
+               "usage error (no input, unknown benchmark), unreachable vrpd \
+                daemon, a failed batch file, or a contained server request.";
+           Cmd.Exit.info 3 ~doc:"analysis degraded under $(b,--strict).";
+           Cmd.Exit.info 124 ~doc:"malformed command line.";
+         ])
     [
       dump_ast_cmd;
       dump_ir_cmd;
@@ -698,6 +792,7 @@ let main_cmd =
       dot_cmd;
       list_cmd;
       fuzz_cmd;
+      remote_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,115 @@
+(* vrpd — the long-running analysis daemon.
+
+   Listens on a Unix-domain socket (default) or TCP (--listen HOST:PORT)
+   and serves vrpc's analysis operations from resident state: a warm
+   domain pool, an always-warm summary cache, and per-session incremental
+   re-analysis. Clients talk to it with `vrpc remote ... --socket ADDR`.
+
+   Exit codes: 0 clean shutdown (signal or shutdown request); 1 failed to
+   bind or serve; 124 malformed command line. *)
+
+open Cmdliner
+module Server = Vrp_server.Server
+module Diag = Vrp_diag.Diag
+
+let run socket listen jobs deadline_ms fault =
+  let settings = { Server.jobs; deadline_ms; fault } in
+  let server = Server.create ~settings () in
+  let listen_fd, where, cleanup =
+    match listen with
+    | Some addr -> (
+      match String.rindex_opt addr ':' with
+      | None ->
+        prerr_endline "vrpd: --listen wants HOST:PORT";
+        exit 1
+      | Some i ->
+        let host = String.sub addr 0 i in
+        let host = if host = "" then "127.0.0.1" else host in
+        let port = int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)) in
+        (Server.listen_tcp ~host ~port, Printf.sprintf "%s:%d" host port, fun () -> ()))
+    | None ->
+      let path = Option.value ~default:(Vrp_server.Client.default_address ()) socket in
+      ( Server.listen_unix path,
+        path,
+        fun () -> try Unix.unlink path with _ -> () )
+  in
+  let stop_signal _ = Server.stop server in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+  (* A client vanishing mid-response must not kill the daemon. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Printf.eprintf "vrpd %s: listening on %s (%d job%s%s)\n%!"
+    Vrp_server.Version.version where jobs
+    (if jobs = 1 then "" else "s")
+    (match deadline_ms with
+    | Some ms -> Printf.sprintf ", %dms deadline" ms
+    | None -> "");
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with _ -> ());
+      cleanup ();
+      Server.shutdown server)
+    (fun () -> Server.serve server listen_fd);
+  prerr_endline "vrpd: stopped"
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (default: vrpd.sock in the temp dir).")
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"HOST:PORT"
+        ~doc:"Listen on TCP instead of a Unix-domain socket.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Width of the resident analysis domain pool. Results are \
+           byte-identical to --jobs 1.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request analysis deadline: a request running longer has its \
+           remaining functions demoted to the Ball–Larus fallback and \
+           completes with the degradation in its diagnostics.")
+
+let fault_arg =
+  let fault_conv =
+    let parse s =
+      match Diag.Fault.parse s with Ok f -> Ok f | Error msg -> Error (`Msg msg)
+    in
+    let print ppf f = Format.pp_print_string ppf (Diag.Fault.to_string f) in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "inject-fault" ] ~docv:"SPEC" ~docs:"TESTING (HIDDEN)"
+        ~doc:
+          "Daemon-wide deterministic fault injection (same specs as vrpc); \
+           a request's own fault param overrides it.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "vrpd" ~version:Vrp_server.Version.version
+       ~doc:"Persistent value-range-propagation analysis server"
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"clean shutdown (signal or shutdown request).";
+           Cmd.Exit.info 1 ~doc:"failed to bind or serve.";
+           Cmd.Exit.info 124 ~doc:"malformed command line.";
+         ])
+    Term.(const run $ socket_arg $ listen_arg $ jobs_arg $ deadline_arg $ fault_arg)
+
+let () = exit (Cmd.eval cmd)

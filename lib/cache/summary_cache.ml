@@ -158,6 +158,23 @@ let counters t =
         quarantined = t.c.quarantined;
       })
 
+let delta ~before (after : counters) =
+  {
+    hits = after.hits - before.hits;
+    disk_hits = after.disk_hits - before.disk_hits;
+    misses = after.misses - before.misses;
+    stores = after.stores - before.stores;
+    invalidations = after.invalidations - before.invalidations;
+    quarantined = after.quarantined - before.quarantined;
+  }
+
+let evict_memory t =
+  locked t (fun () ->
+      let n = Hashtbl.length t.mem in
+      Hashtbl.reset t.mem;
+      Hashtbl.reset t.seen;
+      n)
+
 let holds_maintenance_lock t = t.maintenance
 
 (* Release the maintenance lock (closing the fd drops the [lockf] lock).

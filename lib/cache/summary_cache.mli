@@ -73,6 +73,19 @@ val close : t -> unit
 (** Snapshot of the traffic counters. *)
 val counters : t -> counters
 
+(** [delta ~before after] is the componentwise difference of two counter
+    snapshots — request-scoped accounting for a long-lived store shared by
+    many server requests. Meaningful when no other request ran in between
+    (the server serializes per-session analyses). *)
+val delta : before:counters -> counters -> counters
+
+(** Drop every memory-tier entry and the slot-stamp table, returning how
+    many entries were evicted. The disk tier (if any) is untouched, so the
+    next lookup round-trips through it; counters keep accumulating. This is
+    the server's [evict] operation for a long-running daemon whose memory
+    tier must be reclaimable without a restart. *)
+val evict_memory : t -> int
+
 (** Render the counters as a one-line summary, e.g. for a batch report. *)
 val counters_line : t -> string
 

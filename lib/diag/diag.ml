@@ -30,6 +30,7 @@ type kind =
   | Deadline_exceeded  (** a supervised task overran its wall-clock deadline *)
   | Task_retry  (** a supervised task failed and was retried *)
   | Journal_event  (** batch journal traffic: checkpoints, resumes *)
+  | Server_event  (** vrpd request lifecycle: served, contained, cancelled *)
   | Note  (** free-form informational event *)
 
 type location = { fn : string option; block : int option }
@@ -92,6 +93,7 @@ let kind_to_string = function
   | Deadline_exceeded -> "deadline-exceeded"
   | Task_retry -> "task-retry"
   | Journal_event -> "journal-event"
+  | Server_event -> "server-event"
   | Note -> "note"
 
 let location_to_string loc =

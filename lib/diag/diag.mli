@@ -20,6 +20,7 @@ type kind =
   | Deadline_exceeded  (** a supervised task overran its wall-clock deadline *)
   | Task_retry  (** a supervised task failed and was retried *)
   | Journal_event  (** batch journal traffic: checkpoints, resumes *)
+  | Server_event  (** vrpd request lifecycle: served, contained, cancelled *)
   | Note  (** free-form informational event *)
 
 type location = { fn : string option; block : int option }

@@ -1,0 +1,67 @@
+(** vrpd protocol client (see the interface). *)
+
+type conn = { fd : Unix.file_descr; mutable next_id : int }
+
+let default_address () =
+  Filename.concat (Filename.get_temp_dir_name ()) "vrpd.sock"
+
+let parse_addr addr =
+  if String.contains addr '/' || not (String.contains addr ':') then `Unix addr
+  else
+    match String.rindex_opt addr ':' with
+    | Some i -> (
+      let host = String.sub addr 0 i in
+      let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+      match int_of_string_opt port with
+      | Some port -> `Tcp ((if host = "" then "127.0.0.1" else host), port)
+      | None -> `Unix addr)
+    | None -> `Unix addr
+
+let connect addr =
+  let fd =
+    match parse_addr addr with
+    | `Unix path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with _ -> ());
+         raise e);
+      fd
+    | `Tcp (host, port) -> (
+      match
+        Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with
+      | [] -> failwith (Printf.sprintf "cannot resolve %s:%d" host port)
+      | ai :: _ ->
+        let fd = Unix.socket (Unix.domain_of_sockaddr ai.Unix.ai_addr) Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd ai.Unix.ai_addr
+         with e ->
+           (try Unix.close fd with _ -> ());
+           raise e);
+        fd)
+  in
+  { fd; next_id = 1 }
+
+let request conn ~op ?(params = Json.Null) () =
+  let id = conn.next_id in
+  conn.next_id <- id + 1;
+  Protocol.write_frame conn.fd
+    (Protocol.encode_request { Protocol.id; op; params });
+  match Protocol.read_frame conn.fd with
+  | None -> failwith "vrpd closed the connection without answering"
+  | Some payload -> (
+    match Protocol.decode_response payload with
+    | Error msg -> failwith msg
+    | Ok resp ->
+      (* rid = 0 marks a containment response to an undecodable request. *)
+      if resp.Protocol.rid <> id && resp.Protocol.rid <> 0 then
+        failwith
+          (Printf.sprintf "response id %d does not match request id %d"
+             resp.Protocol.rid id);
+      resp)
+
+let close conn = try Unix.close conn.fd with _ -> ()
+
+let with_connection addr f =
+  let conn = connect addr in
+  Fun.protect ~finally:(fun () -> close conn) (fun () -> f conn)

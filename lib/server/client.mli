@@ -1,0 +1,24 @@
+(** Client side of the vrpd wire protocol — used by [vrpc remote ...], the
+    tests and the bench harness.
+
+    An address is either a Unix-domain socket path (contains a [/] or no
+    [:]) or [HOST:PORT] for a TCP daemon started with [vrpd --listen]. *)
+
+type conn
+
+(** The conventional default daemon address shared by [vrpd] and
+    [vrpc remote]: [vrpd.sock] in the system temp directory. *)
+val default_address : unit -> string
+
+(** Connect to an address. @raise Unix.Unix_error / Failure on refusal. *)
+val connect : string -> conn
+
+(** Send one request and wait for its response; request ids are assigned
+    sequentially per connection and checked against the response echo.
+    @raise Failure on a protocol violation or a dropped connection. *)
+val request : conn -> op:string -> ?params:Json.t -> unit -> Protocol.response
+
+val close : conn -> unit
+
+(** [with_connection addr f] connects, runs [f] and always closes. *)
+val with_connection : string -> (conn -> 'a) -> 'a

@@ -1,0 +1,133 @@
+(** Length-prefixed JSON framing and request/response codec (see the
+    interface). *)
+
+type request = { id : int; op : string; params : Json.t }
+
+type response = {
+  rid : int;
+  ok : bool;
+  code : int;
+  out : string;
+  err : string;
+  data : (string * Json.t) list;
+}
+
+let max_frame = 64 * 1024 * 1024
+
+(* --- Framing --- *)
+
+let really_read fd buf off len =
+  let rec loop off len =
+    if len > 0 then begin
+      let n = Unix.read fd buf off len in
+      if n = 0 then failwith "connection closed mid-frame";
+      loop (off + n) (len - n)
+    end
+  in
+  loop off len
+
+let really_write fd buf off len =
+  let rec loop off len =
+    if len > 0 then begin
+      let n = Unix.write fd buf off len in
+      loop (off + n) (len - n)
+    end
+  in
+  loop off len
+
+let read_frame fd =
+  let header = Bytes.create 4 in
+  match Unix.read fd header 0 4 with
+  | 0 -> None (* clean EOF between frames *)
+  | n ->
+    if n < 4 then really_read fd header n (4 - n);
+    let len =
+      (Char.code (Bytes.get header 0) lsl 24)
+      lor (Char.code (Bytes.get header 1) lsl 16)
+      lor (Char.code (Bytes.get header 2) lsl 8)
+      lor Char.code (Bytes.get header 3)
+    in
+    if len > max_frame then
+      failwith (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" len max_frame);
+    let payload = Bytes.create len in
+    really_read fd payload 0 len;
+    Some (Bytes.unsafe_to_string payload)
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then
+    failwith (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" len max_frame);
+  let frame = Bytes.create (4 + len) in
+  Bytes.set frame 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set frame 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set frame 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set frame 3 (Char.chr (len land 0xff));
+  Bytes.blit_string payload 0 frame 4 len;
+  really_write fd frame 0 (4 + len)
+
+(* --- Request / response codec --- *)
+
+let encode_request r =
+  Json.to_string
+    (Json.Obj [ ("id", Json.Int r.id); ("op", Json.String r.op); ("params", r.params) ])
+
+let decode_request payload =
+  match Json.parse payload with
+  | Error msg -> Error ("request is not valid JSON: " ^ msg)
+  | Ok v -> (
+    match (Json.mem_int "id" v, Json.mem_string "op" v) with
+    | Some id, Some op ->
+      Ok { id; op; params = Option.value ~default:Json.Null (Json.member "params" v) }
+    | None, _ -> Error "request has no integer \"id\""
+    | _, None -> Error "request has no string \"op\"")
+
+let encode_response r =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("id", Json.Int r.rid);
+          ("ok", Json.Bool r.ok);
+          ("code", Json.Int r.code);
+          ("out", Json.String r.out);
+          ("err", Json.String r.err);
+        ]
+       @ if r.data = [] then [] else [ ("data", Json.Obj r.data) ]))
+
+let decode_response payload =
+  match Json.parse payload with
+  | Error msg -> Error ("response is not valid JSON: " ^ msg)
+  | Ok v -> (
+    match (Json.mem_int "id" v, Json.mem_bool "ok" v, Json.mem_int "code" v) with
+    | Some rid, Some ok, Some code ->
+      Ok
+        {
+          rid;
+          ok;
+          code;
+          out = Option.value ~default:"" (Json.mem_string "out" v);
+          err = Option.value ~default:"" (Json.mem_string "err" v);
+          data =
+            (match Json.member "data" v with
+            | Some (Json.Obj fields) -> fields
+            | _ -> []);
+        }
+    | _ -> Error "response is missing id/ok/code")
+
+let error_response ~rid ~kind msg =
+  {
+    rid;
+    ok = false;
+    code = 2;
+    out = "";
+    err = Printf.sprintf "vrpd: %s\n" msg;
+    data =
+      [
+        ( "diagnostic",
+          Json.Obj
+            [
+              ("severity", Json.String "error");
+              ("kind", Json.String kind);
+              ("message", Json.String msg);
+            ] );
+      ];
+  }

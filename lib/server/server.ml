@@ -1,0 +1,429 @@
+(** The vrpd daemon: resident state, request handlers, accept loop (see
+    the interface). *)
+
+module Diag = Vrp_diag.Diag
+module Pipeline = Vrp_core.Pipeline
+module Pool = Vrp_sched.Pool
+module Supervisor = Vrp_sched.Supervisor
+module Summary_cache = Vrp_cache.Summary_cache
+module Strutil = Vrp_util.Strutil
+
+type settings = {
+  jobs : int;
+  deadline_ms : int option;
+  fault : Diag.Fault.t option;
+}
+
+let default_settings = { jobs = 1; deadline_ms = None; fault = None }
+
+type counters = {
+  mutable served : int;
+  mutable contained : int;
+  mutable cancelled : int;
+}
+
+type t = {
+  settings : settings;
+  pool : Pool.t;
+  sup : Supervisor.t;
+  cache : Summary_cache.t;  (* server-wide, shared by predict/batch *)
+  sessions : Session.t;
+  counters : counters;
+  report : Diag.report;
+  state_lock : Mutex.t;  (* counters + report + connection registry *)
+  mutable stop_requested : bool;
+  stop_rd : Unix.file_descr;
+  stop_wr : Unix.file_descr;
+  mutable conns : Unix.file_descr list;
+  mutable shut : bool;
+}
+
+let create ?(settings = default_settings) () =
+  let stop_rd, stop_wr = Unix.pipe () in
+  {
+    settings;
+    pool = Pool.create ~jobs:settings.jobs ();
+    sup =
+      Supervisor.create
+        ~policy:
+          {
+            Supervisor.default_policy with
+            deadline_ms = settings.deadline_ms;
+            retries = 0;
+          }
+        ();
+    cache = Summary_cache.create ();
+    sessions = Session.create ();
+    counters = { served = 0; contained = 0; cancelled = 0 };
+    report = Diag.create ();
+    state_lock = Mutex.create ();
+    stop_requested = false;
+    stop_rd;
+    stop_wr;
+    conns = [];
+    shut = false;
+  }
+
+let settings t = t.settings
+let counters t = t.counters
+let report t = t.report
+
+let locked t f =
+  Mutex.lock t.state_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.state_lock) f
+
+(* --- Request parameter extraction --- *)
+
+let opt_string p k = Json.mem_string k p
+let opt_bool p k = Option.value ~default:false (Json.mem_bool k p)
+
+let req_string p k =
+  match Json.mem_string k p with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "missing required string param %S" k)
+
+let int_list p k =
+  match Json.mem_list k p with
+  | None -> None
+  | Some xs ->
+    Some
+      (List.map
+         (fun v ->
+           match Json.get_int v with
+           | Some n -> n
+           | None -> failwith (Printf.sprintf "param %S must be a list of ints" k))
+         xs)
+
+(* The request's fault spec, falling back to the daemon-wide one. *)
+let fault_of t p =
+  match opt_string p "fault" with
+  | None -> t.settings.fault
+  | Some spec -> (
+    match Diag.Fault.parse spec with
+    | Ok f -> Some f
+    | Error msg -> failwith msg)
+
+let opts_of t p =
+  {
+    Ops.default_opts with
+    Ops.numeric = opt_bool p "numeric";
+    diagnostics = opt_bool p "diagnostics";
+    strict = opt_bool p "strict";
+    fault = fault_of t p;
+  }
+
+(* --- Handlers ---
+
+   Each returns (outcome, data); the dispatch wrapper turns it into a
+   response and anything raised into a contained error response. *)
+
+let outcome_ok (o : Ops.outcome) data = (o, data)
+
+(* A crash-file fault matching this request's source name models a worker
+   dying mid-request: it fires outside analysis containment so only the
+   per-request wrapper may catch it (the daemon must survive it). *)
+let check_crash_file ~fault name =
+  match fault with
+  | Some (Diag.Fault.Crash_file affix) when Strutil.is_infix ~affix name ->
+    raise (Diag.Fault.Injected (Printf.sprintf "injected request crash in %s" name))
+  | _ -> ()
+
+(* Run an analysis under the per-request deadline: the supervisor's
+   monitor cancels the token when the deadline passes, the engine and the
+   interprocedural wave driver observe it, and every not-yet-analyzed
+   function demotes to Ball–Larus — the request still completes, with the
+   degradation in its diagnostics. *)
+let supervised t ~label f =
+  Supervisor.supervise t.sup ~name:label (fun token -> f (Some token))
+
+let handle_predict t p =
+  let source = req_string p "source" in
+  let name = Option.value ~default:"<request>" (opt_string p "name") in
+  let opts = opts_of t p in
+  check_crash_file ~fault:opts.Ops.fault name;
+  supervised t ~label:("predict " ^ name) (fun cancel ->
+      let opts = { opts with Ops.cancel } in
+      (* The warm server-wide cache serves repeat sources; skip it under
+         fault injection so degradations replay exactly as one-shot. *)
+      match Ops.compile_outcome source with
+      | Error o -> outcome_ok o []
+      | Ok c ->
+        let analyze_fn =
+          if opts.Ops.fault = None then
+            Some (Summary_cache.memoized ~slot_prefix:name t.cache c.Pipeline.ssa)
+          else None
+        in
+        outcome_ok (Ops.predict_compiled ~pool:t.pool ?analyze_fn ~opts c) [])
+
+let plan_json (plan : Session.plan) =
+  Json.Obj
+    [
+      ("fresh", Json.Bool plan.Session.fresh);
+      ("functions", Json.Int plan.Session.functions);
+      ("changed", Json.List (List.map (fun f -> Json.String f) plan.Session.changed));
+      ("dirty", Json.List (List.map (fun f -> Json.String f) plan.Session.dirty));
+      ("reused", Json.List (List.map (fun f -> Json.String f) plan.Session.reused));
+    ]
+
+let cache_counters_json (c : Summary_cache.counters) =
+  Json.Obj
+    [
+      ("hits", Json.Int c.Summary_cache.hits);
+      ("disk_hits", Json.Int c.Summary_cache.disk_hits);
+      ("misses", Json.Int c.Summary_cache.misses);
+      ("stores", Json.Int c.Summary_cache.stores);
+      ("invalidations", Json.Int c.Summary_cache.invalidations);
+      ("quarantined", Json.Int c.Summary_cache.quarantined);
+    ]
+
+let handle_analyze t p =
+  let sid = req_string p "session" in
+  let source = req_string p "source" in
+  let name = Option.value ~default:"<source>" (opt_string p "name") in
+  let opts = opts_of t p in
+  check_crash_file ~fault:opts.Ops.fault name;
+  let s = Session.find_or_create t.sessions sid in
+  (* Serializing per session is what makes the counter delta below exact
+     request-scoped accounting on the session's private cache. *)
+  Session.with_lock s (fun () ->
+      match Ops.compile_outcome source with
+      | Error o -> outcome_ok o []
+      | Ok c ->
+        let plan = Session.plan s ~name c.Pipeline.ssa in
+        let cache = Session.cache s in
+        let before = Summary_cache.counters cache in
+        let o =
+          supervised t ~label:(Printf.sprintf "analyze %s %s" sid name) (fun cancel ->
+              let opts = { opts with Ops.cancel } in
+              let analyze_fn =
+                Summary_cache.memoized ~slot_prefix:name cache c.Pipeline.ssa
+              in
+              Ops.predict_compiled ~pool:t.pool ~analyze_fn ~opts c)
+        in
+        let delta = Summary_cache.delta ~before (Summary_cache.counters cache) in
+        outcome_ok o [ ("plan", plan_json plan); ("cache", cache_counters_json delta) ])
+
+let handle_compare t p =
+  let source = req_string p "source" in
+  let name = Option.value ~default:"<request>" (opt_string p "name") in
+  let opts = opts_of t p in
+  check_crash_file ~fault:opts.Ops.fault name;
+  let train = Option.value ~default:[ 100; 1 ] (int_list p "train") in
+  let ref_args = Option.value ~default:[ 1000; 2 ] (int_list p "reference") in
+  supervised t ~label:("compare " ^ name) (fun cancel ->
+      let opts = { opts with Ops.cancel } in
+      outcome_ok (Ops.compare_predictors ~opts ~train ~ref_args ~source ()) [])
+
+let handle_batch t p =
+  let files =
+    match Json.mem_list "files" p with
+    | None -> failwith "missing required list param \"files\""
+    | Some xs ->
+      List.map
+        (fun v ->
+          match (Json.mem_string "name" v, Json.mem_string "source" v) with
+          | Some name, Some source -> (name, source)
+          | _ -> failwith "each batch file needs string \"name\" and \"source\"")
+        xs
+  in
+  let opts = opts_of t p in
+  let opts =
+    match Json.mem_int "jobs" p with
+    | Some jobs -> { opts with Ops.jobs }
+    | None -> { opts with Ops.jobs = t.settings.jobs }
+  in
+  (* Batch runs on its own transient pool (pooled tasks must not submit to
+     the pool they run on); the server-wide cache still serves it warm. *)
+  outcome_ok (Ops.batch ~cache:t.cache ~supervisor:t.sup ~opts ~sources:files ()) []
+
+let handle_status t =
+  let c = t.counters in
+  let sessions = Session.ids t.sessions in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "vrpd %s\n" Version.version);
+  Buffer.add_string buf
+    (Printf.sprintf "jobs %d, deadline %s\n" t.settings.jobs
+       (match t.settings.deadline_ms with
+       | Some ms -> Printf.sprintf "%dms" ms
+       | None -> "none"));
+  Buffer.add_string buf
+    (Printf.sprintf "requests: %d served, %d contained, %d cancelled\n" c.served
+       c.contained c.cancelled);
+  Buffer.add_string buf
+    (Printf.sprintf "sessions: %d%s\n" (List.length sessions)
+       (if sessions = [] then "" else " (" ^ String.concat ", " sessions ^ ")"));
+  Buffer.add_string buf (Summary_cache.counters_line t.cache ^ "\n");
+  Buffer.add_string buf (Supervisor.counters_line t.sup ^ "\n");
+  ( { Ops.out = Buffer.contents buf; err = ""; code = 0 },
+    [
+      ("version", Json.String Version.version);
+      ("jobs", Json.Int t.settings.jobs);
+      ("sessions", Json.List (List.map (fun s -> Json.String s) sessions));
+      ("served", Json.Int c.served);
+      ("contained", Json.Int c.contained);
+      ("cancelled", Json.Int c.cancelled);
+      ("cache", cache_counters_json (Summary_cache.counters t.cache));
+    ] )
+
+let handle_evict t =
+  let n = Summary_cache.evict_memory t.cache + Session.evict_all t.sessions in
+  ( { Ops.out = Printf.sprintf "evicted %d cached summaries\n" n; err = ""; code = 0 },
+    [ ("evicted", Json.Int n) ] )
+
+let handle_shutdown t =
+  t.stop_requested <- true;
+  ({ Ops.out = ""; err = ""; code = 0 }, [ ("stopping", Json.Bool true) ])
+
+(* --- Dispatch + per-request containment --- *)
+
+let note t severity fmt =
+  Printf.ksprintf
+    (fun msg -> locked t (fun () -> Diag.add t.report severity Diag.Server_event msg))
+    fmt
+
+let handle t (req : Protocol.request) =
+  let dispatch () =
+    match req.Protocol.op with
+    | "predict" -> handle_predict t req.Protocol.params
+    | "analyze" -> handle_analyze t req.Protocol.params
+    | "compare" -> handle_compare t req.Protocol.params
+    | "batch" -> handle_batch t req.Protocol.params
+    | "status" -> handle_status t
+    | "evict" -> handle_evict t
+    | "shutdown" -> handle_shutdown t
+    | op -> failwith (Printf.sprintf "unknown op %S" op)
+  in
+  let contained ?(cancelled = false) ~kind msg =
+    locked t (fun () ->
+        t.counters.contained <- t.counters.contained + 1;
+        if cancelled then t.counters.cancelled <- t.counters.cancelled + 1);
+    note t Diag.Warning "%s id=%d contained: %s" req.Protocol.op req.Protocol.id msg;
+    Protocol.error_response ~rid:req.Protocol.id ~kind msg
+  in
+  match dispatch () with
+  | (o : Ops.outcome), data ->
+    locked t (fun () -> t.counters.served <- t.counters.served + 1);
+    note t Diag.Info "%s id=%d served code=%d" req.Protocol.op req.Protocol.id o.Ops.code;
+    {
+      Protocol.rid = req.Protocol.id;
+      ok = true;
+      code = o.Ops.code;
+      out = o.Ops.out;
+      err = o.Ops.err;
+      data;
+    }
+  | exception Diag.Fault.Injected msg -> contained ~kind:"fault-injected" msg
+  | exception Diag.Cancel.Cancelled name ->
+    contained ~cancelled:true ~kind:"cancelled" ("request cancelled: " ^ name)
+  | exception Failure msg -> contained ~kind:"bad-request" msg
+  | exception e -> contained ~kind:"crashed" (Printexc.to_string e)
+
+(* --- Listeners and the accept loop --- *)
+
+let listen_unix path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp ~host ~port =
+  let addr =
+    match (Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]) with
+    | ai :: _ -> ai.Unix.ai_addr
+    | [] -> failwith (Printf.sprintf "cannot resolve %s:%d" host port)
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd addr;
+  Unix.listen fd 64;
+  fd
+
+let stop t =
+  t.stop_requested <- true;
+  (* Wake the accept loop; EAGAIN on a full pipe is as good as a byte. *)
+  try ignore (Unix.write t.stop_wr (Bytes.of_string "x") 0 1) with _ -> ()
+
+let stopping t = t.stop_requested
+
+let register_conn t fd = locked t (fun () -> t.conns <- fd :: t.conns)
+
+let close_conn t fd =
+  locked t (fun () ->
+      if List.memq fd t.conns then begin
+        t.conns <- List.filter (fun f -> f != fd) t.conns;
+        try Unix.close fd with _ -> ()
+      end)
+
+let conn_loop t fd =
+  let answer resp =
+    try Protocol.write_frame fd (Protocol.encode_response resp) with _ -> ()
+  in
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | None -> ()
+    | Some payload ->
+      (match Protocol.decode_request payload with
+      | Error msg ->
+        locked t (fun () -> t.counters.contained <- t.counters.contained + 1);
+        answer (Protocol.error_response ~rid:0 ~kind:"bad-request" msg)
+      | Ok req ->
+        answer (handle t req);
+        (* A shutdown request stops the daemon only after its response is
+           on the wire, so the requesting client gets its acknowledgment. *)
+        if t.stop_requested then stop t);
+      if not t.stop_requested then loop ()
+    | exception Failure msg ->
+      answer (Protocol.error_response ~rid:0 ~kind:"bad-frame" msg)
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  close_conn t fd
+
+let serve t listen_fd =
+  let threads = ref [] in
+  let rec accept_loop () =
+    if not t.stop_requested then begin
+      match Unix.select [ listen_fd; t.stop_rd ] [] [] (-1.0) with
+      | readable, _, _ ->
+        if List.memq listen_fd readable && not t.stop_requested then begin
+          match Unix.accept listen_fd with
+          | fd, _ ->
+            register_conn t fd;
+            threads := Thread.create (conn_loop t) fd :: !threads
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+        end;
+        accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* Wake any connection thread blocked in read: a shutdown delivers EOF
+     (or EBADF-free error) to its pending read without closing the fd —
+     the thread still owns the close. *)
+  locked t (fun () ->
+      List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) t.conns);
+  List.iter Thread.join !threads;
+  (* Drain the stop pipe so a later serve on the same server starts clean. *)
+  let buf = Bytes.create 16 in
+  Unix.set_nonblock t.stop_rd;
+  (try
+     while Unix.read t.stop_rd buf 0 16 > 0 do
+       ()
+     done
+   with _ -> ());
+  Unix.clear_nonblock t.stop_rd;
+  t.stop_requested <- false
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Pool.shutdown t.pool;
+    Supervisor.shutdown t.sup;
+    Summary_cache.close t.cache;
+    (try Unix.close t.stop_rd with _ -> ());
+    try Unix.close t.stop_wr with _ -> ()
+  end

@@ -1,0 +1,75 @@
+(** The vrpd analysis daemon: resident state plus the request handlers and
+    the accept loop.
+
+    One daemon holds a resident domain pool (analysis parallelism), a
+    server-wide always-warm summary cache, a supervisor enforcing the
+    per-request deadline, and the {!Session} table. Connection handling is
+    thread-per-connection (blocking I/O on system threads); analyses run on
+    the shared pool, whose task queue is safe for concurrent callers.
+
+    Containment ladder: a function-level crash is contained by the
+    interprocedural driver (demotes the function), a file-level crash by
+    the batch driver (fails the file), and anything that escapes a handler
+    — decode failure, injected request crash, unknown op — by the
+    per-request wrapper, which answers {!Protocol.error_response} with
+    exit-code-2 semantics. Nothing a request does kills the daemon.
+
+    Operations ([op] field): [predict], [analyze] (session-scoped
+    incremental predict), [compare], [batch], [status], [evict],
+    [shutdown]. The analysis operations answer the byte-identical stdout
+    of the corresponding one-shot CLI command (same {!Ops} code path). *)
+
+module Diag = Vrp_diag.Diag
+
+type settings = {
+  jobs : int;  (** resident pool width *)
+  deadline_ms : int option;  (** per-request analysis deadline *)
+  fault : Diag.Fault.t option;
+      (** daemon-wide injected fault, same specs as [--inject-fault]; a
+          per-request [fault] param overrides it *)
+}
+
+(** [jobs = 1], no deadline, no fault. *)
+val default_settings : settings
+
+type counters = {
+  mutable served : int;  (** requests answered with [ok = true] *)
+  mutable contained : int;  (** requests answered by the containment wrapper *)
+  mutable cancelled : int;  (** contained specifically by cancellation *)
+}
+
+type t
+
+val create : ?settings:settings -> unit -> t
+val settings : t -> settings
+val counters : t -> counters
+
+(** Request-lifecycle diagnostics ([Server_event] entries). *)
+val report : t -> Diag.report
+
+(** Handle one request synchronously — the full dispatch plus containment
+    wrapper, independent of any socket. The seam the tests and the bench
+    drive in-process. *)
+val handle : t -> Protocol.request -> Protocol.response
+
+(** Bind a Unix-domain listener, replacing any stale socket file. *)
+val listen_unix : string -> Unix.file_descr
+
+(** Bind a TCP listener ([SO_REUSEADDR]). *)
+val listen_tcp : host:string -> port:int -> Unix.file_descr
+
+(** Accept connections until {!stop} (or a [shutdown] request), spawning
+    one handler thread per connection; on exit, wakes every in-flight
+    connection and joins its thread. Does not close [listen_fd]. *)
+val serve : t -> Unix.file_descr -> unit
+
+(** Ask {!serve} to return. Safe from any thread or signal handler;
+    idempotent. *)
+val stop : t -> unit
+
+(** True once a stop was requested. *)
+val stopping : t -> bool
+
+(** Release resident resources (pool domains, supervisor monitor). Call
+    after {!serve} returns. Idempotent. *)
+val shutdown : t -> unit

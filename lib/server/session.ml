@@ -1,0 +1,120 @@
+(** Per-client sessions and incremental invalidation planning (see the
+    interface). *)
+
+module Ir = Vrp_ir.Ir
+module Summary_cache = Vrp_cache.Summary_cache
+module Digest_key = Vrp_cache.Digest_key
+module Callgraph = Vrp_sched.Callgraph
+
+type session = {
+  sid : string;
+  lock : Mutex.t;
+  cache : Summary_cache.t;
+  (* source name -> (function, SSA digest) of the last submission *)
+  digests : (string, (string * string) list) Hashtbl.t;
+}
+
+type t = { table : (string, session) Hashtbl.t; table_lock : Mutex.t }
+
+let create () = { table = Hashtbl.create 8; table_lock = Mutex.create () }
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let find_or_create t sid =
+  locked t.table_lock (fun () ->
+      match Hashtbl.find_opt t.table sid with
+      | Some s -> s
+      | None ->
+        let s =
+          {
+            sid;
+            lock = Mutex.create ();
+            cache = Summary_cache.create ();
+            digests = Hashtbl.create 4;
+          }
+        in
+        Hashtbl.replace t.table sid s;
+        s)
+
+let drop t sid =
+  locked t.table_lock (fun () ->
+      let existed = Hashtbl.mem t.table sid in
+      Hashtbl.remove t.table sid;
+      existed)
+
+let count t = locked t.table_lock (fun () -> Hashtbl.length t.table)
+
+let ids t =
+  locked t.table_lock (fun () ->
+      Hashtbl.fold (fun sid _ acc -> sid :: acc) t.table [] |> List.sort compare)
+
+let evict_all t =
+  let sessions =
+    locked t.table_lock (fun () ->
+        Hashtbl.fold (fun _ s acc -> s :: acc) t.table [])
+  in
+  List.fold_left (fun n s -> n + Summary_cache.evict_memory s.cache) 0 sessions
+
+let id s = s.sid
+let cache s = s.cache
+let with_lock s f = locked s.lock f
+
+type plan = {
+  fresh : bool;
+  functions : int;
+  changed : string list;
+  dirty : string list;
+  reused : string list;
+}
+
+(* Names reachable from [seeds] through the call graph — the functions
+   whose SCC waves run downstream of an edit. *)
+let descendants cg seeds =
+  let seen = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      List.iter visit (Callgraph.callees cg name)
+    end
+  in
+  List.iter visit seeds;
+  seen
+
+let plan s ~name (program : Ir.program) =
+  let now =
+    List.map (fun (fn : Ir.fn) -> (fn.Ir.fname, Digest_key.fn_digest fn)) program.Ir.fns
+    |> List.sort compare
+  in
+  let prev = Hashtbl.find_opt s.digests name in
+  Hashtbl.replace s.digests name now;
+  match prev with
+  | None ->
+    {
+      fresh = true;
+      functions = List.length now;
+      changed = List.map fst now;
+      dirty = List.map fst now;
+      reused = [];
+    }
+  | Some prev ->
+    let changed =
+      List.filter_map
+        (fun (fname, digest) ->
+          match List.assoc_opt fname prev with
+          | Some d when String.equal d digest -> None
+          | _ -> Some fname)
+        now
+    in
+    let cg = Callgraph.build program in
+    let dirty_set = descendants cg changed in
+    let dirty = List.filter (fun (f, _) -> Hashtbl.mem dirty_set f) now in
+    let reused = List.filter (fun (f, _) -> not (Hashtbl.mem dirty_set f)) now in
+    {
+      fresh = false;
+      functions = List.length now;
+      changed;
+      dirty = List.map fst dirty;
+      reused = List.map fst reused;
+    }

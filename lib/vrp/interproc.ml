@@ -162,6 +162,18 @@ let analyze ?(config = Engine.default_config) ?report
                 match (Ir.find_fn program name, Hashtbl.find_opt param_env name) with
                 | Some fn, Some param_values when not (Hashtbl.mem failed name) -> (
                   match
+                    (* Beat the cancellation token between functions too, so
+                       a deadline can fire while a wave is between engine
+                       runs — not only inside a worklist. A token cancelled
+                       here demotes this function exactly as an in-engine
+                       cancellation would. *)
+                    let () =
+                      Option.iter
+                        (fun tok ->
+                          Diag.Cancel.beat tok;
+                          Diag.Cancel.check tok ~name)
+                        config.Engine.cancel
+                    in
                     analyze_fn ~config ~report:(Some local) ~call_oracle ~param_values fn
                   with
                   | res -> (name, Analyzed res, local)

@@ -22,4 +22,5 @@ let () =
       Test_cache.suite;
       Test_integration.suite;
       Test_fuzz.suite;
+      Test_server.suite;
     ]

@@ -1,0 +1,493 @@
+(** Server-subsystem tests: the hand-rolled JSON codec, the framed wire
+    protocol, and the vrpd daemon itself — request handling, the
+    byte-identity contract against the one-shot CLI code path ({!Ops} is
+    that code path; [bin/vrpc.ml] is a thin printer over it), concurrent
+    mixed requests with an injected crash, session-scoped incremental
+    re-analysis, and the interprocedural cancellation beat. *)
+
+module Diag = Vrp_diag.Diag
+module Engine = Vrp_core.Engine
+module Pipeline = Vrp_core.Pipeline
+module Interproc = Vrp_core.Interproc
+module Suite = Vrp_suite.Suite
+module Json = Vrp_server.Json
+module Protocol = Vrp_server.Protocol
+module Ops = Vrp_server.Ops
+module Session = Vrp_server.Session
+module Server = Vrp_server.Server
+module Client = Vrp_server.Client
+
+let tc = Alcotest.test_case
+
+(* --- JSON codec --- *)
+
+let json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("id", Json.Int 7);
+        ("ok", Json.Bool true);
+        ("pi", Json.Float 3.25);
+        ("none", Json.Null);
+        ("xs", Json.List [ Json.Int 1; Json.String "two"; Json.Bool false ]);
+        ("nested", Json.Obj [ ("k", Json.String "v\n\"quoted\"") ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trip" true (v = v')
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let json_bytes_lossless () =
+  (* Captured CLI output travels as JSON strings; every byte value must
+     survive the encode/decode round trip unchanged. *)
+  let s = String.init 256 Char.chr in
+  match Json.parse (Json.to_string (Json.String s)) with
+  | Ok (Json.String s') -> Alcotest.(check string) "all 256 bytes" s s'
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let json_parse_errors () =
+  List.iter
+    (fun doc ->
+      match Json.parse doc with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid document %S" doc)
+    [ ""; "{"; "[1,"; "\"unterminated"; "tru"; "{\"k\" 1}"; "1 2"; "{\"k\":}" ]
+
+(* --- Wire protocol --- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () -> f a b)
+
+let frame_roundtrip () =
+  with_socketpair (fun a b ->
+      Protocol.write_frame a "hello";
+      Protocol.write_frame a "";
+      Protocol.write_frame a (String.make 100_000 'x');
+      Unix.close a;
+      Alcotest.(check (option string)) "first" (Some "hello") (Protocol.read_frame b);
+      Alcotest.(check (option string)) "empty" (Some "") (Protocol.read_frame b);
+      (match Protocol.read_frame b with
+      | Some s -> Alcotest.(check int) "large" 100_000 (String.length s)
+      | None -> Alcotest.fail "large frame lost");
+      Alcotest.(check (option string)) "clean EOF" None (Protocol.read_frame b))
+
+let frame_rejects_oversize () =
+  with_socketpair (fun a b ->
+      (* A header claiming 1 GiB must be rejected before allocation. *)
+      let header = Bytes.of_string "\x40\x00\x00\x01" in
+      ignore (Unix.write a header 0 4);
+      match Protocol.read_frame b with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "oversized frame accepted")
+
+let frame_detects_torn () =
+  with_socketpair (fun a b ->
+      let header = Bytes.of_string "\x00\x00\x00\x0a" in
+      ignore (Unix.write a header 0 4);
+      ignore (Unix.write a (Bytes.of_string "abc") 0 3);
+      Unix.close a;
+      match Protocol.read_frame b with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "torn frame accepted")
+
+let request_response_codec () =
+  let req =
+    {
+      Protocol.id = 42;
+      op = "predict";
+      params = Json.Obj [ ("source", Json.String "int main(){}") ];
+    }
+  in
+  (match Protocol.decode_request (Protocol.encode_request req) with
+  | Ok req' -> Alcotest.(check bool) "request" true (req = req')
+  | Error msg -> Alcotest.failf "request decode: %s" msg);
+  let resp =
+    {
+      Protocol.rid = 42;
+      ok = true;
+      code = 3;
+      out = "table\n";
+      err = "diag\n";
+      data = [ ("n", Json.Int 5) ];
+    }
+  in
+  match Protocol.decode_response (Protocol.encode_response resp) with
+  | Ok resp' -> Alcotest.(check bool) "response" true (resp = resp')
+  | Error msg -> Alcotest.failf "response decode: %s" msg
+
+let error_response_shape () =
+  let r = Protocol.error_response ~rid:9 ~kind:"fault-injected" "boom" in
+  Alcotest.(check bool) "not ok" false r.Protocol.ok;
+  Alcotest.(check int) "exit-code-2 semantics" 2 r.Protocol.code;
+  Alcotest.(check string) "stderr line" "vrpd: boom\n" r.Protocol.err;
+  match List.assoc_opt "diagnostic" r.Protocol.data with
+  | Some d ->
+    Alcotest.(check (option string)) "kind" (Some "fault-injected") (Json.mem_string "kind" d)
+  | None -> Alcotest.fail "no structured diagnostic"
+
+(* --- Server harness --- *)
+
+let corpus_sources () =
+  Sys.readdir "corpus" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".mc")
+  |> List.sort compare
+  |> List.map (fun f ->
+         let path = Filename.concat "corpus" f in
+         let ic = open_in_bin path in
+         Fun.protect
+           ~finally:(fun () -> close_in ic)
+           (fun () -> (f, really_input_string ic (in_channel_length ic))))
+
+let bench_source name =
+  match Suite.find name with
+  | Some b -> b.Suite.source
+  | None -> Alcotest.failf "no benchmark %s" name
+
+let with_server ?settings f =
+  let server = Server.create ?settings () in
+  Fun.protect ~finally:(fun () -> Server.shutdown server) (fun () -> f server)
+
+let predict_req ?(id = 1) ?fault ~name source =
+  {
+    Protocol.id;
+    op = "predict";
+    params =
+      Json.Obj
+        ([ ("source", Json.String source); ("name", Json.String name) ]
+        @
+        match fault with
+        | Some spec -> [ ("fault", Json.String spec) ]
+        | None -> []);
+  }
+
+let analyze_req ?(id = 1) ~session ~name source =
+  {
+    Protocol.id;
+    op = "analyze";
+    params =
+      Json.Obj
+        [
+          ("session", Json.String session);
+          ("name", Json.String name);
+          ("source", Json.String source);
+        ];
+  }
+
+(* The daemon's correctness contract: its response carries the one-shot
+   CLI's exact bytes, at any pool width. *)
+let server_predict_byte_identical () =
+  let inputs =
+    corpus_sources () @ [ ("qsort.mc", bench_source "qsort"); ("kmp.mc", bench_source "kmp") ]
+  in
+  let expected =
+    List.map (fun (n, src) -> (n, Ops.predict ~opts:Ops.default_opts ~source:src ())) inputs
+  in
+  List.iter
+    (fun jobs ->
+      with_server ~settings:{ Server.default_settings with Server.jobs }
+        (fun server ->
+          List.iter2
+            (fun (name, source) (_, (want : Ops.outcome)) ->
+              let resp = Server.handle server (predict_req ~name source) in
+              Alcotest.(check bool) (name ^ " ok") true resp.Protocol.ok;
+              Alcotest.(check string)
+                (Printf.sprintf "%s stdout (jobs=%d)" name jobs)
+                want.Ops.out resp.Protocol.out;
+              Alcotest.(check string) (name ^ " stderr") want.Ops.err resp.Protocol.err;
+              Alcotest.(check int) (name ^ " code") want.Ops.code resp.Protocol.code)
+            inputs expected))
+    [ 1; 4 ]
+
+(* Full wire replay of the corpus through a live daemon socket. *)
+let wire_corpus_replay () =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vrpd-test-%d.sock" (Unix.getpid ()))
+  in
+  with_server ~settings:{ Server.default_settings with Server.jobs = 2 }
+    (fun server ->
+      let listen_fd = Server.listen_unix sock in
+      let th = Thread.create (fun () -> Server.serve server listen_fd) () in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop server;
+          Thread.join th;
+          (try Unix.close listen_fd with _ -> ());
+          try Sys.remove sock with _ -> ())
+        (fun () ->
+          Client.with_connection sock (fun conn ->
+              List.iter
+                (fun (name, source) ->
+                  let want = Ops.predict ~opts:Ops.default_opts ~source () in
+                  let resp =
+                    Client.request conn ~op:"predict"
+                      ~params:
+                        (Json.Obj
+                           [ ("source", Json.String source); ("name", Json.String name) ])
+                      ()
+                  in
+                  Alcotest.(check string) (name ^ " wire stdout") want.Ops.out
+                    resp.Protocol.out;
+                  Alcotest.(check int) (name ^ " wire code") want.Ops.code
+                    resp.Protocol.code)
+                (corpus_sources ());
+              (* A shutdown request is acknowledged, then stops the serve
+                 loop after the response is on the wire. *)
+              let resp = Client.request conn ~op:"shutdown" () in
+              Alcotest.(check bool) "shutdown ok" true resp.Protocol.ok)))
+
+(* 16 concurrent mixed requests; one carries a crash-file fault. The
+   faulted one is contained with exit-code-2 semantics, every other
+   response matches the one-shot bytes, and the daemon stays up. *)
+let concurrent_mixed_with_crash () =
+  let qsort = bench_source "qsort" in
+  let sieve = bench_source "sieve" in
+  let want_predict = Ops.predict ~opts:Ops.default_opts ~source:qsort () in
+  let want_compare =
+    Ops.compare_predictors ~opts:Ops.default_opts ~train:[ 100; 1 ]
+      ~ref_args:[ 1000; 2 ] ~source:sieve ()
+  in
+  with_server ~settings:{ Server.default_settings with Server.jobs = 2 }
+    (fun server ->
+      let results = Array.make 16 None in
+      let threads =
+        List.init 16 (fun i ->
+            Thread.create
+              (fun () ->
+                let resp =
+                  match i with
+                  | 5 ->
+                    Server.handle server
+                      (predict_req ~id:i ~fault:"crash-file:qsort" ~name:"qsort.mc" qsort)
+                  | _ when i mod 3 = 0 ->
+                    Server.handle server (predict_req ~id:i ~name:"qsort.mc" qsort)
+                  | _ when i mod 3 = 1 ->
+                    Server.handle server
+                      {
+                        Protocol.id = i;
+                        op = "compare";
+                        params = Json.Obj [ ("source", Json.String sieve) ];
+                      }
+                  | _ ->
+                    Server.handle server
+                      (analyze_req ~id:i ~session:(Printf.sprintf "s%d" (i mod 2))
+                         ~name:"qsort.mc" qsort)
+                in
+                results.(i) <- Some resp)
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i resp ->
+          match resp with
+          | None -> Alcotest.failf "request %d lost" i
+          | Some (resp : Protocol.response) ->
+            Alcotest.(check int) (Printf.sprintf "id echo %d" i) i resp.Protocol.rid;
+            if i = 5 then begin
+              Alcotest.(check bool) "faulted contained" false resp.Protocol.ok;
+              Alcotest.(check int) "faulted code" 2 resp.Protocol.code
+            end
+            else begin
+              Alcotest.(check bool) (Printf.sprintf "ok %d" i) true resp.Protocol.ok;
+              let want = if i mod 3 = 1 then want_compare else want_predict in
+              Alcotest.(check string)
+                (Printf.sprintf "stdout %d" i)
+                want.Ops.out resp.Protocol.out
+            end)
+        results;
+      let c = Server.counters server in
+      Alcotest.(check int) "served" 15 c.Server.served;
+      Alcotest.(check int) "contained" 1 c.Server.contained;
+      (* The daemon survived: it still answers. *)
+      let resp = Server.handle server { Protocol.id = 99; op = "status"; params = Json.Null } in
+      Alcotest.(check bool) "still serving" true resp.Protocol.ok)
+
+(* --- Incremental re-analysis --- *)
+
+let inc_src cutoff =
+  Printf.sprintf
+    {|
+int leaf(int x) {
+  if (x > %d) { return 1; }
+  return 0;
+}
+int mid(int n) {
+  int s = 0;
+  int i = 0;
+  while (i < n) {
+    s = s + leaf(i);
+    i = i + 1;
+  }
+  return s;
+}
+int main(int n, int s) {
+  int r = mid(n);
+  if (r > 10) { return r; }
+  return 0;
+}
+|}
+    cutoff
+
+let inc_v1 = inc_src 5
+
+(* Same program with only [leaf]'s branch constant changed: its structural
+   digest moves, its return range ({0,1}) does not — so callers' memo keys
+   are unchanged and only leaf's wave must re-run. *)
+let inc_v2 = inc_src 3
+
+let get_plan (resp : Protocol.response) =
+  match List.assoc_opt "plan" resp.Protocol.data with
+  | Some p -> p
+  | None -> Alcotest.fail "analyze response has no plan"
+
+let get_cache_delta (resp : Protocol.response) =
+  match List.assoc_opt "cache" resp.Protocol.data with
+  | Some c -> c
+  | None -> Alcotest.fail "analyze response has no cache delta"
+
+let names plan key =
+  match Json.mem_list key plan with
+  | Some xs -> List.filter_map Json.get_string xs
+  | None -> Alcotest.failf "plan has no %s" key
+
+let cint c key = Option.value ~default:(-1) (Json.mem_int key c)
+
+let session_incremental_edit () =
+  with_server (fun server ->
+      let call source = Server.handle server (analyze_req ~session:"edit" ~name:"inc.mc" source) in
+      (* Cold: everything is new. *)
+      let r1 = call inc_v1 in
+      Alcotest.(check bool) "cold ok" true r1.Protocol.ok;
+      let p1 = get_plan r1 in
+      Alcotest.(check (option bool)) "fresh" (Some true) (Json.mem_bool "fresh" p1);
+      Alcotest.(check (list string)) "all changed" [ "leaf"; "main"; "mid" ]
+        (List.sort compare (names p1 "changed"));
+      (* Warm identical re-submit: nothing re-runs. *)
+      let r2 = call inc_v1 in
+      let p2 = get_plan r2 in
+      let d2 = get_cache_delta r2 in
+      Alcotest.(check (list string)) "nothing changed" [] (names p2 "changed");
+      Alcotest.(check (list string)) "all reused" [ "leaf"; "main"; "mid" ]
+        (List.sort compare (names p2 "reused"));
+      Alcotest.(check int) "warm misses" 0 (cint d2 "misses");
+      Alcotest.(check int) "warm invalidations" 0 (cint d2 "invalidations");
+      Alcotest.(check bool) "warm hits" true (cint d2 "hits" > 0);
+      Alcotest.(check string) "warm bytes identical" r1.Protocol.out r2.Protocol.out;
+      (* One-function edit: only leaf's wave is dirty; its callers are
+         planned as reused and actually hit (the edit keeps leaf's return
+         range, so their memo keys are unchanged). *)
+      let r3 = call inc_v2 in
+      let p3 = get_plan r3 in
+      let d3 = get_cache_delta r3 in
+      Alcotest.(check (list string)) "edit changed" [ "leaf" ] (names p3 "changed");
+      Alcotest.(check (list string)) "edit dirty" [ "leaf" ] (names p3 "dirty");
+      Alcotest.(check (list string)) "edit reused" [ "main"; "mid" ]
+        (List.sort compare (names p3 "reused"));
+      Alcotest.(check int) "edit invalidates one slot" 1 (cint d3 "invalidations");
+      Alcotest.(check bool) "edit re-runs leaf" true (cint d3 "misses" >= 1);
+      (* Only leaf's slot may miss: with 3 analysis rounds at most a few
+         keys, never the 10+ a cold run costs. *)
+      Alcotest.(check bool) "edit misses stay local" true
+        (cint d3 "misses" < cint (get_cache_delta r1) "misses");
+      Alcotest.(check bool) "edit callers hit" true (cint d3 "hits" > 0);
+      (* The incremental answer is byte-identical to a cold one-shot of
+         the edited source. *)
+      let want = Ops.predict ~opts:Ops.default_opts ~source:inc_v2 () in
+      Alcotest.(check string) "edit bytes identical" want.Ops.out r3.Protocol.out)
+
+(* --- Interprocedural cancellation beat (deadline between functions) --- *)
+
+let beat_demotes_between_functions () =
+  let c = Pipeline.compile inc_v1 in
+  let tok = Diag.Cancel.make () in
+  Diag.Cancel.cancel tok;
+  (* The engine never runs: the wave driver's own beat must observe the
+     cancelled token before each function and demote it. *)
+  let poison ~config:_ ~report:_ ~call_oracle:_ ~param_values:_ _ =
+    Alcotest.fail "analyze_fn ran despite a cancelled token"
+  in
+  let report = Diag.create () in
+  let config = { Engine.default_config with Engine.cancel = Some tok } in
+  let ipa =
+    Interproc.analyze ~config ~report ~analyze_fn:poison c.Pipeline.ssa
+  in
+  Alcotest.(check (option string)) "main demoted with deterministic reason"
+    (Some "deadline exceeded")
+    (Interproc.failure ipa "main");
+  Alcotest.(check bool) "crash diagnostics recorded" true
+    (Diag.count_kind report Diag.Analysis_crashed > 0);
+  (* Demotion, not abortion: predictions stay total via the fallback. *)
+  let vrp, _ =
+    Pipeline.vrp_predictions ~config ~report:(Diag.create ()) ~analyze_fn:poison
+      c.Pipeline.ssa
+  in
+  Alcotest.(check bool) "predictions total" true (Hashtbl.length vrp > 0)
+
+(* --- Status / evict / sessions --- *)
+
+let status_and_evict () =
+  with_server (fun server ->
+      ignore (Server.handle server (analyze_req ~session:"a" ~name:"x.mc" inc_v1));
+      ignore (Server.handle server (predict_req ~id:2 ~name:"q.mc" (bench_source "qsort")));
+      let status = Server.handle server { Protocol.id = 3; op = "status"; params = Json.Null } in
+      Alcotest.(check bool) "status ok" true status.Protocol.ok;
+      let data k = List.assoc_opt k status.Protocol.data in
+      Alcotest.(check bool) "version present" true
+        (data "version" <> None && data "version" = Some (Json.String Vrp_server.Version.version));
+      (match data "sessions" with
+      | Some (Json.List [ Json.String "a" ]) -> ()
+      | _ -> Alcotest.fail "expected one session named a");
+      Alcotest.(check bool) "served counted" true
+        (match data "served" with Some (Json.Int n) -> n >= 2 | _ -> false);
+      let evict = Server.handle server { Protocol.id = 4; op = "evict"; params = Json.Null } in
+      Alcotest.(check bool) "evict ok" true evict.Protocol.ok;
+      (match List.assoc_opt "evicted" evict.Protocol.data with
+      | Some (Json.Int n) -> Alcotest.(check bool) "evicted warm entries" true (n > 0)
+      | _ -> Alcotest.fail "no evicted count");
+      (* Unknown ops are contained, not fatal. *)
+      let bad = Server.handle server { Protocol.id = 5; op = "nonsense"; params = Json.Null } in
+      Alcotest.(check bool) "unknown op contained" false bad.Protocol.ok;
+      Alcotest.(check int) "unknown op code" 2 bad.Protocol.code)
+
+let version_matches_dune_project () =
+  (* lib/server/version.ml is generated from dune-project; pin the pipeline. *)
+  let project = "../dune-project" in
+  if Sys.file_exists project then begin
+    let ic = open_in project in
+    let rec find () =
+      match input_line ic with
+      | line when Astring.String.is_prefix ~affix:"(version " line ->
+        Astring.String.with_range ~first:9 ~len:(String.length line - 10) line
+      | _ -> find ()
+      | exception End_of_file -> Alcotest.fail "dune-project has no (version ...)"
+    in
+    let v = Fun.protect ~finally:(fun () -> close_in ic) find in
+    Alcotest.(check string) "single-sourced version" v Vrp_server.Version.version
+  end
+  else Alcotest.(check bool) "version non-empty" true (Vrp_server.Version.version <> "")
+
+let suite =
+  ( "server",
+    [
+      tc "json round-trip" `Quick json_roundtrip;
+      tc "json byte-lossless strings" `Quick json_bytes_lossless;
+      tc "json parse errors" `Quick json_parse_errors;
+      tc "frame round-trip" `Quick frame_roundtrip;
+      tc "frame rejects oversize" `Quick frame_rejects_oversize;
+      tc "frame detects torn" `Quick frame_detects_torn;
+      tc "request/response codec" `Quick request_response_codec;
+      tc "error response shape" `Quick error_response_shape;
+      tc "predict byte-identical (jobs 1 and 4)" `Quick server_predict_byte_identical;
+      tc "wire corpus replay + shutdown" `Quick wire_corpus_replay;
+      tc "16 concurrent mixed, one crash" `Quick concurrent_mixed_with_crash;
+      tc "session incremental edit" `Quick session_incremental_edit;
+      tc "interproc beat demotes between functions" `Quick beat_demotes_between_functions;
+      tc "status, evict, unknown op" `Quick status_and_evict;
+      tc "version single-sourced" `Quick version_matches_dune_project;
+    ] )

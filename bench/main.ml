@@ -291,6 +291,9 @@ let server_bench ~json () =
   let module Protocol = Vrp_server.Protocol in
   let module Json = Vrp_server.Json in
   let module Ops = Vrp_server.Ops in
+  (* The churn pass writes into sockets of freshly killed workers; see
+     EPIPE (retried by the proxy), don't die of SIGPIPE. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let time f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -309,7 +312,7 @@ let server_bench ~json () =
           sources)
   in
   let jobs = 4 and clients = 8 and warm_rounds = 3 in
-  let server = Server.create ~settings:{ Server.jobs; deadline_ms = None; fault = None } () in
+  let server = Server.create ~settings:{ Server.default_settings with Server.jobs } () in
   Fun.protect ~finally:(fun () -> Server.shutdown server) @@ fun () ->
   let predict_req (name, source) =
     {
@@ -325,7 +328,7 @@ let server_bench ~json () =
     then Atomic.incr mismatches
   in
   (* Fan [reqs] out over [clients] threads; collect per-request latencies. *)
-  let run_pass reqs =
+  let run_pass_on handle reqs =
     let slices = Array.make clients [] in
     List.iteri (fun i r -> slices.(i mod clients) <- r :: slices.(i mod clients)) reqs;
     let results = Array.make clients [] in
@@ -337,7 +340,7 @@ let server_bench ~json () =
               results.(i) <-
                 List.map
                   (fun (name, src) ->
-                    let resp, dt = time (fun () -> Server.handle server (predict_req (name, src))) in
+                    let resp, dt = time (fun () -> handle (predict_req (name, src))) in
                     check name resp;
                     dt)
                   slice)
@@ -347,6 +350,7 @@ let server_bench ~json () =
     Array.iter Thread.join threads;
     Array.to_list results |> List.concat
   in
+  let run_pass reqs = run_pass_on (Server.handle server) reqs in
   let cache_counters () =
     let r = Server.handle server { Protocol.id = 0; op = "status"; params = Json.Null } in
     let c = Option.value ~default:Json.Null (List.assoc_opt "cache" r.Protocol.data) in
@@ -429,6 +433,40 @@ let server_bench ~json () =
   in
   let delta_n k = Option.value ~default:0 (Json.mem_int k delta) in
   let cores = Domain.recommended_domain_count () in
+  (* Fleet: the same predict workload through the front door's routing and
+     proxy seam ([Fleet.handle]) over in-process socket workers — steady
+     state first, then under churn with the kill-worker chaos fault firing
+     mid-pass (workers crash-replaced while requests are in flight). Every
+     response is still byte-checked against the one-shot CLI. *)
+  let module Fleet = Vrp_server.Fleet in
+  let fleet_workers = 3 and fleet_rounds = 3 and kill_every = 12 in
+  let fleet_reqs = List.concat (List.init fleet_rounds (fun _ -> sources)) in
+  let fleet_pass ~tag ~fault =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "vrp-bench-fleet-%d-%s" (Unix.getpid ()) tag)
+    in
+    let settings =
+      { (Fleet.default_settings ~dir) with Fleet.size = fleet_workers; fault }
+    in
+    let fleet = Fleet.create ~settings ~spawner:(Fleet.in_process_spawner ()) () in
+    Fun.protect
+      ~finally:(fun () ->
+        Fleet.shutdown fleet;
+        try Unix.rmdir dir with _ -> ())
+      (fun () ->
+        let lat, wall = time (fun () -> run_pass_on (Fleet.handle fleet) fleet_reqs) in
+        let c = Fleet.counters fleet in
+        (lat, wall, c.Fleet.replaced, c.Fleet.failovers))
+  in
+  let fsteady_lat, fsteady_s, _, _ = fleet_pass ~tag:"steady" ~fault:None in
+  let fchurn_lat, fchurn_s, fchurn_replaced, fchurn_failovers =
+    fleet_pass ~tag:"churn"
+      ~fault:(Some (Vrp_diag.Diag.Fault.Kill_worker kill_every))
+  in
+  if Atomic.get mismatches > 0 then
+    failwith "server bench: a fleet response diverged from the one-shot CLI";
   if json then
     Printf.printf
       "{\"requests\": %d, \"jobs\": %d, \"clients\": %d, \"cores\": %d,\n\
@@ -444,6 +482,11 @@ let server_bench ~json () =
        \"invalidations\": %d,\n\
       \   \"cold_one_shot_s\": %.6f, \"warm_incremental_s\": %.6f, \
        \"speedup\": %.2f, \"warm_beats_cold\": %b},\n\
+      \ \"fleet\": {\"workers\": %d, \"requests\": %d, \"kill_every\": %d,\n\
+      \   \"steady\": {\"requests_per_sec\": %.1f, \"p50_ms\": %.3f, \
+       \"p99_ms\": %.3f},\n\
+      \   \"churn\": {\"requests_per_sec\": %.1f, \"p50_ms\": %.3f, \
+       \"p99_ms\": %.3f, \"workers_replaced\": %d, \"failovers\": %d}},\n\
       \ \"byte_identical\": true}\n"
       (List.length sources) jobs clients cores one_shot_s cold_s warm_s
       (rps (List.length sources) cold_s)
@@ -458,6 +501,14 @@ let server_bench ~json () =
       cold_edit_s warm_edit_s
       (if warm_edit_s > 0.0 then cold_edit_s /. warm_edit_s else 0.0)
       (warm_edit_s < cold_edit_s)
+      fleet_workers (List.length fleet_reqs) kill_every
+      (rps (List.length fleet_reqs) fsteady_s)
+      (ms (percentile 50.0 fsteady_lat))
+      (ms (percentile 99.0 fsteady_lat))
+      (rps (List.length fleet_reqs) fchurn_s)
+      (ms (percentile 50.0 fchurn_lat))
+      (ms (percentile 99.0 fchurn_lat))
+      fchurn_replaced fchurn_failovers
   else begin
     header "Analysis server: request throughput + incremental re-analysis";
     Printf.printf "  workload: %d predict requests over %d client threads (pool jobs=%d, %d cores)\n"
@@ -481,6 +532,18 @@ let server_bench ~json () =
     Printf.printf "  warm incremental %.4fs vs cold one-shot %.4fs (%.2fx)\n"
       warm_edit_s cold_edit_s
       (if warm_edit_s > 0.0 then cold_edit_s /. warm_edit_s else 0.0);
+    Printf.printf "  fleet (%d workers, %d requests):\n" fleet_workers
+      (List.length fleet_reqs);
+    List.iter
+      (fun (name, t, lat) ->
+        Printf.printf "  %-22s %10.4f %12.1f %10.3f %10.3f\n" name t
+          (rps (List.length fleet_reqs) t)
+          (ms (percentile 50.0 lat))
+          (ms (percentile 99.0 lat)))
+      [ ("fleet steady", fsteady_s, fsteady_lat); ("fleet churn", fchurn_s, fchurn_lat) ];
+    Printf.printf
+      "  churn (kill-worker:%d): %d worker(s) replaced, %d failover(s), zero lost requests\n"
+      kill_every fchurn_replaced fchurn_failovers;
     Printf.printf "  every response byte-identical to the one-shot CLI\n%!"
   end
 
@@ -548,6 +611,86 @@ let perf () =
         tbl)
     results
 
+(* --- Perf regression gate ---
+
+   `gate BASELINE.json CURRENT.json` compares a committed bench snapshot
+   (BENCH_batch.json / BENCH_server.json) against a fresh run: every
+   throughput leaf (a number under a "requests_per_sec" or
+   "functions_per_sec" key path) may not drop by more than 25%, and every
+   "p99" latency leaf may not grow by more than 25%. The baseline drives
+   the walk, so new metrics in the current run are ignored but a metric
+   that disappeared fails the gate. *)
+let gate baseline_file current_file =
+  let module Json = Vrp_server.Json in
+  let load file =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Json.parse s with
+    | Ok v -> v
+    | Error msg -> failwith (Printf.sprintf "%s: %s" file msg)
+  in
+  let base = load baseline_file and cur = load current_file in
+  let rec lookup path v =
+    match path with
+    | [] -> Some v
+    | k :: rest -> Option.bind (Json.member k v) (lookup rest)
+  in
+  let num = function
+    | Json.Int n -> Some (float_of_int n)
+    | Json.Float f -> Some f
+    | _ -> None
+  in
+  let failures = ref [] in
+  let checked = ref 0 in
+  let check path dir b =
+    let name = String.concat "." (List.rev path) in
+    match Option.bind (lookup (List.rev path) cur) num with
+    | None -> failures := Printf.sprintf "%s: missing from current run" name :: !failures
+    | Some c ->
+      incr checked;
+      let ok, verdict =
+        match dir with
+        | `Higher_better ->
+          (* Tiny baselines gate on absolute slack instead: a 25% drop of
+             almost nothing is measurement noise, not a regression. *)
+          (c >= b *. 0.75 || b -. c < 0.5, "req/s")
+        | `Lower_better -> (c <= b *. 1.25 || c -. b < 0.25, "p99 ms")
+      in
+      Printf.printf "  %-50s baseline %10.2f  current %10.2f  %s%s\n" name b c verdict
+        (if ok then "" else "  << REGRESSION");
+      if not ok then
+        failures := Printf.sprintf "%s: baseline %.2f, current %.2f" name b c :: !failures
+  in
+  let under keys k = List.exists (fun key -> List.mem key keys) k in
+  let rec walk path v =
+    match v with
+    | Json.Obj fields -> List.iter (fun (k, v) -> walk (k :: path) v) fields
+    | Json.List items -> List.iteri (fun i v -> walk (string_of_int i :: path) v) items
+    | _ -> (
+      match num v with
+      | None -> ()
+      | Some b ->
+        if under [ "requests_per_sec"; "functions_per_sec" ] path then
+          check path `Higher_better b
+        else if List.exists (fun k -> k = "p99" || k = "p99_ms") path then
+          check path `Lower_better b)
+  in
+  Printf.printf "perf gate: %s vs %s (25%% tolerance)\n" baseline_file current_file;
+  walk [] base;
+  Printf.printf "  %d metric(s) compared\n" !checked;
+  if !checked = 0 then begin
+    prerr_endline "gate: no gated metrics found in the baseline";
+    exit 1
+  end;
+  match !failures with
+  | [] -> print_endline "  gate passed"
+  | fs ->
+    prerr_endline "gate: perf regressions against the committed baseline:";
+    List.iter (fun f -> prerr_endline ("  " ^ f)) (List.rev fs);
+    exit 1
+
 let all () =
   fig4 ();
   fig5 ();
@@ -579,7 +722,8 @@ let () =
   | [ _; "batch"; "--json" ] | [ _; "batch"; "-json" ] -> batch_bench ~json:true ()
   | [ _; "server" ] -> server_bench ~json:false ()
   | [ _; "server"; "--json" ] | [ _; "server"; "-json" ] -> server_bench ~json:true ()
+  | [ _; "gate"; baseline; current ] -> gate baseline current
   | _ ->
     prerr_endline
-      "usage: main.exe [all|fig4|fig5|fig6|fig7|fig8|ablate-r|ablate-worklist|ablate-assert|ablate-derive|ablate-trip|perf|batch [--json]|server [--json]]";
+      "usage: main.exe [all|fig4|fig5|fig6|fig7|fig8|ablate-r|ablate-worklist|ablate-assert|ablate-derive|ablate-trip|perf|batch [--json]|server [--json]|gate BASELINE CURRENT]";
     exit 2

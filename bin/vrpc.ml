@@ -376,10 +376,20 @@ let batch dir jobs cache_dir cache_max_mb deadline_ms retries resume numeric
    one-shot subcommand, so a remote call prints exactly like a local one;
    only daemon-unreachable errors are new (exit 2). *)
 
+(* All analysis ops are idempotent, so a dropped or refused connection —
+   the signature of a fleet worker being crash-replaced — is retried with
+   backoff and replayed byte-identically. A shutdown is sent exactly once:
+   retrying it against a daemon that already acknowledged and died would
+   turn a clean stop into a spurious failure. *)
 let remote_call socket ~op params k =
+  (* A daemon (or fleet worker) dying mid-request must surface as a
+     retryable EPIPE, not kill the client. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let params = Json.Obj params in
   match
-    Client.with_connection socket (fun c ->
-        Client.request c ~op ~params:(Json.Obj params) ())
+    if op = "shutdown" then
+      Client.with_connection socket (fun c -> Client.request c ~op ~params ())
+    else Client.request_retry ~addr:socket ~op ~params ()
   with
   | resp ->
     print_string resp.Protocol.out;
@@ -755,6 +765,9 @@ let remote_cmd =
       compare;
       batch;
       simple "status" "Daemon version, sessions, request and cache counters." "status";
+      simple "fleet-status"
+        "Fleet front-door counters and per-worker health (vrpd --fleet)."
+        "fleet-status";
       simple "evict" "Drop every cached summary from daemon memory." "evict";
       simple "shutdown" "Stop the daemon after acknowledging." "shutdown";
     ]

@@ -5,39 +5,91 @@
    domain pool, an always-warm summary cache, and per-session incremental
    re-analysis. Clients talk to it with `vrpc remote ... --socket ADDR`.
 
+   With --fleet N the same binary becomes a front door: it spawns N vrpd
+   worker child processes on per-slot sockets in --fleet-dir, routes each
+   request to a worker sharded by session/source digest, health-checks
+   them with ping, and crash-replaces dead or wedged workers. Workers
+   share one on-disk summary-cache tier when given --cache DIR.
+
    Exit codes: 0 clean shutdown (signal or shutdown request); 1 failed to
-   bind or serve; 124 malformed command line. *)
+   bind or serve; 3 a fleet worker degraded under --strict; 124 malformed
+   command line. *)
 
 open Cmdliner
 module Server = Vrp_server.Server
+module Fleet = Vrp_server.Fleet
+module Protocol = Vrp_server.Protocol
 module Diag = Vrp_diag.Diag
 
-let run socket listen jobs deadline_ms fault =
-  let settings = { Server.jobs; deadline_ms; fault } in
-  let server = Server.create ~settings () in
-  let listen_fd, where, cleanup =
-    match listen with
-    | Some addr -> (
-      match String.rindex_opt addr ':' with
-      | None ->
-        prerr_endline "vrpd: --listen wants HOST:PORT";
-        exit 1
-      | Some i ->
-        let host = String.sub addr 0 i in
-        let host = if host = "" then "127.0.0.1" else host in
-        let port = int_of_string (String.sub addr (i + 1) (String.length addr - i - 1)) in
-        (Server.listen_tcp ~host ~port, Printf.sprintf "%s:%d" host port, fun () -> ()))
-    | None ->
-      let path = Option.value ~default:(Vrp_server.Client.default_address ()) socket in
-      ( Server.listen_unix path,
-        path,
-        fun () -> try Unix.unlink path with _ -> () )
+(* Each fleet worker is this same binary in plain single-daemon mode; a
+   stale socket left by a SIGKILLed predecessor is reclaimed by the
+   child's own listen_unix connect-probe. *)
+let process_spawner ~jobs ~deadline_ms ~cache_dir ~worker_fault : Fleet.spawner =
+ fun ~wid:_ ~incarnation:_ ~sock ->
+  let args =
+    [ Sys.executable_name; "--socket"; sock; "--jobs"; string_of_int jobs ]
+    @ (match deadline_ms with
+      | Some ms -> [ "--deadline-ms"; string_of_int ms ]
+      | None -> [])
+    @ (match cache_dir with Some d -> [ "--cache"; d ] | None -> [])
+    @
+    match worker_fault with
+    | Some f -> [ "--inject-fault"; Diag.Fault.to_string f ]
+    | None -> []
   in
-  let stop_signal _ = Server.stop server in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process Sys.executable_name (Array.of_list args) devnull
+      Unix.stderr Unix.stderr
+  in
+  Unix.close devnull;
+  let reaped = ref false in
+  {
+    Fleet.sock;
+    describe = Printf.sprintf "vrpd pid %d" pid;
+    kill = (fun () -> try Unix.kill pid Sys.sigkill with _ -> ());
+    alive =
+      (fun () ->
+        if !reaped then false
+        else
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> true
+          | _ ->
+            reaped := true;
+            (* A SIGKILLed worker leaves its socket file behind; reclaim
+               it so the replacement's bind does not race the probe. *)
+            (try Unix.unlink sock with _ -> ());
+            false
+          | exception _ ->
+            reaped := true;
+            false);
+  }
+
+let bind_listener ~socket ~listen =
+  match listen with
+  | Some addr -> (
+    match Protocol.parse_hostport addr with
+    | Error msg ->
+      prerr_endline ("vrpd: --listen " ^ msg);
+      exit 1
+    | Ok (host, port) ->
+      (Server.listen_tcp ~host ~port, Printf.sprintf "%s:%d" host port, fun () -> ()))
+  | None ->
+    let path = Option.value ~default:(Vrp_server.Client.default_address ()) socket in
+    (Server.listen_unix path, path, fun () -> try Unix.unlink path with _ -> ())
+
+let install_signals stop =
+  let stop_signal _ = stop () in
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
   (* A client vanishing mid-response must not kill the daemon. *)
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let run_single ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir =
+  let settings = { Server.jobs; deadline_ms; fault; cache_dir } in
+  let server = Server.create ~settings () in
+  let listen_fd, where, cleanup = bind_listener ~socket ~listen in
+  install_signals (fun () -> Server.stop server);
   Printf.eprintf "vrpd %s: listening on %s (%d job%s%s)\n%!"
     Vrp_server.Version.version where jobs
     (if jobs = 1 then "" else "s")
@@ -52,6 +104,54 @@ let run socket listen jobs deadline_ms fault =
     (fun () -> Server.serve server listen_fd);
   prerr_endline "vrpd: stopped"
 
+let run_fleet ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~size ~fleet_dir
+    ~strict =
+  (* kill-worker is the front door's chaos fault; every other spec (an
+     analysis fault, slow-worker) belongs daemon-wide in the workers. *)
+  let fleet_fault, worker_fault =
+    match fault with
+    | Some (Diag.Fault.Kill_worker _) as f -> (f, None)
+    | f -> (None, f)
+  in
+  let dir =
+    Option.value fleet_dir
+      ~default:(Filename.concat (Filename.get_temp_dir_name ()) "vrpd-fleet")
+  in
+  let settings =
+    { (Fleet.default_settings ~dir) with Fleet.size; strict; fault = fleet_fault }
+  in
+  let fleet =
+    Fleet.create ~settings
+      ~spawner:(process_spawner ~jobs ~deadline_ms ~cache_dir ~worker_fault)
+      ()
+  in
+  let listen_fd, where, cleanup = bind_listener ~socket ~listen in
+  install_signals (fun () -> Fleet.stop fleet);
+  Printf.eprintf "vrpd %s: fleet of %d worker(s) in %s, front door on %s\n%!"
+    Vrp_server.Version.version size dir where;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with _ -> ());
+      cleanup ();
+      Fleet.shutdown fleet)
+    (fun () -> Fleet.serve fleet listen_fd);
+  if strict && Fleet.degraded fleet then begin
+    prerr_endline "vrpd: fleet degraded under --strict";
+    exit 3
+  end;
+  prerr_endline "vrpd: stopped"
+
+let run socket listen jobs deadline_ms fault cache_dir fleet fleet_dir strict =
+  match fleet with
+  | None -> run_single ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir
+  | Some size ->
+    if size < 1 then begin
+      prerr_endline "vrpd: --fleet wants at least 1 worker";
+      exit 1
+    end;
+    run_fleet ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~size ~fleet_dir
+      ~strict
+
 let socket_arg =
   Arg.(
     value
@@ -64,15 +164,18 @@ let listen_arg =
     value
     & opt (some string) None
     & info [ "listen" ] ~docv:"HOST:PORT"
-        ~doc:"Listen on TCP instead of a Unix-domain socket.")
+        ~doc:
+          "Listen on TCP instead of a Unix-domain socket. The port is \
+           whatever follows the last colon, so IPv6 literals like \
+           [::1]:7001 work.")
 
 let jobs_arg =
   Arg.(
     value & opt int 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Width of the resident analysis domain pool. Results are \
-           byte-identical to --jobs 1.")
+          "Width of the resident analysis domain pool (per worker under \
+           --fleet). Results are byte-identical to --jobs 1.")
 
 let deadline_arg =
   Arg.(
@@ -83,6 +186,42 @@ let deadline_arg =
           "Per-request analysis deadline: a request running longer has its \
            remaining functions demoted to the Ball–Larus fallback and \
            completes with the degradation in its diagnostics.")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Disk tier for the summary cache. Under --fleet every worker \
+           points at the same directory and shares it (advisory locks).")
+
+let fleet_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fleet" ] ~docv:"N"
+        ~doc:
+          "Fleet mode: spawn N vrpd worker processes and serve as their \
+           front-door router; dead or wedged workers are crash-replaced \
+           with a bounded restart budget.")
+
+let fleet_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fleet-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory for the fleet's per-worker sockets (default: \
+           vrpd-fleet in the temp dir).")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Fleet mode: stop serving and exit 3 when any worker slot \
+           exhausts its restart budget, instead of routing around it.")
 
 let fault_arg =
   let fault_conv =
@@ -98,7 +237,9 @@ let fault_arg =
     & info [ "inject-fault" ] ~docv:"SPEC" ~docs:"TESTING (HIDDEN)"
         ~doc:
           "Daemon-wide deterministic fault injection (same specs as vrpc); \
-           a request's own fault param overrides it.")
+           a request's own fault param overrides it. Under --fleet, \
+           kill-worker:N stays in the front door and every other spec is \
+           passed to the workers.")
 
 let cmd =
   Cmd.v
@@ -108,8 +249,11 @@ let cmd =
          [
            Cmd.Exit.info 0 ~doc:"clean shutdown (signal or shutdown request).";
            Cmd.Exit.info 1 ~doc:"failed to bind or serve.";
+           Cmd.Exit.info 3 ~doc:"a fleet worker degraded under --strict.";
            Cmd.Exit.info 124 ~doc:"malformed command line.";
          ])
-    Term.(const run $ socket_arg $ listen_arg $ jobs_arg $ deadline_arg $ fault_arg)
+    Term.(
+      const run $ socket_arg $ listen_arg $ jobs_arg $ deadline_arg $ fault_arg
+      $ cache_arg $ fleet_arg $ fleet_dir_arg $ strict_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -217,6 +217,14 @@ module Fault = struct
         (** off-by-one the final ranges of this function (shrink every
             numeric upper bound by one stride) — a deliberately {e unsound}
             result used to prove the fuzzing oracles can catch one *)
+    | Kill_worker of int
+        (** fleet-mode chaos: the front door force-kills the worker routed
+            for every Nth proxied request, just before forwarding — the
+            request must survive via failover to the replacement *)
+    | Slow_worker of int
+        (** wedge a worker daemon: every request it handles (including
+            health-check pings) sleeps N milliseconds first, so a fleet's
+            ping timeout sees it as hung and crash-replaces it *)
 
   exception Injected of string
 
@@ -231,10 +239,13 @@ module Fault = struct
     | Corrupt_cache n -> "corrupt-cache:" ^ string_of_int n
     | Torn_journal n -> "torn-journal:" ^ string_of_int n
     | Skew_range fn -> "skew:" ^ fn
+    | Kill_worker n -> "kill-worker:" ^ string_of_int n
+    | Slow_worker ms -> "slow-worker:" ^ string_of_int ms
 
   let spec_help =
     "crash:FN, fuel:FN, timeout:FN, steps:N, hang:FN, flaky:FN:K, \
-     crash-file:NAME, corrupt-cache:N, torn-journal:N or skew:FN"
+     crash-file:NAME, corrupt-cache:N, torn-journal:N, skew:FN, \
+     kill-worker:N or slow-worker:MS"
 
   (** Parse a CLI spec (see {!spec_help}). *)
   let parse spec =
@@ -277,6 +288,8 @@ module Fault = struct
       | "crash-file" -> Result.Ok (Crash_file arg)
       | "corrupt-cache" -> count ~min_:1 (fun n -> Corrupt_cache n)
       | "torn-journal" -> count ~min_:0 (fun n -> Torn_journal n)
+      | "kill-worker" -> count ~min_:1 (fun n -> Kill_worker n)
+      | "slow-worker" -> count ~min_:1 (fun ms -> Slow_worker ms)
       | _ ->
         Result.Error
           (Printf.sprintf "bad fault spec %S: unknown fault %S (want %s)" spec key

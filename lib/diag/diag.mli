@@ -112,6 +112,12 @@ module Fault : sig
     | Skew_range of string
         (** off-by-one the final ranges of this function — a deliberately
             unsound result used to prove the fuzzing oracles catch one *)
+    | Kill_worker of int
+        (** fleet chaos: the front door force-kills the routed worker on
+            every Nth proxied request, just before forwarding *)
+    | Slow_worker of int
+        (** wedge a worker: every request it handles (pings included)
+            sleeps N ms first, so a fleet's health check sees it as hung *)
 
   exception Injected of string
 
@@ -122,6 +128,6 @@ module Fault : sig
 
   (** Parse a CLI spec: [crash:FN], [fuel:FN], [timeout:FN], [steps:N],
       [hang:FN], [flaky:FN:K], [crash-file:NAME], [corrupt-cache:N],
-      [torn-journal:N] or [skew:FN]. *)
+      [torn-journal:N], [skew:FN], [kill-worker:N] or [slow-worker:MS]. *)
   val parse : string -> (t, string) result
 end

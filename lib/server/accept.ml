@@ -1,0 +1,112 @@
+(** Shared accept loop for vrpd and the fleet front door (see the
+    interface). *)
+
+type t = {
+  state_lock : Mutex.t;  (* connection registry *)
+  mutable stop_requested : bool;
+  stop_rd : Unix.file_descr;
+  stop_wr : Unix.file_descr;
+  mutable conns : Unix.file_descr list;
+  mutable closed : bool;
+}
+
+let create () =
+  let stop_rd, stop_wr = Unix.pipe () in
+  {
+    state_lock = Mutex.create ();
+    stop_requested = false;
+    stop_rd;
+    stop_wr;
+    conns = [];
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.state_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.state_lock) f
+
+let request_stop t = t.stop_requested <- true
+
+let stop t =
+  t.stop_requested <- true;
+  (* Wake the accept loop; EAGAIN on a full pipe is as good as a byte. *)
+  try ignore (Unix.write t.stop_wr (Bytes.of_string "x") 0 1) with _ -> ()
+
+let stopping t = t.stop_requested
+
+let register_conn t fd = locked t (fun () -> t.conns <- fd :: t.conns)
+
+let close_conn t fd =
+  locked t (fun () ->
+      if List.memq fd t.conns then begin
+        t.conns <- List.filter (fun f -> f != fd) t.conns;
+        try Unix.close fd with _ -> ()
+      end)
+
+let conn_loop t ~handle ~on_bad_request fd =
+  let answer resp =
+    try Protocol.write_frame fd (Protocol.encode_response resp) with _ -> ()
+  in
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | None -> ()
+    | Some payload ->
+      (match Protocol.decode_request payload with
+      | Error msg ->
+        on_bad_request msg;
+        answer (Protocol.error_response ~rid:0 ~kind:"bad-request" msg)
+      | Ok req ->
+        answer (handle req);
+        (* A shutdown request stops the daemon only after its response is
+           on the wire, so the requesting client gets its acknowledgment. *)
+        if t.stop_requested then stop t);
+      if not t.stop_requested then loop ()
+    | exception Failure msg ->
+      answer (Protocol.error_response ~rid:0 ~kind:"bad-frame" msg)
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  close_conn t fd
+
+let serve t ~handle ?(on_bad_request = fun _ -> ()) listen_fd =
+  let threads = ref [] in
+  let rec accept_loop () =
+    if not t.stop_requested then begin
+      match Unix.select [ listen_fd; t.stop_rd ] [] [] (-1.0) with
+      | readable, _, _ ->
+        if List.memq listen_fd readable && not t.stop_requested then begin
+          match Unix.accept listen_fd with
+          | fd, _ ->
+            register_conn t fd;
+            threads :=
+              Thread.create (conn_loop t ~handle ~on_bad_request) fd :: !threads
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+        end;
+        accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* Wake any connection thread blocked in read: a shutdown delivers EOF
+     (or EBADF-free error) to its pending read without closing the fd —
+     the thread still owns the close. *)
+  locked t (fun () ->
+      List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) t.conns);
+  List.iter Thread.join !threads;
+  (* Drain the stop pipe so a later serve on the same state starts clean. *)
+  let buf = Bytes.create 16 in
+  Unix.set_nonblock t.stop_rd;
+  (try
+     while Unix.read t.stop_rd buf 0 16 > 0 do
+       ()
+     done
+   with _ -> ());
+  Unix.clear_nonblock t.stop_rd;
+  t.stop_requested <- false
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.close t.stop_rd with _ -> ());
+    try Unix.close t.stop_wr with _ -> ()
+  end

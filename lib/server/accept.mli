@@ -1,0 +1,43 @@
+(** The shared accept loop: framed request connections multiplexed against a
+    self-pipe stop signal.
+
+    Both daemons speak the same wire shape — read a {!Protocol} frame,
+    decode a request, answer a response — so the single-process server
+    ({!Server}) and the fleet front door ({!Fleet}) share this loop and
+    differ only in their [handle] function. Connection handling is
+    thread-per-connection (blocking I/O on system threads); decode failures
+    and torn frames are answered with {!Protocol.error_response} and never
+    escape a connection. *)
+
+type t
+
+(** A fresh loop state (stop pipe + connection registry). *)
+val create : unit -> t
+
+(** Accept connections on [listen_fd] until {!stop} (or {!request_stop}
+    observed after a response), spawning one handler thread per connection;
+    on exit, wakes every in-flight connection and joins its thread, then
+    rearms so a later [serve] on the same [t] starts clean. Does not close
+    [listen_fd]. [handle] answers one decoded request; [on_bad_request] is
+    told about each contained decode failure. *)
+val serve :
+  t ->
+  handle:(Protocol.request -> Protocol.response) ->
+  ?on_bad_request:(string -> unit) ->
+  Unix.file_descr ->
+  unit
+
+(** Ask {!serve} to return, without waking its select: the loop stops right
+    after the response currently being written is on the wire. This is how
+    a [shutdown] request stops the daemon while still acknowledging. *)
+val request_stop : t -> unit
+
+(** Ask {!serve} to return now. Safe from any thread or signal handler;
+    idempotent. *)
+val stop : t -> unit
+
+(** True once a stop was requested. *)
+val stopping : t -> bool
+
+(** Release the stop pipe. Call after the final {!serve}. Idempotent. *)
+val close : t -> unit

@@ -8,14 +8,11 @@ let default_address () =
 let parse_addr addr =
   if String.contains addr '/' || not (String.contains addr ':') then `Unix addr
   else
-    match String.rindex_opt addr ':' with
-    | Some i -> (
-      let host = String.sub addr 0 i in
-      let port = String.sub addr (i + 1) (String.length addr - i - 1) in
-      match int_of_string_opt port with
-      | Some port -> `Tcp ((if host = "" then "127.0.0.1" else host), port)
-      | None -> `Unix addr)
-    | None -> `Unix addr
+    (* Split on the last ':' (brackets stripped) so IPv6 literals work;
+       anything that doesn't parse as HOST:PORT stays a Unix path. *)
+    match Protocol.parse_hostport addr with
+    | Ok (host, port) -> `Tcp (host, port)
+    | Error _ -> `Unix addr
 
 let connect addr =
   let fd =
@@ -65,3 +62,39 @@ let close conn = try Unix.close conn.fd with _ -> ()
 let with_connection addr f =
   let conn = connect addr in
   Fun.protect ~finally:(fun () -> close conn) (fun () -> f conn)
+
+(* --- Failover retry --- *)
+
+(* The transient errors of a worker dying under us: the connect refused
+   while the replacement rebinds, or the connection dropped mid-request.
+   Anything else (protocol violation, mismatched rid) is not retryable —
+   replaying could mask a real bug. *)
+let retryable = function
+  | Unix.Unix_error
+      ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.EPIPE
+        | Unix.ENOENT | Unix.ENOTCONN | Unix.ETIMEDOUT ),
+        _,
+        _ ) ->
+    true
+  | Failure msg ->
+    msg = "connection closed mid-frame"
+    || msg = "vrpd closed the connection without answering"
+  | _ -> false
+
+let request_retry ?(attempts = 8) ?(backoff_ms = 25) ?(seed = 0) ~addr ~op
+    ?(params = Json.Null) () =
+  let prng = Vrp_util.Prng.create (seed lxor Hashtbl.hash (addr, op)) in
+  let rec go k =
+    match with_connection addr (fun conn -> request conn ~op ~params ()) with
+    | resp -> resp
+    | exception e when retryable e && k + 1 < attempts ->
+      (* Exponential backoff with deterministic jitter, capped at ~2s: long
+         enough for a crash-replaced worker to rebind its socket, bounded
+         so a dead fleet fails fast. *)
+      let base = backoff_ms * (1 lsl min k 6) in
+      let base = min base 2000 in
+      let jitter = Vrp_util.Prng.int prng (max 1 (base / 2)) in
+      Thread.delay (float_of_int (base + jitter) /. 1000.);
+      go (k + 1)
+  in
+  go 0

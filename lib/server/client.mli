@@ -10,6 +10,12 @@ type conn
     [vrpc remote]: [vrpd.sock] in the system temp directory. *)
 val default_address : unit -> string
 
+(** How an address string is interpreted: a Unix path (contains [/] or no
+    [:]), else [HOST:PORT] split on the {e last} colon with [\[...\]]
+    brackets stripped from an IPv6 host; a string that fails to parse as
+    [HOST:PORT] falls back to a Unix path. Exposed for the tests. *)
+val parse_addr : string -> [ `Unix of string | `Tcp of string * int ]
+
 (** Connect to an address. @raise Unix.Unix_error / Failure on refusal. *)
 val connect : string -> conn
 
@@ -22,3 +28,23 @@ val close : conn -> unit
 
 (** [with_connection addr f] connects, runs [f] and always closes. *)
 val with_connection : string -> (conn -> 'a) -> 'a
+
+(** [request_retry ~addr ~op ()] sends one request on a fresh connection,
+    retrying with exponential backoff and deterministic jitter (seeded by
+    [seed], the address and the op) when the connection is refused or
+    dropped mid-request — the signature of a fleet worker being
+    crash-replaced under us. All vrpd analysis ops are idempotent, so the
+    replay against the replacement worker answers byte-identically. Retry
+    stops after [attempts] tries (default 8, backoff base [backoff_ms]
+    default 25, capped at ~2s per wait); non-transient errors — protocol
+    violations, mismatched response ids — are never retried.
+    @raise Unix.Unix_error / Failure like {!request} once out of tries. *)
+val request_retry :
+  ?attempts:int ->
+  ?backoff_ms:int ->
+  ?seed:int ->
+  addr:string ->
+  op:string ->
+  ?params:Json.t ->
+  unit ->
+  Protocol.response

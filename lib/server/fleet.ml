@@ -1,0 +1,494 @@
+(** Fleet front door: sharded routing, proxying, crash-replacement (see
+    the interface). *)
+
+module Diag = Vrp_diag.Diag
+module Supervisor = Vrp_sched.Supervisor
+
+type worker = {
+  sock : string;
+  describe : string;
+  kill : unit -> unit;
+  alive : unit -> bool;
+}
+
+type spawner = wid:int -> incarnation:int -> sock:string -> worker
+
+type settings = {
+  size : int;
+  dir : string;
+  ping_interval_ms : int;
+  ping_timeout_ms : int;
+  restarts : int;
+  retries : int;
+  retry_backoff_ms : int;
+  strict : bool;
+  fault : Diag.Fault.t option;
+}
+
+let default_settings ~dir =
+  {
+    size = 2;
+    dir;
+    ping_interval_ms = 100;
+    ping_timeout_ms = 250;
+    restarts = 3;
+    retries = 10;
+    retry_backoff_ms = 40;
+    strict = false;
+    fault = None;
+  }
+
+type counters = {
+  mutable served : int;
+  mutable contained : int;
+  mutable failovers : int;
+  mutable replaced : int;
+}
+
+type slot_state = Healthy | Replacing | Degraded
+
+type slot = {
+  wid : int;
+  sock : string;  (* fixed per slot: a replacement rebinds the same path *)
+  mutable body : worker option;
+  mutable incarnation : int;  (* bodies spawned so far *)
+  mutable state : slot_state;
+}
+
+type t = {
+  settings : settings;
+  spawner : spawner;
+  slots : slot array;
+  sup : Supervisor.t;  (* proxy retry ladder (no deadline monitor) *)
+  counters : counters;
+  report : Diag.report;
+  lock : Mutex.t;  (* counters + report + slot states + proxied count *)
+  acc : Accept.t;
+  monitor_stop : bool Atomic.t;
+  mutable monitor : Thread.t option;
+  mutable proxied : int;  (* Kill_worker fault trigger count *)
+  mutable shut : bool;
+}
+
+let settings t = t.settings
+let counters t = t.counters
+let report t = t.report
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let note t severity fmt =
+  Printf.ksprintf
+    (fun msg -> locked t (fun () -> Diag.add t.report severity Diag.Server_event msg))
+    fmt
+
+(* --- Worker liveness probes --- *)
+
+(* Started = the socket accepts a connection. No ping here: a worker
+   wedged by a Slow_worker fault still counts as started — it is the
+   health monitor's job to then catch it. *)
+let wait_listening ?(budget_ms = 10000) sock =
+  let deadline = Unix.gettimeofday () +. (float_of_int budget_ms /. 1000.) in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX sock) with
+    | () ->
+      (try Unix.close fd with _ -> ());
+      true
+    | exception _ ->
+      (try Unix.close fd with _ -> ());
+      if Unix.gettimeofday () > deadline then false
+      else begin
+        Thread.delay 0.01;
+        go ()
+      end
+  in
+  go ()
+
+(* One health check: connect, send a ping, wait for any well-formed
+   response under the read timeout. A worker that cannot answer a ping in
+   time is as good as dead for routing purposes. *)
+let ping_ok ~timeout_ms sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ok =
+    try
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      let secs = float_of_int timeout_ms /. 1000. in
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO secs;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO secs;
+      Protocol.write_frame fd
+        (Protocol.encode_request { Protocol.id = 1; op = "ping"; params = Json.Null });
+      match Protocol.read_frame fd with
+      | Some payload -> (
+        match Protocol.decode_response payload with
+        | Ok resp -> resp.Protocol.ok
+        | Error _ -> false)
+      | None -> false
+    with _ -> false
+  in
+  (try Unix.close fd with _ -> ());
+  ok
+
+(* --- Spawning and replacement --- *)
+
+let wait_dead ?(budget_ms = 5000) (w : worker) =
+  let deadline = Unix.gettimeofday () +. (float_of_int budget_ms /. 1000.) in
+  let rec go () =
+    if not (w.alive ()) then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let spawn_slot t (s : slot) =
+  let incarnation = s.incarnation in
+  s.incarnation <- incarnation + 1;
+  let w = t.spawner ~wid:s.wid ~incarnation ~sock:s.sock in
+  if not (wait_listening s.sock) then begin
+    w.kill ();
+    failwith (Printf.sprintf "worker-%d (%s) never started listening" s.wid w.describe)
+  end;
+  s.body <- Some w;
+  s.state <- Healthy
+
+(* Replacement is the middle rung of the ladder: kill what is left of the
+   old body, wait for its socket path to be reclaimable, respawn on the
+   same path. Out of restart budget → degrade the slot; under --strict a
+   degraded fleet stops serving (vrpd maps that to exit 3). *)
+let replace t (s : slot) ~why =
+  locked t (fun () -> s.state <- Replacing);
+  (match s.body with
+  | Some w ->
+    w.kill ();
+    if not (wait_dead w) then
+      note t Diag.Warning "worker-%d refused to die; replacing anyway" s.wid
+  | None -> ());
+  s.body <- None;
+  if s.incarnation > t.settings.restarts then begin
+    locked t (fun () -> s.state <- Degraded);
+    note t Diag.Warning
+      "worker-%d %s and is out of restarts (%d used); slot degraded" s.wid why
+      t.settings.restarts;
+    if t.settings.strict then Accept.stop t.acc
+  end
+  else
+    match spawn_slot t s with
+    | () ->
+      locked t (fun () -> t.counters.replaced <- t.counters.replaced + 1);
+      note t Diag.Warning "worker-%d %s; replaced (incarnation %d)" s.wid why
+        (s.incarnation - 1)
+    | exception e ->
+      locked t (fun () -> s.state <- Degraded);
+      note t Diag.Warning "worker-%d replacement failed (%s); slot degraded" s.wid
+        (Printexc.to_string e);
+      if t.settings.strict then Accept.stop t.acc
+
+let monitor_loop t () =
+  let interval = float_of_int t.settings.ping_interval_ms /. 1000. in
+  while not (Atomic.get t.monitor_stop) do
+    Array.iter
+      (fun s ->
+        if (not (Atomic.get t.monitor_stop)) && s.state = Healthy then
+          match s.body with
+          | Some w when not (w.alive ()) -> replace t s ~why:"died"
+          | Some _ when not (ping_ok ~timeout_ms:t.settings.ping_timeout_ms s.sock) ->
+            (* Unresponsive but running: a wedged daemon holds its socket,
+               so it must be killed before the slot can be rebound. *)
+            replace t s ~why:"stopped answering pings"
+          | _ -> ())
+      t.slots;
+    (* Sleep in small steps so shutdown does not wait a full interval. *)
+    let rec nap left =
+      if left > 0. && not (Atomic.get t.monitor_stop) then begin
+        Thread.delay (Float.min 0.02 left);
+        nap (left -. 0.02)
+      end
+    in
+    nap interval
+  done
+
+let create ~settings ~spawner () =
+  if settings.size < 1 then invalid_arg "Fleet.create: size must be >= 1";
+  (try Unix.mkdir settings.dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let slots =
+    Array.init settings.size (fun wid ->
+        {
+          wid;
+          sock = Filename.concat settings.dir (Printf.sprintf "worker-%d.sock" wid);
+          body = None;
+          incarnation = 0;
+          state = Replacing;
+        })
+  in
+  let t =
+    {
+      settings;
+      spawner;
+      slots;
+      sup =
+        Supervisor.create
+          ~policy:
+            {
+              Supervisor.deadline_ms = None;
+              retries = settings.retries;
+              backoff_ms = settings.retry_backoff_ms;
+            }
+          ();
+      counters = { served = 0; contained = 0; failovers = 0; replaced = 0 };
+      report = Diag.create ();
+      lock = Mutex.create ();
+      acc = Accept.create ();
+      monitor_stop = Atomic.make false;
+      monitor = None;
+      proxied = 0;
+      shut = false;
+    }
+  in
+  (match Array.iter (spawn_slot t) slots with
+  | () -> ()
+  | exception e ->
+    (* A partial fleet is torn down, not served. *)
+    Array.iter
+      (fun s ->
+        match s.body with
+        | Some w ->
+          w.kill ();
+          ignore (wait_dead w)
+        | None -> ())
+      slots;
+    raise e);
+  note t Diag.Info "fleet up: %d worker(s) in %s" settings.size settings.dir;
+  t.monitor <- Some (Thread.create (monitor_loop t) ());
+  t
+
+(* --- Routing --- *)
+
+(* The shard key prefers the most stable identity a request carries:
+   session id (all requests of a session hit one worker's warm state),
+   then file name, then the source digest, then the op. Deterministic by
+   construction — the same request always routes the same way while the
+   same slots are healthy. *)
+let route_key ~op ~params =
+  match Json.mem_string "session" params with
+  | Some sid -> "session:" ^ sid
+  | None -> (
+    match Json.mem_string "name" params with
+    | Some name -> "name:" ^ name
+    | None -> (
+      match Json.mem_string "source" params with
+      | Some source -> "source:" ^ Digest.to_hex (Digest.string source)
+      | None -> "op:" ^ op))
+
+let route t ~op ~params =
+  let key = route_key ~op ~params in
+  let d = Digest.string key in
+  let base =
+    (Char.code d.[0] lsl 16) lor (Char.code d.[1] lsl 8) lor Char.code d.[2]
+  in
+  let n = Array.length t.slots in
+  (* Linear probe past degraded slots; Replacing slots still route (their
+     socket comes back under the proxy's retry budget). *)
+  let rec probe k =
+    if k = n then failwith "all fleet workers are degraded"
+    else
+      let s = t.slots.((base + k) mod n) in
+      if s.state = Degraded then probe (k + 1) else s
+  in
+  probe 0
+
+let route_sock t ~op ~params = (route t ~op ~params).sock
+
+let degraded t =
+  Array.exists (fun s -> s.state = Degraded) t.slots
+
+(* --- The front-door handler --- *)
+
+let state_string = function
+  | Healthy -> "healthy"
+  | Replacing -> "replacing"
+  | Degraded -> "degraded"
+
+let handle_fleet_status t =
+  let c = t.counters in
+  let healthy =
+    Array.fold_left (fun n s -> if s.state = Healthy then n + 1 else n) 0 t.slots
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "fleet %s: %d worker(s), %d healthy\n" Version.version
+       (Array.length t.slots) healthy);
+  Buffer.add_string buf
+    (Printf.sprintf "requests: %d served, %d contained, %d failover(s)\n" c.served
+       c.contained c.failovers);
+  Buffer.add_string buf (Printf.sprintf "workers replaced: %d\n" c.replaced);
+  Array.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "worker-%d: %s (incarnation %d) %s\n" s.wid
+           (state_string s.state) (max 0 (s.incarnation - 1)) s.sock))
+    t.slots;
+  Buffer.add_string buf (Supervisor.counters_line t.sup ^ "\n");
+  let workers =
+    Array.to_list
+      (Array.map
+         (fun s ->
+           Json.Obj
+             [
+               ("wid", Json.Int s.wid);
+               ("state", Json.String (state_string s.state));
+               ("incarnation", Json.Int (max 0 (s.incarnation - 1)));
+               ("sock", Json.String s.sock);
+             ])
+         t.slots)
+  in
+  ( { Ops.out = Buffer.contents buf; err = ""; code = 0 },
+    [
+      ("version", Json.String Version.version);
+      ("size", Json.Int (Array.length t.slots));
+      ("healthy", Json.Int healthy);
+      ("served", Json.Int c.served);
+      ("contained", Json.Int c.contained);
+      ("failovers", Json.Int c.failovers);
+      ("replaced", Json.Int c.replaced);
+      ("workers", Json.List workers);
+    ] )
+
+let handle_ping () =
+  ( { Ops.out = ""; err = ""; code = 0 },
+    [ ("pong", Json.Bool true); ("pid", Json.Int (Unix.getpid ())) ] )
+
+let handle_shutdown t =
+  Accept.request_stop t.acc;
+  ({ Ops.out = ""; err = ""; code = 0 }, [ ("stopping", Json.Bool true) ])
+
+(* The Kill_worker chaos fault: every Nth proxied request force-kills its
+   routed worker just before forwarding — the proxy's retry ladder plus
+   the monitor's replacement must then serve it anyway. *)
+let maybe_kill_routed t (s : slot) =
+  match t.settings.fault with
+  | Some (Diag.Fault.Kill_worker n) ->
+    let fire =
+      locked t (fun () ->
+          t.proxied <- t.proxied + 1;
+          t.proxied mod n = 0)
+    in
+    if fire then begin
+      note t Diag.Warning "fault kill-worker: killing worker-%d before forwarding"
+        s.wid;
+      match s.body with Some w -> w.kill () | None -> ()
+    end
+  | _ -> ()
+
+let proxy t (req : Protocol.request) =
+  let op = req.Protocol.op and params = req.Protocol.params in
+  let first = route t ~op ~params in
+  maybe_kill_routed t first;
+  let resp =
+    Supervisor.supervise t.sup ~name:(Printf.sprintf "%s via worker-%d" op first.wid)
+      (fun token ->
+        if Diag.Cancel.attempt token > 0 then
+          locked t (fun () -> t.counters.failovers <- t.counters.failovers + 1);
+        (* Re-route each attempt: the slot may have degraded mid-retry. *)
+        let s = route t ~op ~params in
+        Client.with_connection s.sock (fun c -> Client.request c ~op ~params ()))
+  in
+  (* The worker's response passes through byte-identical; only the rid is
+     rewritten to echo the client's request id instead of the proxy's. *)
+  { resp with Protocol.rid = req.Protocol.id }
+
+let handle t (req : Protocol.request) =
+  let local (o : Ops.outcome) data =
+    {
+      Protocol.rid = req.Protocol.id;
+      ok = true;
+      code = o.Ops.code;
+      out = o.Ops.out;
+      err = o.Ops.err;
+      data;
+    }
+  in
+  let dispatch () =
+    match req.Protocol.op with
+    | "fleet-status" ->
+      let o, data = handle_fleet_status t in
+      local o data
+    | "ping" ->
+      let o, data = handle_ping () in
+      local o data
+    | "shutdown" ->
+      let o, data = handle_shutdown t in
+      local o data
+    | _ -> proxy t req
+  in
+  match dispatch () with
+  | resp ->
+    locked t (fun () -> t.counters.served <- t.counters.served + 1);
+    resp
+  | exception e ->
+    let msg =
+      match e with Failure m -> m | e -> Printexc.to_string e
+    in
+    locked t (fun () -> t.counters.contained <- t.counters.contained + 1);
+    note t Diag.Warning "%s id=%d contained: %s" req.Protocol.op req.Protocol.id msg;
+    Protocol.error_response ~rid:req.Protocol.id ~kind:"worker-unavailable" msg
+
+(* --- Serving --- *)
+
+let serve t listen_fd =
+  Accept.serve t.acc ~handle:(handle t)
+    ~on_bad_request:(fun _msg ->
+      locked t (fun () -> t.counters.contained <- t.counters.contained + 1))
+    listen_fd
+
+let stop t = Accept.stop t.acc
+let stopping t = Accept.stopping t.acc
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Atomic.set t.monitor_stop true;
+    Option.iter Thread.join t.monitor;
+    t.monitor <- None;
+    Array.iter
+      (fun s ->
+        match s.body with
+        | Some w ->
+          w.kill ();
+          ignore (wait_dead w);
+          s.body <- None
+        | None -> ())
+      t.slots;
+    Supervisor.shutdown t.sup;
+    Accept.close t.acc
+  end
+
+(* --- In-process workers (tests and bench) --- *)
+
+let in_process_spawner ?(worker_settings = Server.default_settings) () : spawner =
+ fun ~wid ~incarnation ~sock ->
+  let server = Server.create ~settings:worker_settings () in
+  let listen_fd = Server.listen_unix sock in
+  let dead = Atomic.make false in
+  let _thread =
+    Thread.create
+      (fun () ->
+        (try Server.serve server listen_fd with _ -> ());
+        (try Unix.close listen_fd with _ -> ());
+        (* Unlink before flipping [dead]: a replacement spawn that observed
+           dead=true must find the socket path reclaimable. *)
+        (try Unix.unlink sock with _ -> ());
+        (try Server.shutdown server with _ -> ());
+        Atomic.set dead true)
+      ()
+  in
+  {
+    sock;
+    describe = Printf.sprintf "in-process worker-%d.%d" wid incarnation;
+    kill = (fun () -> Server.stop server);
+    alive = (fun () -> not (Atomic.get dead));
+  }

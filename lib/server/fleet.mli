@@ -1,0 +1,114 @@
+(** Fleet mode: a front-door router over N vrpd worker daemons.
+
+    The front door speaks the same wire protocol as a single [vrpd] (same
+    {!Accept} loop), but instead of analysing, it routes each request to a
+    worker sharded by the request's session / name / source digest and
+    proxies the response back untouched — so a client of a fleet sees
+    byte-identical responses to a client of one daemon. Workers listen on
+    fixed per-slot Unix socket paths ([DIR/worker-N.sock]); a replacement
+    worker rebinds the {e same} path, which is what lets the proxy's retry
+    ladder ride out a crash without re-routing.
+
+    Containment ladder for a failing worker (extending the supervisor's
+    task ladder): the proxy retries the idempotent request against the same
+    slot under {!Vrp_sched.Supervisor.supervise} (bounded linear backoff —
+    each retry is a recorded failover) → the monitor thread, which pings
+    every worker, crash-replaces a dead or wedged one (bounded restart
+    budget per slot) → a slot out of restarts is marked degraded and
+    excluded from routing → under [strict], a degraded slot stops the
+    fleet, and [vrpd --fleet --strict] exits 3.
+
+    Worker processes are abstracted behind a {!spawner} so the tests and
+    the bench can run in-process thread workers ({!in_process_spawner})
+    while [vrpd --fleet] spawns real [vrpd] child processes. Workers share
+    one on-disk summary-cache tier when given the same [cache_dir]
+    (guarded by the cache's advisory locks).
+
+    Front-door-local operations: [fleet-status] (fleet counters and
+    per-worker state), [ping], [shutdown]. Everything else is proxied.
+
+    Fault injection: [Kill_worker n] force-kills the routed worker on
+    every [n]th proxied request just before forwarding — the request must
+    survive via retry + replacement; [Slow_worker ms] belongs in the
+    {e worker's} settings and wedges it so the ping monitor replaces it. *)
+
+module Diag = Vrp_diag.Diag
+
+(** A live worker as the fleet sees it. [kill] force-kills (idempotent);
+    [alive] must turn false only once the worker is fully torn down and
+    its socket path is reclaimable — replacement spawns wait on it. *)
+type worker = {
+  sock : string;
+  describe : string;
+  kill : unit -> unit;
+  alive : unit -> bool;
+}
+
+(** [spawner ~wid ~incarnation ~sock] starts worker [wid]'s
+    [incarnation]-th body listening on [sock] and returns its handle. *)
+type spawner = wid:int -> incarnation:int -> sock:string -> worker
+
+type settings = {
+  size : int;  (** worker count (≥ 1) *)
+  dir : string;  (** fleet directory holding the per-slot sockets *)
+  ping_interval_ms : int;  (** monitor health-check period *)
+  ping_timeout_ms : int;  (** ping read timeout before a worker counts as wedged *)
+  restarts : int;  (** per-slot replacement budget before degradation *)
+  retries : int;  (** proxy replays per request (failover budget) *)
+  retry_backoff_ms : int;  (** proxy retry base; attempt [n] sleeps [n·base] *)
+  strict : bool;  (** stop the fleet when a slot degrades *)
+  fault : Diag.Fault.t option;  (** front-door fault ([Kill_worker]) *)
+}
+
+(** 2 workers, 100ms ping interval, 250ms ping timeout, 3 restarts,
+    10 retries at 40ms base (≈2.2s failover budget), not strict. *)
+val default_settings : dir:string -> settings
+
+type counters = {
+  mutable served : int;  (** requests answered (local + proxied) *)
+  mutable contained : int;  (** requests answered by the containment wrapper *)
+  mutable failovers : int;  (** proxy replays after a dropped/refused attempt *)
+  mutable replaced : int;  (** workers crash-replaced by the monitor *)
+}
+
+type t
+
+(** Create the fleet directory, spawn the workers, wait until every socket
+    accepts, and start the ping monitor.
+    @raise Failure if a worker never starts listening. *)
+val create : settings:settings -> spawner:spawner -> unit -> t
+
+val settings : t -> settings
+val counters : t -> counters
+
+(** Fleet-lifecycle diagnostics ([Server_event] entries). *)
+val report : t -> Diag.report
+
+(** The worker socket path a request with these [op]/[params] routes to
+    right now. Exposed for the tests (routing determinism). *)
+val route_sock : t -> op:string -> params:Json.t -> string
+
+(** True once any slot has exhausted its restart budget. Under [strict]
+    this also stops {!serve}; [vrpd --fleet] maps it to exit 3. *)
+val degraded : t -> bool
+
+(** Handle one request — route, proxy, contain — independent of any
+    socket. The seam the tests and the bench drive in-process. *)
+val handle : t -> Protocol.request -> Protocol.response
+
+(** Accept and serve connections until {!stop} (or a [shutdown] request).
+    Same contract as {!Server.serve}. *)
+val serve : t -> Unix.file_descr -> unit
+
+val stop : t -> unit
+val stopping : t -> bool
+
+(** Stop the monitor, kill every worker and wait for teardown, release the
+    accept state. Idempotent. *)
+val shutdown : t -> unit
+
+(** A spawner running each worker as a {!Server.t} on a thread inside this
+    process — the tests' and bench's stand-in for [vrpd] child processes.
+    [worker_settings] configures each spawned server (e.g. a shared
+    [cache_dir], or a [Slow_worker] fault). *)
+val in_process_spawner : ?worker_settings:Server.settings -> unit -> spawner

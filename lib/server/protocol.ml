@@ -131,3 +131,27 @@ let error_response ~rid ~kind msg =
             ] );
       ];
   }
+
+(* --- Address parsing (shared by vrpd --listen and the TCP client) --- *)
+
+let parse_hostport addr =
+  match String.rindex_opt addr ':' with
+  | None ->
+    Error (Printf.sprintf "address %S has no port; want HOST:PORT" addr)
+  | Some i -> (
+    let host = String.sub addr 0 i in
+    let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+    match int_of_string_opt port with
+    | None ->
+      Error (Printf.sprintf "address %S: port %S is not an integer" addr port)
+    | Some p when p < 0 || p > 65535 ->
+      Error (Printf.sprintf "address %S: port %d is out of range 0..65535" addr p)
+    | Some p ->
+      let host =
+        let n = String.length host in
+        (* [v6]:port — unwrap the brackets getaddrinfo does not expect. *)
+        if n >= 2 && host.[0] = '[' && host.[n - 1] = ']' then
+          String.sub host 1 (n - 2)
+        else host
+      in
+      Ok ((if host = "" then "127.0.0.1" else host), p))

@@ -51,3 +51,11 @@ val decode_response : string -> (response, string) result
     same severity a crashed batch file reports), with the diagnostic both
     in [err] (one [vrpd: ...] line) and in [data.diagnostic]. *)
 val error_response : rid:int -> kind:string -> string -> response
+
+(** Parse a TCP address of the form [HOST:PORT], splitting on the {e last}
+    colon so IPv6 literals ([::1:9090]) and hosts containing colons keep
+    working; a bracketed host ([\[::1\]:9090]) is unwrapped, an empty host
+    defaults to [127.0.0.1], and the port must be an integer in
+    [0..65535]. Errors name the part that failed, not just the expected
+    shape. *)
+val parse_hostport : string -> (string * int, string) result

@@ -12,9 +12,10 @@ type settings = {
   jobs : int;
   deadline_ms : int option;
   fault : Diag.Fault.t option;
+  cache_dir : string option;
 }
 
-let default_settings = { jobs = 1; deadline_ms = None; fault = None }
+let default_settings = { jobs = 1; deadline_ms = None; fault = None; cache_dir = None }
 
 type counters = {
   mutable served : int;
@@ -30,16 +31,12 @@ type t = {
   sessions : Session.t;
   counters : counters;
   report : Diag.report;
-  state_lock : Mutex.t;  (* counters + report + connection registry *)
-  mutable stop_requested : bool;
-  stop_rd : Unix.file_descr;
-  stop_wr : Unix.file_descr;
-  mutable conns : Unix.file_descr list;
+  state_lock : Mutex.t;  (* counters + report *)
+  acc : Accept.t;
   mutable shut : bool;
 }
 
 let create ?(settings = default_settings) () =
-  let stop_rd, stop_wr = Unix.pipe () in
   {
     settings;
     pool = Pool.create ~jobs:settings.jobs ();
@@ -52,15 +49,12 @@ let create ?(settings = default_settings) () =
             retries = 0;
           }
         ();
-    cache = Summary_cache.create ();
+    cache = Summary_cache.create ?disk_dir:settings.cache_dir ();
     sessions = Session.create ();
     counters = { served = 0; contained = 0; cancelled = 0 };
     report = Diag.create ();
     state_lock = Mutex.create ();
-    stop_requested = false;
-    stop_rd;
-    stop_wr;
-    conns = [];
+    acc = Accept.create ();
     shut = false;
   }
 
@@ -270,8 +264,12 @@ let handle_evict t =
   ( { Ops.out = Printf.sprintf "evicted %d cached summaries\n" n; err = ""; code = 0 },
     [ ("evicted", Json.Int n) ] )
 
+let handle_ping () =
+  ( { Ops.out = ""; err = ""; code = 0 },
+    [ ("pong", Json.Bool true); ("pid", Json.Int (Unix.getpid ())) ] )
+
 let handle_shutdown t =
-  t.stop_requested <- true;
+  Accept.request_stop t.acc;
   ({ Ops.out = ""; err = ""; code = 0 }, [ ("stopping", Json.Bool true) ])
 
 (* --- Dispatch + per-request containment --- *)
@@ -282,6 +280,11 @@ let note t severity fmt =
     fmt
 
 let handle t (req : Protocol.request) =
+  (* A slow-worker fault wedges every request this daemon handles — pings
+     included — so a fleet's health check sees it as hung. *)
+  (match t.settings.fault with
+  | Some (Diag.Fault.Slow_worker ms) -> Thread.delay (float_of_int ms /. 1000.)
+  | _ -> ());
   let dispatch () =
     match req.Protocol.op with
     | "predict" -> handle_predict t req.Protocol.params
@@ -290,6 +293,7 @@ let handle t (req : Protocol.request) =
     | "batch" -> handle_batch t req.Protocol.params
     | "status" -> handle_status t
     | "evict" -> handle_evict t
+    | "ping" -> handle_ping ()
     | "shutdown" -> handle_shutdown t
     | op -> failwith (Printf.sprintf "unknown op %S" op)
   in
@@ -322,7 +326,24 @@ let handle t (req : Protocol.request) =
 
 let listen_unix path =
   (match Unix.lstat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    (* Probe before reclaiming: a connect that succeeds means a live daemon
+       is serving this path, and stealing it would silently split traffic
+       between two servers. Only a refused connection marks it stale. *)
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect probe (Unix.ADDR_UNIX path) with
+    | () ->
+      (try Unix.close probe with _ -> ());
+      failwith
+        (Printf.sprintf
+           "%s is already served by a live daemon; stop it first or pick another socket path"
+           path)
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+      (try Unix.close probe with _ -> ());
+      (try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ())
+    | exception e ->
+      (try Unix.close probe with _ -> ());
+      raise e)
   | _ -> ()
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -342,81 +363,14 @@ let listen_tcp ~host ~port =
   Unix.listen fd 64;
   fd
 
-let stop t =
-  t.stop_requested <- true;
-  (* Wake the accept loop; EAGAIN on a full pipe is as good as a byte. *)
-  try ignore (Unix.write t.stop_wr (Bytes.of_string "x") 0 1) with _ -> ()
-
-let stopping t = t.stop_requested
-
-let register_conn t fd = locked t (fun () -> t.conns <- fd :: t.conns)
-
-let close_conn t fd =
-  locked t (fun () ->
-      if List.memq fd t.conns then begin
-        t.conns <- List.filter (fun f -> f != fd) t.conns;
-        try Unix.close fd with _ -> ()
-      end)
-
-let conn_loop t fd =
-  let answer resp =
-    try Protocol.write_frame fd (Protocol.encode_response resp) with _ -> ()
-  in
-  let rec loop () =
-    match Protocol.read_frame fd with
-    | None -> ()
-    | Some payload ->
-      (match Protocol.decode_request payload with
-      | Error msg ->
-        locked t (fun () -> t.counters.contained <- t.counters.contained + 1);
-        answer (Protocol.error_response ~rid:0 ~kind:"bad-request" msg)
-      | Ok req ->
-        answer (handle t req);
-        (* A shutdown request stops the daemon only after its response is
-           on the wire, so the requesting client gets its acknowledgment. *)
-        if t.stop_requested then stop t);
-      if not t.stop_requested then loop ()
-    | exception Failure msg ->
-      answer (Protocol.error_response ~rid:0 ~kind:"bad-frame" msg)
-    | exception Unix.Unix_error _ -> ()
-  in
-  loop ();
-  close_conn t fd
+let stop t = Accept.stop t.acc
+let stopping t = Accept.stopping t.acc
 
 let serve t listen_fd =
-  let threads = ref [] in
-  let rec accept_loop () =
-    if not t.stop_requested then begin
-      match Unix.select [ listen_fd; t.stop_rd ] [] [] (-1.0) with
-      | readable, _, _ ->
-        if List.memq listen_fd readable && not t.stop_requested then begin
-          match Unix.accept listen_fd with
-          | fd, _ ->
-            register_conn t fd;
-            threads := Thread.create (conn_loop t) fd :: !threads
-          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
-        end;
-        accept_loop ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-    end
-  in
-  accept_loop ();
-  (* Wake any connection thread blocked in read: a shutdown delivers EOF
-     (or EBADF-free error) to its pending read without closing the fd —
-     the thread still owns the close. *)
-  locked t (fun () ->
-      List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) t.conns);
-  List.iter Thread.join !threads;
-  (* Drain the stop pipe so a later serve on the same server starts clean. *)
-  let buf = Bytes.create 16 in
-  Unix.set_nonblock t.stop_rd;
-  (try
-     while Unix.read t.stop_rd buf 0 16 > 0 do
-       ()
-     done
-   with _ -> ());
-  Unix.clear_nonblock t.stop_rd;
-  t.stop_requested <- false
+  Accept.serve t.acc ~handle:(handle t)
+    ~on_bad_request:(fun _msg ->
+      locked t (fun () -> t.counters.contained <- t.counters.contained + 1))
+    listen_fd
 
 let shutdown t =
   if not t.shut then begin
@@ -424,6 +378,5 @@ let shutdown t =
     Pool.shutdown t.pool;
     Supervisor.shutdown t.sup;
     Summary_cache.close t.cache;
-    (try Unix.close t.stop_rd with _ -> ());
-    try Unix.close t.stop_wr with _ -> ()
+    Accept.close t.acc
   end

@@ -15,9 +15,11 @@
     exit-code-2 semantics. Nothing a request does kills the daemon.
 
     Operations ([op] field): [predict], [analyze] (session-scoped
-    incremental predict), [compare], [batch], [status], [evict],
-    [shutdown]. The analysis operations answer the byte-identical stdout
-    of the corresponding one-shot CLI command (same {!Ops} code path). *)
+    incremental predict), [compare], [batch], [status], [evict], [ping]
+    (liveness probe answering [pong] plus the daemon's pid — the fleet's
+    health check), [shutdown]. The analysis operations answer the
+    byte-identical stdout of the corresponding one-shot CLI command (same
+    {!Ops} code path). *)
 
 module Diag = Vrp_diag.Diag
 
@@ -26,10 +28,14 @@ type settings = {
   deadline_ms : int option;  (** per-request analysis deadline *)
   fault : Diag.Fault.t option;
       (** daemon-wide injected fault, same specs as [--inject-fault]; a
-          per-request [fault] param overrides it *)
+          per-request [fault] param overrides it. [Slow_worker ms] here
+          wedges every request (pings included) by [ms] milliseconds. *)
+  cache_dir : string option;
+      (** disk tier for the server-wide summary cache; fleet workers point
+          at the same directory and share it via its advisory locks *)
 }
 
-(** [jobs = 1], no deadline, no fault. *)
+(** [jobs = 1], no deadline, no fault, memory-only cache. *)
 val default_settings : settings
 
 type counters = {
@@ -52,7 +58,10 @@ val report : t -> Diag.report
     drive in-process. *)
 val handle : t -> Protocol.request -> Protocol.response
 
-(** Bind a Unix-domain listener, replacing any stale socket file. *)
+(** Bind a Unix-domain listener. A socket file already at the path is
+    connect-probed first: if a live daemon answers, this fails with a clear
+    error instead of stealing the path; only a refused connection marks the
+    file stale and reclaims it. *)
 val listen_unix : string -> Unix.file_descr
 
 (** Bind a TCP listener ([SO_REUSEADDR]). *)

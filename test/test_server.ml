@@ -16,8 +16,13 @@ module Ops = Vrp_server.Ops
 module Session = Vrp_server.Session
 module Server = Vrp_server.Server
 module Client = Vrp_server.Client
+module Fleet = Vrp_server.Fleet
 
 let tc = Alcotest.test_case
+
+(* Fleet chaos tests write into sockets of freshly killed workers; like
+   the daemons themselves, the harness must see EPIPE, not die of SIGPIPE. *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
 (* --- JSON codec --- *)
 
@@ -472,6 +477,349 @@ let version_matches_dune_project () =
   end
   else Alcotest.(check bool) "version non-empty" true (Vrp_server.Version.version <> "")
 
+(* --- Address parsing (last-colon split; IPv6 literals) --- *)
+
+let parse_hostport_units () =
+  let check_ok addr want =
+    match Protocol.parse_hostport addr with
+    | Ok got -> Alcotest.(check (pair string int)) addr want got
+    | Error msg -> Alcotest.failf "%s rejected: %s" addr msg
+  in
+  check_ok "127.0.0.1:7001" ("127.0.0.1", 7001);
+  check_ok ":7001" ("127.0.0.1", 7001);
+  check_ok "example.test:80" ("example.test", 80);
+  (* The port is whatever follows the *last* colon, so IPv6 literals and
+     colon-ridden hosts survive; brackets are stripped. *)
+  check_ok "[::1]:7001" ("::1", 7001);
+  check_ok "::1:7001" ("::1", 7001);
+  check_ok "fe80::2:9000" ("fe80::2", 9000);
+  List.iter
+    (fun addr ->
+      match Protocol.parse_hostport addr with
+      | Error _ -> ()
+      | Ok (h, p) -> Alcotest.failf "%s accepted as %s:%d" addr h p)
+    [ "noport"; "host:"; "host:x"; "host:-1"; "host:65536"; "[::1]" ]
+
+let client_parse_addr_units () =
+  let addr = Alcotest.testable
+      (fun ppf -> function
+        | `Unix p -> Format.fprintf ppf "unix:%s" p
+        | `Tcp (h, p) -> Format.fprintf ppf "tcp:%s:%d" h p)
+      ( = )
+  in
+  let check name want got = Alcotest.check addr name want got in
+  check "unix by slash" (`Unix "/tmp/vrpd.sock") (Client.parse_addr "/tmp/vrpd.sock");
+  check "unix by no colon" (`Unix "vrpd.sock") (Client.parse_addr "vrpd.sock");
+  check "tcp" (`Tcp ("localhost", 7001)) (Client.parse_addr "localhost:7001");
+  check "tcp ipv6" (`Tcp ("::1", 7001)) (Client.parse_addr "[::1]:7001");
+  (* A colon-bearing string that is not HOST:PORT stays a Unix path. *)
+  check "fallback" (`Unix "weird:name") (Client.parse_addr "weird:name")
+
+let fault_spec_units () =
+  (match Diag.Fault.parse "kill-worker:12" with
+  | Ok (Diag.Fault.Kill_worker 12) -> ()
+  | _ -> Alcotest.fail "kill-worker:12 did not parse");
+  (match Diag.Fault.parse "slow-worker:600" with
+  | Ok (Diag.Fault.Slow_worker 600) -> ()
+  | _ -> Alcotest.fail "slow-worker:600 did not parse");
+  List.iter
+    (fun spec ->
+      match Diag.Fault.parse spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %s" spec)
+    [ "kill-worker:0"; "kill-worker:"; "slow-worker:x" ];
+  Alcotest.(check string) "round-trip" "kill-worker:3"
+    (Diag.Fault.to_string (Diag.Fault.Kill_worker 3))
+
+(* --- Socket hygiene: live daemons are not stolen, stale files are --- *)
+
+let listen_unix_live_probe () =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vrpd-probe-%d.sock" (Unix.getpid ()))
+  in
+  with_server (fun server ->
+      let listen_fd = Server.listen_unix sock in
+      let th = Thread.create (fun () -> Server.serve server listen_fd) () in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop server;
+          Thread.join th;
+          (try Unix.close listen_fd with _ -> ());
+          try Sys.remove sock with _ -> ())
+        (fun () ->
+          (* The path is a live daemon: binding again must refuse, and the
+             daemon must still answer afterwards. *)
+          (match Server.listen_unix sock with
+          | fd ->
+            (try Unix.close fd with _ -> ());
+            Alcotest.fail "listen_unix stole a live daemon's socket"
+          | exception Failure msg ->
+            Alcotest.(check bool) "clear error" true
+              (Astring.String.is_infix ~affix:"live daemon" msg));
+          Client.with_connection sock (fun conn ->
+              let resp = Client.request conn ~op:"ping" () in
+              Alcotest.(check bool) "daemon survived the probe" true resp.Protocol.ok)));
+  (* A stale socket file (bound once, daemon gone) is reclaimed. *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX sock);
+  Unix.close fd;
+  let fd2 = Server.listen_unix sock in
+  (try Unix.close fd2 with _ -> ());
+  try Sys.remove sock with _ -> ()
+
+(* --- Ping --- *)
+
+let ping_op () =
+  with_server (fun server ->
+      let resp = Server.handle server { Protocol.id = 7; op = "ping"; params = Json.Null } in
+      Alcotest.(check bool) "ok" true resp.Protocol.ok;
+      Alcotest.(check int) "rid echo" 7 resp.Protocol.rid;
+      Alcotest.(check (option bool)) "pong" (Some true)
+        (List.assoc_opt "pong" resp.Protocol.data |> Option.map (fun v -> v = Json.Bool true));
+      Alcotest.(check (option int)) "pid" (Some (Unix.getpid ()))
+        (Option.bind (List.assoc_opt "pid" resp.Protocol.data) Json.get_int))
+
+(* --- TCP round trip: the same wire suite over listen_tcp --- *)
+
+let tcp_wire_round_trip () =
+  with_server ~settings:{ Server.default_settings with Server.jobs = 2 }
+    (fun server ->
+      let listen_fd = Server.listen_tcp ~host:"127.0.0.1" ~port:0 in
+      let port =
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, port) -> port
+        | _ -> Alcotest.fail "listen_tcp did not bind an inet address"
+      in
+      let th = Thread.create (fun () -> Server.serve server listen_fd) () in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop server;
+          Thread.join th;
+          try Unix.close listen_fd with _ -> ())
+        (fun () ->
+          let addr = Printf.sprintf "127.0.0.1:%d" port in
+          Client.with_connection addr (fun conn ->
+              List.iter
+                (fun (name, source) ->
+                  let want = Ops.predict ~opts:Ops.default_opts ~source () in
+                  let resp =
+                    Client.request conn ~op:"predict"
+                      ~params:
+                        (Json.Obj
+                           [ ("source", Json.String source); ("name", Json.String name) ])
+                      ()
+                  in
+                  Alcotest.(check string) (name ^ " tcp stdout") want.Ops.out
+                    resp.Protocol.out;
+                  Alcotest.(check int) (name ^ " tcp code") want.Ops.code
+                    resp.Protocol.code)
+                (corpus_sources ());
+              let resp = Client.request conn ~op:"shutdown" () in
+              Alcotest.(check bool) "tcp shutdown ok" true resp.Protocol.ok)))
+
+(* --- Client failover retry --- *)
+
+let request_retry_failover () =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vrpd-retry-%d.sock" (Unix.getpid ()))
+  in
+  (try Sys.remove sock with _ -> ());
+  (* The daemon comes up only after the client has started retrying — the
+     connection-refused window a crash-replaced worker presents. *)
+  let server = Server.create () in
+  let listen_fd = ref Unix.stdin in
+  let th =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.3;
+        listen_fd := Server.listen_unix sock;
+        Server.serve server !listen_fd)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join th;
+      (try Unix.close !listen_fd with _ -> ());
+      Server.shutdown server;
+      try Sys.remove sock with _ -> ())
+    (fun () ->
+      let resp = Client.request_retry ~addr:sock ~op:"ping" () in
+      Alcotest.(check bool) "retry reached the late daemon" true resp.Protocol.ok);
+  (* Out of tries against nothing at all: the last error propagates. *)
+  match Client.request_retry ~attempts:2 ~backoff_ms:1 ~addr:sock ~op:"ping" () with
+  | _ -> Alcotest.fail "request_retry succeeded against no daemon"
+  | exception (Unix.Unix_error _ | Failure _) -> ()
+
+(* --- Fleet: routing, status, failover under worker kills, wedge --- *)
+
+let fleet_dir tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "vrp-fleet-%s-%d" tag (Unix.getpid ()))
+
+let with_fleet ~tag ?worker_settings settings_of f =
+  let dir = fleet_dir tag in
+  let settings = settings_of (Fleet.default_settings ~dir) in
+  let fleet =
+    Fleet.create ~settings ~spawner:(Fleet.in_process_spawner ?worker_settings ()) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Fleet.shutdown fleet;
+      try Unix.rmdir dir with _ -> ())
+    (fun () -> f fleet)
+
+let fleet_routing_and_status () =
+  with_fleet ~tag:"route"
+    (fun s -> { s with Fleet.size = 2 })
+    (fun fleet ->
+      (* Routing is deterministic and session-sticky. *)
+      let params = Json.Obj [ ("session", Json.String "edit") ] in
+      let s1 = Fleet.route_sock fleet ~op:"analyze" ~params in
+      let s2 = Fleet.route_sock fleet ~op:"analyze" ~params in
+      Alcotest.(check string) "stable shard" s1 s2;
+      (* A proxied predict answers the one-shot bytes. *)
+      let qsort = bench_source "qsort" in
+      let want = Ops.predict ~opts:Ops.default_opts ~source:qsort () in
+      let resp = Fleet.handle fleet (predict_req ~id:3 ~name:"qsort.mc" qsort) in
+      Alcotest.(check bool) "proxied ok" true resp.Protocol.ok;
+      Alcotest.(check int) "proxied rid rewritten" 3 resp.Protocol.rid;
+      Alcotest.(check string) "proxied bytes" want.Ops.out resp.Protocol.out;
+      (* fleet-status is answered by the front door itself. *)
+      let st = Fleet.handle fleet { Protocol.id = 4; op = "fleet-status"; params = Json.Null } in
+      Alcotest.(check bool) "status ok" true st.Protocol.ok;
+      Alcotest.(check (option int)) "size" (Some 2)
+        (Option.bind (List.assoc_opt "size" st.Protocol.data) Json.get_int);
+      Alcotest.(check (option int)) "healthy" (Some 2)
+        (Option.bind (List.assoc_opt "healthy" st.Protocol.data) Json.get_int);
+      (match List.assoc_opt "workers" st.Protocol.data with
+      | Some (Json.List ws) -> Alcotest.(check int) "worker rows" 2 (List.length ws)
+      | _ -> Alcotest.fail "no workers list"))
+
+(* The acceptance scenario: a fleet front door on a live socket, 16
+   concurrent clients, the kill-worker fault firing repeatedly mid-run.
+   Zero requests may be lost, every response must carry the one-shot CLI's
+   exact bytes, and fleet-status must report the replacements. *)
+let fleet_kill_failover_16_clients () =
+  let qsort = bench_source "qsort" and sieve = bench_source "sieve" in
+  let want_q = Ops.predict ~opts:Ops.default_opts ~source:qsort () in
+  let want_s = Ops.predict ~opts:Ops.default_opts ~source:sieve () in
+  with_fleet ~tag:"chaos"
+    (fun s ->
+      {
+        s with
+        Fleet.size = 3;
+        ping_interval_ms = 50;
+        fault = Some (Diag.Fault.Kill_worker 8);
+      })
+    (fun fleet ->
+      let front = Filename.concat (Fleet.settings fleet).Fleet.dir "front.sock" in
+      let listen_fd = Server.listen_unix front in
+      let th = Thread.create (fun () -> Fleet.serve fleet listen_fd) () in
+      Fun.protect
+        ~finally:(fun () ->
+          Fleet.stop fleet;
+          Thread.join th;
+          (try Unix.close listen_fd with _ -> ());
+          try Sys.remove front with _ -> ())
+        (fun () ->
+          let n_clients = 16 and per_client = 2 in
+          let results = Array.make (n_clients * per_client) None in
+          let threads =
+            List.init n_clients (fun i ->
+                Thread.create
+                  (fun () ->
+                    for j = 0 to per_client - 1 do
+                      let idx = (i * per_client) + j in
+                      let name, src =
+                        if idx mod 2 = 0 then ("qsort.mc", qsort) else ("sieve.mc", sieve)
+                      in
+                      let resp =
+                        Client.request_retry ~seed:idx ~addr:front ~op:"predict"
+                          ~params:
+                            (Json.Obj
+                               [ ("source", Json.String src); ("name", Json.String name) ])
+                          ()
+                      in
+                      results.(idx) <- Some resp
+                    done)
+                  ())
+          in
+          List.iter Thread.join threads;
+          Array.iteri
+            (fun idx resp ->
+              match resp with
+              | None -> Alcotest.failf "request %d lost under churn" idx
+              | Some (resp : Protocol.response) ->
+                let want = if idx mod 2 = 0 then want_q else want_s in
+                Alcotest.(check bool) (Printf.sprintf "ok %d" idx) true resp.Protocol.ok;
+                Alcotest.(check string)
+                  (Printf.sprintf "stdout %d byte-identical" idx)
+                  want.Ops.out resp.Protocol.out;
+                Alcotest.(check string)
+                  (Printf.sprintf "stderr %d" idx)
+                  want.Ops.err resp.Protocol.err;
+                Alcotest.(check int) (Printf.sprintf "code %d" idx) want.Ops.code
+                  resp.Protocol.code)
+            results;
+          (* 32 proxied requests with kill-worker:8 fired 4 kills; the
+             supervisor must have replaced workers and reported it. *)
+          let st = Client.request_retry ~addr:front ~op:"fleet-status" () in
+          let n k = Option.bind (List.assoc_opt k st.Protocol.data) Json.get_int in
+          Alcotest.(check bool) "workers replaced" true
+            (match n "replaced" with Some r -> r >= 1 | None -> false);
+          Alcotest.(check bool) "failovers recorded" true
+            (match n "failovers" with Some f -> f >= 1 | None -> false);
+          let c = Fleet.counters fleet in
+          Alcotest.(check int) "nothing contained" 0 c.Fleet.contained))
+
+(* Wedged workers: every incarnation is slowed past the ping timeout, so
+   the monitor replaces each slot until its restart budget is gone and the
+   slot degrades; a fully degraded fleet contains requests instead of
+   hanging them. *)
+let fleet_wedged_worker_degrades () =
+  with_fleet ~tag:"wedge"
+    ~worker_settings:
+      { Server.default_settings with Server.fault = Some (Diag.Fault.Slow_worker 600) }
+    (fun s ->
+      {
+        s with
+        Fleet.size = 2;
+        ping_interval_ms = 60;
+        ping_timeout_ms = 150;
+        restarts = 1;
+        retries = 2;
+        retry_backoff_ms = 20;
+      })
+    (fun fleet ->
+      let deadline = Unix.gettimeofday () +. 20.0 in
+      while (not (Fleet.degraded fleet)) && Unix.gettimeofday () < deadline do
+        Thread.delay 0.05
+      done;
+      Alcotest.(check bool) "wedged slots degraded" true (Fleet.degraded fleet);
+      (* Give the monitor time to walk every slot to degradation. *)
+      let all_degraded () =
+        match
+          Fleet.handle fleet { Protocol.id = 1; op = "fleet-status"; params = Json.Null }
+        with
+        | st -> (
+          match Option.bind (List.assoc_opt "healthy" st.Protocol.data) Json.get_int with
+          | Some 0 -> true
+          | _ -> false)
+      in
+      while (not (all_degraded ())) && Unix.gettimeofday () < deadline do
+        Thread.delay 0.05
+      done;
+      Alcotest.(check bool) "every slot degraded" true (all_degraded ());
+      let c = Fleet.counters fleet in
+      Alcotest.(check bool) "replacements were attempted" true (c.Fleet.replaced >= 1);
+      (* Routing with no healthy workers contains, it does not hang. *)
+      let resp = Fleet.handle fleet (predict_req ~id:9 ~name:"x.mc" "int main(){ return 0; }") in
+      Alcotest.(check bool) "contained" false resp.Protocol.ok;
+      Alcotest.(check int) "exit-code-2 semantics" 2 resp.Protocol.code)
+
 let suite =
   ( "server",
     [
@@ -490,4 +838,14 @@ let suite =
       tc "interproc beat demotes between functions" `Quick beat_demotes_between_functions;
       tc "status, evict, unknown op" `Quick status_and_evict;
       tc "version single-sourced" `Quick version_matches_dune_project;
+      tc "parse_hostport last-colon + ipv6" `Quick parse_hostport_units;
+      tc "client parse_addr" `Quick client_parse_addr_units;
+      tc "fault specs kill/slow-worker" `Quick fault_spec_units;
+      tc "listen_unix live-daemon probe" `Quick listen_unix_live_probe;
+      tc "ping op" `Quick ping_op;
+      tc "tcp wire round-trip + shutdown" `Quick tcp_wire_round_trip;
+      tc "request_retry failover" `Quick request_retry_failover;
+      tc "fleet routing + fleet-status" `Quick fleet_routing_and_status;
+      tc "fleet kill-worker failover, 16 clients" `Quick fleet_kill_failover_16_clients;
+      tc "fleet wedged workers degrade" `Quick fleet_wedged_worker_degrades;
     ] )

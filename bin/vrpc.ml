@@ -205,8 +205,11 @@ let print_outcome (o : Ops.outcome) =
   prerr_string o.Ops.err;
   if o.Ops.code <> 0 then exit o.Ops.code
 
-let opts_of ?(jobs = 1) numeric (diagnostics, strict, fault) =
-  { Ops.default_opts with Ops.numeric; jobs; diagnostics; strict; fault }
+let opts_of ?(jobs = 1) ?model numeric (diagnostics, strict, fault) =
+  let model =
+    match model with Some path -> Ops.Model_file path | None -> Ops.No_model
+  in
+  { Ops.default_opts with Ops.numeric; jobs; diagnostics; strict; fault; model }
 
 (* Resolve the input source, mapping selection errors to exit 2. *)
 let with_loaded file bench k =
@@ -216,9 +219,9 @@ let with_loaded file bench k =
     exit 2
   | Ok source -> k source
 
-let predict file bench numeric jobs dopts =
+let predict file bench numeric jobs model dopts =
   with_loaded file bench (fun source ->
-      print_outcome (Ops.predict ~opts:(opts_of ~jobs numeric dopts) ~source ()))
+      print_outcome (Ops.predict ~opts:(opts_of ~jobs ?model numeric dopts) ~source ()))
 
 let run file bench args =
   with_source file bench (fun c ->
@@ -235,10 +238,10 @@ let run file bench args =
         Printf.printf "trap: %s\n" msg;
         exit 1)
 
-let compare file bench train_args ref_args dopts =
+let compare file bench train_args ref_args model dopts =
   with_loaded file bench (fun source ->
       print_outcome
-        (Ops.compare_predictors ~opts:(opts_of false dopts) ~train:train_args
+        (Ops.compare_predictors ~opts:(opts_of ?model false dopts) ~train:train_args
            ~ref_args ~source ()))
 
 let optimize file bench numeric dopts =
@@ -495,6 +498,127 @@ let list_benchmarks () =
 let args_pair ~names ~doc ~default =
   Arg.(value & opt (pair ~sep:',' int int) default & info names ~docv:"N,SEED" ~doc)
 
+(* --- train / predict --model: the learned fallback predictor --- *)
+
+let model_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "model" ] ~docv:"FILE"
+        ~doc:
+          "Learned fallback model (.vrpmodel): branches whose range the \
+           analysis cannot decide are predicted by it instead of the \
+           Ball–Larus heuristics. A file that fails to load or verify is a \
+           $(b,model-error) diagnostic and the run degrades back to \
+           Ball–Larus.")
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* lib/learn/default_model.ml is generated: the model bytes as an OCaml
+   string literal, so the default model is compiled into every consumer. *)
+let emit_ml_module bytes =
+  String.concat "\n"
+    [
+      "(* The committed default model, embedded as a string. Regenerated by";
+      "   [vrpc train --emit-ml] from the pinned seed — do not edit by hand; CI's";
+      "   train-smoke job diffs this module against a fresh training run and";
+      "   against models/default.vrpmodel. *)";
+      "";
+      Printf.sprintf "let data = \"%s\"" (String.escaped bytes);
+      "";
+    ]
+
+let resolve_profile name =
+  match Vrp_fuzz.Gen.profile_named name with
+  | Some p -> p
+  | None ->
+    prerr_endline
+      (Printf.sprintf "vrpc: unknown fuzz profile %S; available: %s" name
+         (String.concat ", "
+            (List.map
+               (fun (p : Vrp_fuzz.Gen.profile) -> p.Vrp_fuzz.Gen.pname)
+               Vrp_fuzz.Gen.profiles)));
+    exit 2
+
+let train seed count profile depth min_leaf jobs out emit_ml =
+  let module Dataset = Vrp_learn.Dataset in
+  let module Tree = Vrp_learn.Tree in
+  let profile =
+    match profile with
+    | None -> Dataset.default_profile
+    | Some name -> resolve_profile name
+  in
+  let ds = Dataset.build ~jobs ~profile ~seed ~count () in
+  let model = Tree.train ~depth ~min_leaf ds in
+  Printf.printf "corpus: seed %d, profile %s, %d program(s) (%d compiled), %d sample(s)\n"
+    ds.Dataset.seed ds.Dataset.profile ds.Dataset.count ds.Dataset.programs
+    (Array.length ds.Dataset.samples);
+  Printf.printf "corpus digest: %s\n" ds.Dataset.digest;
+  Printf.printf "model: depth %d (fitted %d), min-leaf %d, %d node(s)\n" depth
+    (Tree.node_depth model.Tree.root) min_leaf
+    (Tree.node_count model.Tree.root);
+  Printf.printf "model digest: %s\n" (Tree.digest model);
+  let bytes = Tree.to_string model in
+  (match out with
+  | Some path ->
+    write_file path bytes;
+    Printf.printf "wrote %s\n" path
+  | None -> ());
+  match emit_ml with
+  | Some path ->
+    write_file path (emit_ml_module bytes);
+    Printf.printf "wrote %s\n" path
+  | None -> ()
+
+let train_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Corpus seed; fixes every generated program, hence (with --count \
+           and --profile) the corpus digest and the model bytes.")
+
+let train_count_arg =
+  Arg.(
+    value & opt int 300
+    & info [ "count" ] ~docv:"N" ~doc:"Programs to generate for the corpus.")
+
+let train_profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"NAME"
+        ~doc:"Corpus generation profile. Default: $(b,features).")
+
+let train_depth_arg =
+  Arg.(
+    value & opt int 7
+    & info [ "depth" ] ~docv:"N" ~doc:"Maximum tree depth.")
+
+let train_min_leaf_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "min-leaf" ] ~docv:"N" ~doc:"Minimum training samples per leaf.")
+
+let train_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Write the trained .vrpmodel to $(docv).")
+
+let train_emit_ml_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-ml" ] ~docv:"FILE"
+        ~doc:
+          "Also write the model as the generated OCaml module embedding the \
+           default model (lib/learn/default_model.ml).")
+
 (* --- fuzz: property-based soundness campaign --- *)
 
 let fuzz seed count profile minimize out determinism_every
@@ -547,7 +671,7 @@ let fuzz_profile_arg =
     & info [ "profile" ] ~docv:"NAME"
         ~doc:
           "Weight profile: $(b,mixed), $(b,loops), $(b,branches), \
-           $(b,arrays) or $(b,calls). Default: all of them.")
+           $(b,arrays), $(b,calls) or $(b,features). Default: all of them.")
 
 let fuzz_minimize_arg =
   Arg.(
@@ -586,7 +710,9 @@ let ranges_cmd =
 
 let predict_cmd =
   cmd_of "predict" "Print branch probabilities from VRP and the heuristic baselines."
-    Term.(const predict $ file_arg $ bench_arg $ numeric_arg $ jobs_arg $ diag_args)
+    Term.(
+      const predict $ file_arg $ bench_arg $ numeric_arg $ jobs_arg $ model_arg
+      $ diag_args)
 
 let batch_cmd =
   let dir_arg =
@@ -653,9 +779,11 @@ let run_cmd =
 let compare_cmd =
   let train = args_pair ~names:[ "train" ] ~doc:"Training input." ~default:(100, 1) in
   let ref_ = args_pair ~names:[ "reference" ] ~doc:"Reference input." ~default:(1000, 2) in
-  let wrap f b (tn, ts) (rn, rs) dopts = compare f b [ tn; ts ] [ rn; rs ] dopts in
+  let wrap f b (tn, ts) (rn, rs) model dopts =
+    compare f b [ tn; ts ] [ rn; rs ] model dopts
+  in
   cmd_of "compare" "Compare every predictor against observed branch behaviour."
-    Term.(const wrap $ file_arg $ bench_arg $ train $ ref_ $ diag_args)
+    Term.(const wrap $ file_arg $ bench_arg $ train $ ref_ $ model_arg $ diag_args)
 
 let optimize_cmd =
   cmd_of "optimize" "Report and apply constant/copy subsumption and unreachable code."
@@ -685,6 +813,17 @@ let dot_cmd =
 
 let list_cmd =
   cmd_of "list" "List the built-in benchmark suite." Term.(const list_benchmarks $ const ())
+
+let train_cmd =
+  cmd_of "train"
+    "Train the learned fallback predictor: generate a labeled corpus \
+     (fuzzer programs, interpreter ground truth) and fit the decision-tree \
+     model. Fully deterministic: the same seed, count, profile and \
+     parameters reproduce the model byte-for-byte."
+    Term.(
+      const train $ train_seed_arg $ train_count_arg $ train_profile_arg
+      $ train_depth_arg $ train_min_leaf_arg $ jobs_arg $ train_out_arg
+      $ train_emit_ml_arg)
 
 let fuzz_cmd =
   cmd_of "fuzz"
@@ -805,6 +944,7 @@ let main_cmd =
       dot_cmd;
       list_cmd;
       fuzz_cmd;
+      train_cmd;
       remote_cmd;
     ]
 

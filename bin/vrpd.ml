@@ -24,7 +24,8 @@ module Diag = Vrp_diag.Diag
 (* Each fleet worker is this same binary in plain single-daemon mode; a
    stale socket left by a SIGKILLed predecessor is reclaimed by the
    child's own listen_unix connect-probe. *)
-let process_spawner ~jobs ~deadline_ms ~cache_dir ~worker_fault : Fleet.spawner =
+let process_spawner ~jobs ~deadline_ms ~cache_dir ~model_path ~worker_fault :
+    Fleet.spawner =
  fun ~wid:_ ~incarnation:_ ~sock ->
   let args =
     [ Sys.executable_name; "--socket"; sock; "--jobs"; string_of_int jobs ]
@@ -32,6 +33,7 @@ let process_spawner ~jobs ~deadline_ms ~cache_dir ~worker_fault : Fleet.spawner 
       | Some ms -> [ "--deadline-ms"; string_of_int ms ]
       | None -> [])
     @ (match cache_dir with Some d -> [ "--cache"; d ] | None -> [])
+    @ (match model_path with Some m -> [ "--model"; m ] | None -> [])
     @
     match worker_fault with
     | Some f -> [ "--inject-fault"; Diag.Fault.to_string f ]
@@ -85,9 +87,15 @@ let install_signals stop =
   (* A client vanishing mid-response must not kill the daemon. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
-let run_single ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir =
-  let settings = { Server.jobs; deadline_ms; fault; cache_dir } in
-  let server = Server.create ~settings () in
+let run_single ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path =
+  let settings = { Server.jobs; deadline_ms; fault; cache_dir; model_path } in
+  let server =
+    match Server.create ~settings () with
+    | server -> server
+    | exception Failure msg ->
+      prerr_endline ("vrpd: " ^ msg);
+      exit 1
+  in
   let listen_fd, where, cleanup = bind_listener ~socket ~listen in
   install_signals (fun () -> Server.stop server);
   Printf.eprintf "vrpd %s: listening on %s (%d job%s%s)\n%!"
@@ -104,8 +112,8 @@ let run_single ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir =
     (fun () -> Server.serve server listen_fd);
   prerr_endline "vrpd: stopped"
 
-let run_fleet ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~size ~fleet_dir
-    ~strict =
+let run_fleet ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path
+    ~size ~fleet_dir ~strict =
   (* kill-worker is the front door's chaos fault; every other spec (an
      analysis fault, slow-worker) belongs daemon-wide in the workers. *)
   let fleet_fault, worker_fault =
@@ -122,7 +130,8 @@ let run_fleet ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~size ~fleet_
   in
   let fleet =
     Fleet.create ~settings
-      ~spawner:(process_spawner ~jobs ~deadline_ms ~cache_dir ~worker_fault)
+      ~spawner:
+        (process_spawner ~jobs ~deadline_ms ~cache_dir ~model_path ~worker_fault)
       ()
   in
   let listen_fd, where, cleanup = bind_listener ~socket ~listen in
@@ -141,16 +150,17 @@ let run_fleet ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~size ~fleet_
   end;
   prerr_endline "vrpd: stopped"
 
-let run socket listen jobs deadline_ms fault cache_dir fleet fleet_dir strict =
+let run socket listen jobs deadline_ms fault cache_dir model_path fleet fleet_dir
+    strict =
   match fleet with
-  | None -> run_single ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir
+  | None -> run_single ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path
   | Some size ->
     if size < 1 then begin
       prerr_endline "vrpd: --fleet wants at least 1 worker";
       exit 1
     end;
-    run_fleet ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~size ~fleet_dir
-      ~strict
+    run_fleet ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path ~size
+      ~fleet_dir ~strict
 
 let socket_arg =
   Arg.(
@@ -195,6 +205,18 @@ let cache_arg =
         ~doc:
           "Disk tier for the summary cache. Under --fleet every worker \
            points at the same directory and shares it (advisory locks).")
+
+let model_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "model" ] ~docv:"FILE"
+        ~doc:
+          "Learned fallback model (.vrpmodel) loaded once at startup and \
+           served warm by every request; predictions for branches VRP \
+           cannot decide then come from it instead of Ball\xe2\x80\x93Larus. A bad \
+           file fails startup. Under --fleet the path is passed to every \
+           worker.")
 
 let fleet_arg =
   Arg.(
@@ -254,6 +276,6 @@ let cmd =
          ])
     Term.(
       const run $ socket_arg $ listen_arg $ jobs_arg $ deadline_arg $ fault_arg
-      $ cache_arg $ fleet_arg $ fleet_dir_arg $ strict_arg)
+      $ cache_arg $ model_arg $ fleet_arg $ fleet_dir_arg $ strict_arg)
 
 let () = exit (Cmd.eval cmd)

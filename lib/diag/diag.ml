@@ -31,6 +31,7 @@ type kind =
   | Task_retry  (** a supervised task failed and was retried *)
   | Journal_event  (** batch journal traffic: checkpoints, resumes *)
   | Server_event  (** vrpd request lifecycle: served, contained, cancelled *)
+  | Model_error  (** a learned-predictor model failed to load or verify *)
   | Note  (** free-form informational event *)
 
 type location = { fn : string option; block : int option }
@@ -94,6 +95,7 @@ let kind_to_string = function
   | Task_retry -> "task-retry"
   | Journal_event -> "journal-event"
   | Server_event -> "server-event"
+  | Model_error -> "model-error"
   | Note -> "note"
 
 let location_to_string loc =

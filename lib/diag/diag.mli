@@ -21,6 +21,7 @@ type kind =
   | Task_retry  (** a supervised task failed and was retried *)
   | Journal_event  (** batch journal traffic: checkpoints, resumes *)
   | Server_event  (** vrpd request lifecycle: served, contained, cancelled *)
+  | Model_error  (** a learned-predictor model failed to load or verify *)
   | Note  (** free-form informational event *)
 
 type location = { fn : string option; block : int option }

@@ -54,6 +54,14 @@ let profiles =
       weights =
         { Synth.counted_loops = 1; nested_arrays = 1; data_loops = 1; branchy = 1; calls = 5 };
     };
+    (* Branch-shape diversity for learned-predictor corpora: heavy on
+       conditionals, with enough loops and array traffic that the loop- and
+       range-sensitive features all get exercised. *)
+    {
+      pname = "features";
+      weights =
+        { Synth.counted_loops = 3; nested_arrays = 3; data_loops = 2; branchy = 5; calls = 1 };
+    };
   ]
 
 let profile_named name = List.find_opt (fun p -> String.equal p.pname name) profiles

@@ -17,7 +17,8 @@ module Ast = Vrp_lang.Ast
 type profile = { pname : string; weights : Vrp_suite.Synth.weights }
 
 (** The fuzzing profiles of the CLI and CI: [mixed], [loops], [branches],
-    [arrays], [calls]. *)
+    [arrays], [calls], plus [features] — branch-shape diversity for
+    learned-predictor training corpora. *)
 val profiles : profile list
 
 val profile_named : string -> profile option

@@ -30,6 +30,12 @@ type summary = {
   failures : failure list;
 }
 
+(** The campaign-coordinate contract: program [index] of profile [pname]
+    under [seed] is generated from [Prng.create (mix_seed seed pname
+    index)], forever. Exposed so other corpus producers (e.g. the learned
+    predictor's training sets) share the same coordinates. *)
+val mix_seed : int -> string -> int -> int
+
 val run :
   ?config:Engine.config ->
   ?minimize:bool ->

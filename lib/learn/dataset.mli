@@ -1,0 +1,40 @@
+(** Labeled training corpora: fuzzer-generated programs, interpreter
+    ground truth, batch-scheduler fan-out.
+
+    Each sample is one conditional branch the VRP tier could not predict
+    (⊥ fallback, governor-starved, demoted or unreachable function) in a
+    generated program, labeled with its observed taken/total counts over
+    the oracle argument vectors ({!Vrp_fuzz.Gen.main_args}). Programs are
+    generated at the fuzzing campaigns' coordinates
+    ({!Vrp_fuzz.Runner.mix_seed}), analysed with the default engine
+    configuration and executed by the reference interpreter; trapped runs
+    contribute nothing (benign, as in the oracles).
+
+    A corpus is fully determined by (seed, profile, count): results merge
+    in program-index order at any [jobs], and [digest] is an MD5 over the
+    canonical sample listing — two corpora with equal digests are
+    byte-identical training inputs. *)
+
+type sample = {
+  fv : int array;  (** {!Features.extract} vector *)
+  taken : int;  (** observed true-edge executions *)
+  total : int;  (** observed executions (> 0) *)
+  bl_pm : int;  (** Ball–Larus prediction in per-mille, for baselines *)
+}
+
+type t = {
+  seed : int;
+  profile : string;
+  count : int;  (** programs requested *)
+  programs : int;
+  samples : sample array;
+  digest : string;  (** content digest: same digest ⇒ same corpus *)
+}
+
+(** The corpus generation profile used when none is given: the [features]
+    fuzz profile (branch-shape diversity). *)
+val default_profile : Vrp_fuzz.Gen.profile
+
+(** Generate and label [count] programs through a [jobs]-wide pool. *)
+val build :
+  ?jobs:int -> ?profile:Vrp_fuzz.Gen.profile -> seed:int -> count:int -> unit -> t

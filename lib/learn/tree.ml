@@ -1,0 +1,270 @@
+(** CART-style regression tree over integer feature vectors (see the
+    interface). Training is deterministic by construction: candidate splits
+    are enumerated feature-ascending then threshold-ascending, a candidate
+    replaces the incumbent only when strictly better, and float
+    accumulations happen in one fixed order. Leaves are stored in
+    per-mille so the serialized form is platform-independent. *)
+
+type node =
+  | Leaf of int  (** P(true edge) in per-mille, 0..1000 *)
+  | Split of { feat : int; thresh : int; lo : node; hi : node }
+      (** [feat <= thresh] goes to [lo], else [hi] *)
+
+type t = {
+  schema_version : int;
+  dim : int;
+  depth : int;
+  min_leaf : int;
+  corpus : string;
+  nsamples : int;
+  root : node;
+}
+
+let rec node_count = function
+  | Leaf _ -> 1
+  | Split { lo; hi; _ } -> 1 + node_count lo + node_count hi
+
+let rec node_depth = function
+  | Leaf _ -> 0
+  | Split { lo; hi; _ } -> 1 + max (node_depth lo) (node_depth hi)
+
+let predict t (fv : int array) : float =
+  let rec go = function
+    | Leaf pm -> float_of_int pm /. 1000.0
+    | Split { feat; thresh; lo; hi } -> go (if fv.(feat) <= thresh then lo else hi)
+  in
+  go t.root
+
+(* --- Training --- *)
+
+let leaf_of_mean mean =
+  let pm = int_of_float (Float.round (mean *. 1000.0)) in
+  Leaf (max 0 (min 1000 pm))
+
+(* Weighted mean and SSE over the indexed samples; one fixed accumulation
+   order. *)
+let stats labels weights idx =
+  let w = ref 0.0 and wl = ref 0.0 and wll = ref 0.0 in
+  List.iter
+    (fun i ->
+      let l = labels.(i) and wi = weights.(i) in
+      w := !w +. wi;
+      wl := !wl +. (wi *. l);
+      wll := !wll +. (wi *. l *. l))
+    idx;
+  let mean = if !w > 0.0 then !wl /. !w else 0.5 in
+  let sse = !wll -. (!wl *. !wl /. (if !w > 0.0 then !w else 1.0)) in
+  (mean, sse)
+
+(* The best split of [idx]: scanned feature-ascending, threshold-ascending;
+   strict improvement only, so ties resolve to the lowest (feature,
+   threshold) pair. Both sides must keep [min_leaf] samples. *)
+let best_split ~dim ~min_leaf fvs labels weights idx =
+  let n = List.length idx in
+  let best = ref None in
+  for feat = 0 to dim - 1 do
+    let sorted =
+      List.stable_sort
+        (fun a b -> compare (fvs.(a).(feat), a) (fvs.(b).(feat), b))
+        idx
+    in
+    let arr = Array.of_list sorted in
+    (* prefix sums in sorted order *)
+    let pw = Array.make (n + 1) 0.0
+    and pwl = Array.make (n + 1) 0.0
+    and pwll = Array.make (n + 1) 0.0 in
+    Array.iteri
+      (fun k i ->
+        let l = labels.(i) and wi = weights.(i) in
+        pw.(k + 1) <- pw.(k) +. wi;
+        pwl.(k + 1) <- pwl.(k) +. (wi *. l);
+        pwll.(k + 1) <- pwll.(k) +. (wi *. l *. l))
+      arr;
+    let sse lo hi =
+      (* SSE of samples [lo, hi) in sorted order *)
+      let w = pw.(hi) -. pw.(lo)
+      and wl = pwl.(hi) -. pwl.(lo)
+      and wll = pwll.(hi) -. pwll.(lo) in
+      if w > 0.0 then wll -. (wl *. wl /. w) else 0.0
+    in
+    (* candidate thresholds: feature values where the next sample differs *)
+    for k = min_leaf to n - min_leaf do
+      if k > 0 && fvs.(arr.(k - 1)).(feat) <> fvs.(arr.(k)).(feat) then begin
+        let cost = sse 0 k +. sse k n in
+        let better =
+          match !best with None -> true | Some (c, _, _, _) -> cost < c
+        in
+        if better then best := Some (cost, feat, fvs.(arr.(k - 1)).(feat), k)
+      end
+    done
+  done;
+  match !best with
+  | None -> None
+  | Some (cost, feat, thresh, _) ->
+    let lo, hi = List.partition (fun i -> fvs.(i).(feat) <= thresh) idx in
+    Some (cost, feat, thresh, lo, hi)
+
+let train ?(depth = 6) ?(min_leaf = 10) (ds : Dataset.t) : t =
+  let samples = ds.Dataset.samples in
+  let n = Array.length samples in
+  let fvs = Array.map (fun (s : Dataset.sample) -> s.Dataset.fv) samples in
+  let labels =
+    Array.map
+      (fun (s : Dataset.sample) ->
+        float_of_int s.Dataset.taken /. float_of_int (max 1 s.Dataset.total))
+      samples
+  in
+  let weights =
+    Array.map (fun (s : Dataset.sample) -> float_of_int s.Dataset.total) samples
+  in
+  let dim = Features.dim in
+  let rec build idx d =
+    let mean, sse = stats labels weights idx in
+    if d <= 0 || List.length idx < 2 * min_leaf || sse <= 1e-12 then leaf_of_mean mean
+    else
+      match best_split ~dim ~min_leaf fvs labels weights idx with
+      | Some (cost, feat, thresh, lo, hi) when cost < sse ->
+        Split { feat; thresh; lo = build lo (d - 1); hi = build hi (d - 1) }
+      | _ -> leaf_of_mean mean
+  in
+  {
+    schema_version = Features.version;
+    dim;
+    depth;
+    min_leaf;
+    corpus = ds.Dataset.digest;
+    nsamples = n;
+    root = build (List.init n Fun.id) depth;
+  }
+
+(* --- Serialization: the versioned, checksummed .vrpmodel format ---
+
+   Line-oriented ASCII; the final line is the MD5 of every byte before it,
+   so [of_string (to_string t)] and [to_string (of_string s)] are both
+   byte-stable. *)
+
+let format_version = 1
+
+let body t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "vrpmodel %d\n" format_version);
+  Buffer.add_string buf (Printf.sprintf "schema %d %d\n" t.schema_version t.dim);
+  Buffer.add_string buf (Printf.sprintf "corpus %s %d\n" t.corpus t.nsamples);
+  Buffer.add_string buf (Printf.sprintf "params depth %d min-leaf %d\n" t.depth t.min_leaf);
+  Buffer.add_string buf (Printf.sprintf "tree %d\n" (node_count t.root));
+  let rec emit = function
+    | Leaf pm -> Buffer.add_string buf (Printf.sprintf "L %d\n" pm)
+    | Split { feat; thresh; lo; hi } ->
+      Buffer.add_string buf (Printf.sprintf "S %d %d\n" feat thresh);
+      emit lo;
+      emit hi
+  in
+  emit t.root;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let to_string t =
+  let b = body t in
+  b ^ Printf.sprintf "md5 %s\n" (Digest.to_hex (Digest.string b))
+
+let digest t = Digest.to_hex (Digest.string (to_string t))
+
+exception Malformed of string
+
+let of_string (s : string) : (t, string) result =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt in
+  try
+    (* checksum first: the last line must be "md5 <hex>" over all bytes
+       before it *)
+    let len = String.length s in
+    if len = 0 || s.[len - 1] <> '\n' then fail "missing trailing newline";
+    let last_start =
+      match String.rindex_from_opt s (len - 2) '\n' with
+      | Some i -> i + 1
+      | None -> fail "truncated: no checksum line"
+    in
+    let last = String.sub s last_start (len - last_start - 1) in
+    (match String.split_on_char ' ' last with
+    | [ "md5"; hex ] ->
+      let b = String.sub s 0 last_start in
+      if not (String.equal hex (Digest.to_hex (Digest.string b))) then
+        fail "checksum mismatch (corrupt model)"
+    | _ -> fail "truncated: no checksum line");
+    let lines = String.split_on_char '\n' (String.sub s 0 last_start) in
+    let lines = List.filter (fun l -> l <> "") lines in
+    let expect_line name = function
+      | l :: rest -> (l, rest)
+      | [] -> fail "truncated: missing %s line" name
+    in
+    let l, rest = expect_line "magic" lines in
+    (match String.split_on_char ' ' l with
+    | [ "vrpmodel"; v ] when int_of_string_opt v = Some format_version -> ()
+    | [ "vrpmodel"; v ] -> fail "unsupported format version %s" v
+    | _ -> fail "not a vrpmodel file");
+    let l, rest = expect_line "schema" rest in
+    let schema_version, dim =
+      match String.split_on_char ' ' l with
+      | [ "schema"; sv; d ] -> (
+        match (int_of_string_opt sv, int_of_string_opt d) with
+        | Some sv, Some d -> (sv, d)
+        | _ -> fail "malformed schema line")
+      | _ -> fail "malformed schema line"
+    in
+    let l, rest = expect_line "corpus" rest in
+    let corpus, nsamples =
+      match String.split_on_char ' ' l with
+      | [ "corpus"; dg; n ] -> (
+        match int_of_string_opt n with
+        | Some n -> (dg, n)
+        | None -> fail "malformed corpus line")
+      | _ -> fail "malformed corpus line"
+    in
+    let l, rest = expect_line "params" rest in
+    let depth, min_leaf =
+      match String.split_on_char ' ' l with
+      | [ "params"; "depth"; d; "min-leaf"; m ] -> (
+        match (int_of_string_opt d, int_of_string_opt m) with
+        | Some d, Some m -> (d, m)
+        | _ -> fail "malformed params line")
+      | _ -> fail "malformed params line"
+    in
+    let l, rest = expect_line "tree" rest in
+    let count =
+      match String.split_on_char ' ' l with
+      | [ "tree"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> n
+        | _ -> fail "malformed tree line")
+      | _ -> fail "malformed tree line"
+    in
+    let rest = ref rest in
+    let next () =
+      match !rest with
+      | l :: tl ->
+        rest := tl;
+        l
+      | [] -> fail "truncated tree"
+    in
+    let rec parse_node () =
+      match String.split_on_char ' ' (next ()) with
+      | [ "L"; pm ] -> (
+        match int_of_string_opt pm with
+        | Some pm when pm >= 0 && pm <= 1000 -> Leaf pm
+        | _ -> fail "leaf out of range")
+      | [ "S"; f; t ] -> (
+        match (int_of_string_opt f, int_of_string_opt t) with
+        | Some f, Some th when f >= 0 && f < dim ->
+          let lo = parse_node () in
+          let hi = parse_node () in
+          Split { feat = f; thresh = th; lo; hi }
+        | Some _, Some _ -> fail "split feature out of schema range"
+        | _ -> fail "malformed split node")
+      | _ -> fail "malformed tree node"
+    in
+    let root = parse_node () in
+    (match !rest with
+    | [ "end" ] -> ()
+    | _ -> fail "malformed trailer");
+    if node_count root <> count then fail "tree node count mismatch";
+    Ok { schema_version; dim; depth; min_leaf; corpus; nsamples; root }
+  with Malformed m -> Error m

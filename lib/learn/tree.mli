@@ -1,0 +1,50 @@
+(** A CART-style regression decision tree over {!Features} vectors,
+    predicting the probability of a branch's true edge.
+
+    Training is fully deterministic: integer-thresholded splits are
+    enumerated feature-ascending then threshold-ascending and a candidate
+    wins only on a strictly lower weighted SSE, so ties always resolve to
+    the lowest (feature, threshold) pair. Leaf probabilities are stored in
+    per-mille (0..1000), which keeps the serialized model byte-stable
+    across platforms.
+
+    The [.vrpmodel] serialization is a versioned, line-oriented ASCII
+    format whose last line is the MD5 of every preceding byte; both
+    directions of the round-trip are byte-identical. *)
+
+type node =
+  | Leaf of int  (** P(true edge) in per-mille, 0..1000 *)
+  | Split of { feat : int; thresh : int; lo : node; hi : node }
+      (** [feat <= thresh] goes to [lo], else [hi] *)
+
+type t = {
+  schema_version : int;  (** {!Features.version} at training time *)
+  dim : int;  (** feature-vector length the tree was fitted to *)
+  depth : int;  (** maximum depth the training run allowed *)
+  min_leaf : int;  (** minimum samples per leaf *)
+  corpus : string;  (** {!Dataset.t} content digest the tree was fitted on *)
+  nsamples : int;
+  root : node;
+}
+
+val node_count : node -> int
+val node_depth : node -> int
+
+(** Fit a tree to a labeled corpus (weighted by execution counts). *)
+val train : ?depth:int -> ?min_leaf:int -> Dataset.t -> t
+
+(** Predicted probability of the true edge, in [0, 1]. *)
+val predict : t -> int array -> float
+
+(** The model-file format version (independent of the feature schema). *)
+val format_version : int
+
+val to_string : t -> string
+
+(** Parse and verify a [.vrpmodel]; [Error] describes the first problem
+    found (bad magic, version mismatch, checksum mismatch, truncation,
+    malformed node). *)
+val of_string : string -> (t, string) result
+
+(** MD5 hex digest of the serialized model. *)
+val digest : t -> string

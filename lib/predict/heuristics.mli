@@ -11,6 +11,16 @@ type ctx = { fn : Ir.fn; loops : Vrp_ir.Loops.t; postdom : Vrp_ir.Dom.t }
 
 val make_ctx : Ir.fn -> ctx
 
+(** Block-shape predicates shared with the learned predictor's feature
+    extractor, so both tiers read the same structural signals. *)
+val block_has_call : ctx -> int -> bool
+
+val block_has_store : ctx -> int -> bool
+val block_returns : ctx -> int -> bool
+
+(** [postdominates ctx a b]: does block [a] postdominate block [b]? *)
+val postdominates : ctx -> int -> int -> bool
+
 (** Wu–Larus hit rates. *)
 val lbh_prob : float
 

@@ -17,6 +17,13 @@ module Callgraph = Vrp_sched.Callgraph
 module Batch = Vrp_sched.Batch
 module Supervisor = Vrp_sched.Supervisor
 module Summary_cache = Vrp_cache.Summary_cache
+module Infer = Vrp_learn.Infer
+
+type model_spec =
+  | No_model
+  | Default_model
+  | Model_file of string
+  | Loaded_model of Vrp_learn.Tree.t
 
 type opts = {
   numeric : bool;
@@ -25,6 +32,7 @@ type opts = {
   strict : bool;
   fault : Diag.Fault.t option;
   cancel : Diag.Cancel.token option;
+  model : model_spec;
 }
 
 let default_opts =
@@ -35,7 +43,23 @@ let default_opts =
     strict = false;
     fault = None;
     cancel = None;
+    model = No_model;
   }
+
+(* Turn a model spec into a loaded tree. A file that fails to load becomes
+   a [Model_error] diagnostic on the report (so [--strict] exits 3 and
+   [--diagnostics] shows why) and the run degrades cleanly to Ball–Larus. *)
+let resolve_model ~report = function
+  | No_model -> None
+  | Default_model -> Some (Lazy.force Infer.default)
+  | Loaded_model m -> Some m
+  | Model_file path -> (
+    match Infer.load path with
+    | Ok m -> Some m
+    | Error d ->
+      Diag.add report d.Diag.severity d.Diag.kind
+        (d.Diag.message ^ "; degrading to Ball–Larus");
+      None)
 
 type outcome = { out : string; err : string; code : int }
 
@@ -82,12 +106,14 @@ let marker_of fb key =
 let predict_compiled ?pool ?analyze_fn ~opts (c : Pipeline.compiled) =
   let report = Diag.create () in
   let config = config_of opts in
+  let model = resolve_model ~report opts.model in
+  let fallback = Option.map Infer.fallback model in
   (* Always schedule through the SCC wavefront plan so any parallelism is
      byte-identical to --jobs 1 (the sequential reference). *)
   let groups = Callgraph.scc_groups c.Pipeline.ssa in
   let run pool =
     Pipeline.vrp_predictions ~config ~report ~groups
-      ~run_tasks:(Wavefront.runner pool) ?analyze_fn c.Pipeline.ssa
+      ~run_tasks:(Wavefront.runner pool) ?analyze_fn ?fallback c.Pipeline.ssa
   in
   let vrp, _ =
     match pool with
@@ -112,8 +138,12 @@ let predict_compiled ?pool ?analyze_fn ~opts (c : Pipeline.compiled) =
     (Vrp_predict.Predictor.branches c.Pipeline.ssa);
   if Hashtbl.length fb > 0 then
     Buffer.add_string buf
-      "(* = Ball–Larus fallback on ⊥ range, ! = degraded: crashed, \
-       fuel-starved or timed-out analysis)\n";
+      (if model <> None then
+         "(* = learned-model fallback on ⊥ range, ! = degraded: crashed, \
+          fuel-starved or timed-out analysis)\n"
+       else
+         "(* = Ball–Larus fallback on ⊥ range, ! = degraded: crashed, \
+          fuel-starved or timed-out analysis)\n");
   finish ~opts ~report (Buffer.contents buf)
 
 let predict ?pool ?analyze_fn ~opts ~source () =
@@ -135,7 +165,16 @@ let compare_predictors ~opts ~train ~ref_args ~source () =
     in
     let train = (Interp.run c.Pipeline.ssa ~args:train).Interp.profile in
     let observed = (Interp.run c.Pipeline.ssa ~args:ref_args).Interp.profile in
-    let predictors = Pipeline.all_predictors ~report ~config ~train c.Pipeline.ssa in
+    (* The comparison always shows the learned ladder: without an explicit
+       model the embedded default supplies the "vrp+learned" column. *)
+    let model =
+      resolve_model ~report
+        (match opts.model with No_model -> Default_model | m -> m)
+    in
+    let fallback = Option.map Infer.fallback model in
+    let predictors =
+      Pipeline.all_predictors ~report ~config ?fallback ~train c.Pipeline.ssa
+    in
     let fb = fallback_branches report in
     let buf = Buffer.create 1024 in
     Buffer.add_string buf (Printf.sprintf "%-24s %8s" "branch" "actual");

@@ -13,9 +13,11 @@ type settings = {
   deadline_ms : int option;
   fault : Diag.Fault.t option;
   cache_dir : string option;
+  model_path : string option;
 }
 
-let default_settings = { jobs = 1; deadline_ms = None; fault = None; cache_dir = None }
+let default_settings =
+  { jobs = 1; deadline_ms = None; fault = None; cache_dir = None; model_path = None }
 
 type counters = {
   mutable served : int;
@@ -25,6 +27,7 @@ type counters = {
 
 type t = {
   settings : settings;
+  model : Vrp_learn.Tree.t option;  (* warm-loaded once at startup *)
   pool : Pool.t;
   sup : Supervisor.t;
   cache : Summary_cache.t;  (* server-wide, shared by predict/batch *)
@@ -37,8 +40,20 @@ type t = {
 }
 
 let create ?(settings = default_settings) () =
+  (* Load the learned model once, before accepting: every request then
+     serves it warm, and a bad path fails the daemon fast at startup
+     instead of degrading every request. *)
+  let model =
+    match settings.model_path with
+    | None -> None
+    | Some path -> (
+      match Vrp_learn.Infer.load path with
+      | Ok m -> Some m
+      | Error d -> failwith d.Diag.message)
+  in
   {
     settings;
+    model;
     pool = Pool.create ~jobs:settings.jobs ();
     sup =
       Supervisor.create
@@ -104,6 +119,10 @@ let opts_of t p =
     diagnostics = opt_bool p "diagnostics";
     strict = opt_bool p "strict";
     fault = fault_of t p;
+    model =
+      (match t.model with
+      | Some m -> Ops.Loaded_model m
+      | None -> Ops.No_model);
   }
 
 (* --- Handlers ---
@@ -240,6 +259,14 @@ let handle_status t =
        (match t.settings.deadline_ms with
        | Some ms -> Printf.sprintf "%dms" ms
        | None -> "none"));
+  (match t.settings.model_path with
+  | Some path ->
+    Buffer.add_string buf
+      (Printf.sprintf "model %s (digest %s)\n" path
+         (match t.model with
+         | Some m -> Vrp_learn.Tree.digest m
+         | None -> "unloaded"))
+  | None -> ());
   Buffer.add_string buf
     (Printf.sprintf "requests: %d served, %d contained, %d cancelled\n" c.served
        c.contained c.cancelled);
@@ -257,7 +284,11 @@ let handle_status t =
       ("contained", Json.Int c.contained);
       ("cancelled", Json.Int c.cancelled);
       ("cache", cache_counters_json (Summary_cache.counters t.cache));
-    ] )
+    ]
+    @
+    match t.settings.model_path with
+    | Some path -> [ ("model", Json.String path) ]
+    | None -> [] )
 
 let handle_evict t =
   let n = Summary_cache.evict_memory t.cache + Session.evict_all t.sessions in

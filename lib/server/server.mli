@@ -33,9 +33,12 @@ type settings = {
   cache_dir : string option;
       (** disk tier for the server-wide summary cache; fleet workers point
           at the same directory and share it via its advisory locks *)
+  model_path : string option;
+      (** learned fallback model ([.vrpmodel]) loaded once at {!create} and
+          served warm by every request; a bad path fails [create] fast *)
 }
 
-(** [jobs = 1], no deadline, no fault, memory-only cache. *)
+(** [jobs = 1], no deadline, no fault, memory-only cache, no model. *)
 val default_settings : settings
 
 type counters = {

@@ -57,14 +57,26 @@ let compile_result (source : string) : (compiled, Diag.diag) result =
     [Fallback_heuristic] diagnostic (warning severity when caused by
     infrastructure degradation, info when it is the paper's ordinary
     ⊥-range fallback). *)
+type fallback_predictor =
+  ctx:Heuristics.ctx -> res:Engine.t option -> src:int -> Ir.branch -> float
+
 let vrp_predictions ?(config = Engine.default_config) ?(interprocedural = true)
-    ?report ?groups ?run_tasks ?analyze_fn (ssa : Ir.program) :
+    ?report ?groups ?run_tasks ?analyze_fn ?fallback (ssa : Ir.program) :
     Predictor.prediction * Interproc.t option =
   let out = Hashtbl.create 64 in
   let record ?fn ?block severity kind message =
     match report with
     | Some r -> Diag.add r ?fn ?block severity kind message
     | None -> ()
+  in
+  (* What fills the gaps VRP leaves: Ball–Larus, or the learned tier when a
+     [fallback] hook is given (the ladder VRP → learned → B&L lives in the
+     hook's own implementation). The name reaches the diagnostics, whose
+     default wording is pinned by tests — keep it byte-identical. *)
+  let tier_name =
+    match fallback with
+    | None -> "Ball–Larus heuristics"
+    | Some _ -> "the learned fallback model"
   in
   (* [demoted] explains why a function has no engine result (crash text),
      [None] meaning it is simply unreachable from main. *)
@@ -74,44 +86,55 @@ let vrp_predictions ?(config = Engine.default_config) ?(interprocedural = true)
       (fun (b : Ir.block) ->
         match b.Ir.term with
         | Ir.Br br ->
-          let bl () = Heuristics.ball_larus (Lazy.force hctx) ~src:b.Ir.bid br in
+          let fb () =
+            match fallback with
+            | Some f -> f ~ctx:(Lazy.force hctx) ~res ~src:b.Ir.bid br
+            | None -> Heuristics.ball_larus (Lazy.force hctx) ~src:b.Ir.bid br
+          in
           let p =
             match res with
-            | Some res -> (
-              match Engine.branch_prob res b.Ir.bid with
+            | Some eres -> (
+              match Engine.branch_prob eres b.Ir.bid with
               | Some p ->
-                if Engine.used_fallback res b.Ir.bid then
+                if Engine.used_fallback eres b.Ir.bid then begin
                   record ~fn:fn.Ir.fname ~block:b.Ir.bid Diag.Info
                     Diag.Fallback_heuristic
-                    "branch predicted by Ball–Larus heuristics (range is ⊥)";
-                p
+                    (Printf.sprintf "branch predicted by %s (range is ⊥)"
+                       tier_name);
+                  (* The engine's own fallback value is Ball–Larus; the
+                     hook replaces it on the prediction surface. *)
+                  match fallback with Some _ -> fb () | None -> p
+                end
+                else p
               | None ->
-                if res.Engine.fuel_exhausted || res.Engine.timed_out then
+                if eres.Engine.fuel_exhausted || eres.Engine.timed_out then
                   record ~fn:fn.Ir.fname ~block:b.Ir.bid Diag.Warning
                     Diag.Fallback_heuristic
-                    "branch not reached by the (governor-limited) analysis; \
-                     using Ball–Larus heuristics"
+                    (Printf.sprintf
+                       "branch not reached by the (governor-limited) \
+                        analysis; using %s"
+                       tier_name)
                 else
                   record ~fn:fn.Ir.fname ~block:b.Ir.bid Diag.Info
                     Diag.Fallback_heuristic
-                    "branch unreachable for the analysis; using Ball–Larus \
-                     heuristics";
-                bl ())
+                    (Printf.sprintf
+                       "branch unreachable for the analysis; using %s"
+                       tier_name);
+                fb ())
             | None ->
               (match demoted with
               | Some why ->
                 record ~fn:fn.Ir.fname ~block:b.Ir.bid Diag.Warning
                   Diag.Fallback_heuristic
-                  (Printf.sprintf
-                     "function demoted (%s); branch predicted by Ball–Larus \
-                      heuristics"
-                     why)
+                  (Printf.sprintf "function demoted (%s); branch predicted by %s"
+                     why tier_name)
               | None ->
                 record ~fn:fn.Ir.fname ~block:b.Ir.bid Diag.Info
                   Diag.Fallback_heuristic
-                  "function unreachable from main; branch predicted by \
-                   Ball–Larus heuristics");
-              bl ()
+                  (Printf.sprintf
+                     "function unreachable from main; branch predicted by %s"
+                     tier_name));
+              fb ()
           in
           Hashtbl.replace out (fn.Ir.fname, b.Ir.bid) p
         | Ir.Jump _ | Ir.Ret _ -> ())
@@ -167,16 +190,29 @@ let vrp_predictions ?(config = Engine.default_config) ?(interprocedural = true)
     to the full-VRP run only — so CLI resilience options, including fault
     injection, reach it — while "vrp-numeric" stays the fixed numeric-only
     ablation. *)
-let all_predictors ?report ?(config = Engine.default_config)
+let all_predictors ?report ?(config = Engine.default_config) ?fallback
     ~(train : Vrp_profile.Interp.profile) (ssa : Ir.program) :
     (string * Predictor.prediction) list =
   let vrp_full, _ = vrp_predictions ~config ?report ssa in
   let vrp_numeric, _ = vrp_predictions ~config:Engine.numeric_only_config ssa in
+  (* The learned tier rides on the same full-VRP configuration; only the ⊥
+     gaps differ from the "vrp" column, so the delta isolates the fallback
+     ladder's contribution. *)
+  let learned =
+    match fallback with
+    | None -> []
+    | Some fallback ->
+      let vrp_learned, _ = vrp_predictions ~config ~fallback ssa in
+      [ ("vrp+learned", vrp_learned) ]
+  in
   [
     ("profiling", Predictor.profiling train ssa);
     ("ball-larus", Predictor.ball_larus ssa);
     ("vrp", vrp_full);
-    ("vrp-numeric", vrp_numeric);
-    ("90/50", Predictor.ninety_fifty ssa);
-    ("random", Predictor.random ssa);
   ]
+  @ learned
+  @ [
+      ("vrp-numeric", vrp_numeric);
+      ("90/50", Predictor.ninety_fifty ssa);
+      ("random", Predictor.random ssa);
+    ]

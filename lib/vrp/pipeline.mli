@@ -21,14 +21,30 @@ val compile : string -> compiled
     of an exception. *)
 val compile_result : string -> (compiled, Diag.diag) result
 
+(** What predicts the branches VRP cannot (⊥ ranges, governor-starved,
+    demoted or unreachable functions). [res] is the function's engine
+    result when one exists — the hook may mine it for hints (e.g. "range
+    known on one side"). The default tier is {!Vrp_predict.Heuristics}'
+    Ball–Larus combination; {!Vrp_learn.Infer.fallback} builds the learned
+    tier of the ladder VRP → learned → Ball–Larus. *)
+type fallback_predictor =
+  ctx:Vrp_predict.Heuristics.ctx ->
+  res:Engine.t option ->
+  src:int ->
+  Ir.branch ->
+  float
+
 (** Branch predictions from (by default interprocedural) VRP.
 
     Totality guarantee: the map has an entry for every conditional branch of
     the program, whatever happens during analysis — unreachable or demoted
-    functions fall back to Ball–Larus, and a per-function crash or governor
-    trip demotes only that function. With [report], every fallback is
-    recorded as a [Fallback_heuristic] diagnostic (warning severity when
+    functions fall back to the fallback tier, and a per-function crash or
+    governor trip demotes only that function. With [report], every fallback
+    is recorded as a [Fallback_heuristic] diagnostic (warning severity when
     caused by infrastructure degradation).
+
+    [fallback] replaces the Ball–Larus fallback tier (default) on every
+    gap VRP leaves — ordinary ⊥-range fallbacks included.
 
     [groups], [run_tasks] and [analyze_fn] are the interprocedural driver's
     scheduling and memoization seams (see {!Interproc.analyze}); the
@@ -40,17 +56,21 @@ val vrp_predictions :
   ?groups:string list list ->
   ?run_tasks:Interproc.runner ->
   ?analyze_fn:Interproc.analyze_fn ->
+  ?fallback:fallback_predictor ->
   Ir.program ->
   Predictor.prediction * Interproc.t option
 
-(** The six predictors of the paper's Figures 7/8, keyed by legend name.
+(** The predictors of the paper's Figures 7/8, keyed by legend name.
     [train] is the profiling predictor's training profile; [report] collects
     diagnostics from the full-VRP run, and [config] (default
     {!Engine.default_config}) applies to that run only — "vrp-numeric"
-    stays the fixed numeric-only ablation. *)
+    stays the fixed numeric-only ablation. With [fallback], a seventh
+    "vrp+learned" column (the full-VRP run with the learned fallback tier)
+    appears right after "vrp". *)
 val all_predictors :
   ?report:Diag.report ->
   ?config:Engine.config ->
+  ?fallback:fallback_predictor ->
   train:Vrp_profile.Interp.profile ->
   Ir.program ->
   (string * Predictor.prediction) list

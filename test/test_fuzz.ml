@@ -110,7 +110,7 @@ let smoke_campaign () =
   let s = run () in
   if s.Runner.failures <> [] then
     Alcotest.failf "smoke campaign failed:\n%s" (Runner.render s);
-  Alcotest.(check int) "programs" 25 s.Runner.programs;
+  Alcotest.(check int) "programs" (5 * List.length Gen.profiles) s.Runner.programs;
   if s.Runner.membership_checked = 0 then
     Alcotest.fail "smoke campaign never armed the membership oracles";
   if s.Runner.determinism_checked = 0 then

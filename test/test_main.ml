@@ -22,5 +22,6 @@ let () =
       Test_cache.suite;
       Test_integration.suite;
       Test_fuzz.suite;
+      Test_learn.suite;
       Test_server.suite;
     ]

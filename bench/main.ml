@@ -467,6 +467,51 @@ let server_bench ~json () =
   in
   if Atomic.get mismatches > 0 then
     failwith "server bench: a fleet response diverged from the one-shot CLI";
+  (* Overload: the same predict workload pushed through a deliberately
+     small admission gate at 2× its in-flight capacity. Shed requests honor
+     the busy response's retry_after_ms and replay, so the section reports
+     what a saturated daemon sustains — throughput, tail latency including
+     the busy waits, and how much the gate shed — still byte-identical. *)
+  let module Admit = Vrp_server.Admit in
+  let o_capacity = 4 in
+  let o_server =
+    Server.create
+      ~settings:
+        {
+          Server.default_settings with
+          Server.jobs;
+          Server.limits =
+            {
+              Admit.default_limits with
+              Admit.max_inflight = o_capacity;
+              max_queue = o_capacity;
+              queue_wait_ms = 20;
+            };
+        }
+      ()
+  in
+  let o_reqs = List.concat (List.init warm_rounds (fun _ -> sources)) in
+  let o_lat, o_s, o_shed =
+    Fun.protect
+      ~finally:(fun () -> Server.shutdown o_server)
+      (fun () ->
+        let handle_busy_retry req =
+          let rec go () =
+            let resp = Server.handle o_server req in
+            match Protocol.retry_after_ms resp with
+            | Some ms ->
+              Thread.delay (float_of_int (max 1 ms) /. 1000.);
+              go ()
+            | None -> resp
+          in
+          go ()
+        in
+        let lat, wall = time (fun () -> run_pass_on handle_busy_retry o_reqs) in
+        let a = Admit.counters (Server.admit o_server) in
+        (lat, wall, a.Admit.shed_requests))
+  in
+  if Atomic.get mismatches > 0 then
+    failwith "server bench: an overloaded response diverged from the one-shot CLI";
   if json then
     Printf.printf
       "{\"requests\": %d, \"jobs\": %d, \"clients\": %d, \"cores\": %d,\n\
@@ -487,6 +532,9 @@ let server_bench ~json () =
        \"p99_ms\": %.3f},\n\
       \   \"churn\": {\"requests_per_sec\": %.1f, \"p50_ms\": %.3f, \
        \"p99_ms\": %.3f, \"workers_replaced\": %d, \"failovers\": %d}},\n\
+      \ \"overload\": {\"capacity\": %d, \"clients\": %d, \"requests\": %d, \
+       \"requests_per_sec\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \
+       \"shed\": %d, \"all_served\": true},\n\
       \ \"byte_identical\": true}\n"
       (List.length sources) jobs clients cores one_shot_s cold_s warm_s
       (rps (List.length sources) cold_s)
@@ -509,6 +557,11 @@ let server_bench ~json () =
       (ms (percentile 50.0 fchurn_lat))
       (ms (percentile 99.0 fchurn_lat))
       fchurn_replaced fchurn_failovers
+      o_capacity clients (List.length o_reqs)
+      (rps (List.length o_reqs) o_s)
+      (ms (percentile 50.0 o_lat))
+      (ms (percentile 99.0 o_lat))
+      o_shed
   else begin
     header "Analysis server: request throughput + incremental re-analysis";
     Printf.printf "  workload: %d predict requests over %d client threads (pool jobs=%d, %d cores)\n"
@@ -544,6 +597,14 @@ let server_bench ~json () =
     Printf.printf
       "  churn (kill-worker:%d): %d worker(s) replaced, %d failover(s), zero lost requests\n"
       kill_every fchurn_replaced fchurn_failovers;
+    Printf.printf
+      "  overload (%d clients at 2x capacity %d): %10.4f %12.1f %10.3f %10.3f\n"
+      clients o_capacity o_s
+      (rps (List.length o_reqs) o_s)
+      (ms (percentile 50.0 o_lat))
+      (ms (percentile 99.0 o_lat));
+    Printf.printf "  overload: %d request(s) shed then replayed via retry_after_ms, all served\n"
+      o_shed;
     Printf.printf "  every response byte-identical to the one-shot CLI\n%!"
   end
 

@@ -145,7 +145,9 @@ let diag_args =
             "Inject a deterministic fault: $(b,crash:FN), $(b,fuel:FN), \
              $(b,timeout:FN), $(b,steps:N), $(b,hang:FN), $(b,flaky:FN:K), \
              $(b,crash-file:NAME), $(b,corrupt-cache:N), \
-             $(b,torn-journal:N) or $(b,skew:FN).")
+             $(b,torn-journal:N) or $(b,skew:FN). Under $(b,remote), also \
+             the client-side transport chaos $(b,flood-conns:N) and \
+             $(b,stall-frame:MS).")
   in
   Term.(const (fun d s f -> (d, s, f)) $ diagnostics $ strict $ fault)
 
@@ -379,20 +381,60 @@ let batch dir jobs cache_dir cache_max_mb deadline_ms retries resume numeric
    one-shot subcommand, so a remote call prints exactly like a local one;
    only daemon-unreachable errors are new (exit 2). *)
 
+(* Transport chaos is enacted by the client itself, at the socket level —
+   never sent to the daemon as a request param. [flood-conns:N] holds N
+   idle raw connections open around the real request, driving the daemon
+   into its connection-capacity shed path; [stall-frame:MS] sends a
+   partial frame header on a throwaway connection and stalls, which the
+   daemon's idle sweeper must disconnect. In both cases the real request
+   must still answer byte-identically — that is the point of the drill. *)
+let with_transport_chaos socket fault k =
+  match fault with
+  | Some (Diag.Fault.Flood_conns n) ->
+    let conns =
+      List.filter_map
+        (fun _ -> try Some (Client.connect_fd socket) with _ -> None)
+        (List.init n Fun.id)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun fd -> try Unix.close fd with _ -> ()) conns)
+      k
+  | Some (Diag.Fault.Stall_frame ms) ->
+    (* The stall runs on its own thread so the real request proceeds
+       concurrently; any error (including the sweeper's disconnect
+       surfacing as EPIPE/ECONNRESET) is the expected outcome. *)
+    let stall =
+      Thread.create
+        (fun () ->
+          try
+            let fd = Client.connect_fd socket in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with _ -> ())
+              (fun () ->
+                ignore (Unix.write fd (Bytes.make 3 '\000') 0 3);
+                Thread.delay (float_of_int ms /. 1000.))
+          with _ -> ())
+        ()
+    in
+    Fun.protect ~finally:(fun () -> Thread.join stall) k
+  | Some _ | None -> k ()
+
 (* All analysis ops are idempotent, so a dropped or refused connection —
    the signature of a fleet worker being crash-replaced — is retried with
    backoff and replayed byte-identically. A shutdown is sent exactly once:
    retrying it against a daemon that already acknowledged and died would
    turn a clean stop into a spurious failure. *)
-let remote_call socket ~op params k =
+let remote_call ?fault socket ~op params k =
   (* A daemon (or fleet worker) dying mid-request must surface as a
      retryable EPIPE, not kill the client. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let params = Json.Obj params in
   match
-    if op = "shutdown" then
-      Client.with_connection socket (fun c -> Client.request c ~op ~params ())
-    else Client.request_retry ~addr:socket ~op ~params ()
+    with_transport_chaos socket fault (fun () ->
+        if op = "shutdown" then
+          Client.with_connection socket (fun c -> Client.request c ~op ~params ())
+        else Client.request_retry ~addr:socket ~op ~params ())
   with
   | resp ->
     print_string resp.Protocol.out;
@@ -414,31 +456,38 @@ let input_name file bench =
   | None, Some name -> name
   | None, None -> "<stdin>"
 
-let common_params numeric (diagnostics, strict, fault) =
+let common_params ?deadline_ms numeric (diagnostics, strict, fault) =
   [ ("numeric", Json.Bool numeric);
     ("diagnostics", Json.Bool diagnostics);
     ("strict", Json.Bool strict) ]
+  @ (match deadline_ms with
+    | Some ms -> [ ("deadline_ms", Json.Int ms) ]
+    | None -> [])
   @
+  (* Transport chaos never travels in the request: it is enacted at the
+     socket by {!with_transport_chaos}. *)
   match fault with
+  | Some (Diag.Fault.Flood_conns _ | Diag.Fault.Stall_frame _) | None -> []
   | Some f -> [ ("fault", Json.String (Diag.Fault.to_string f)) ]
-  | None -> []
 
-let remote_predict socket file bench numeric dopts =
+let remote_predict socket deadline_ms file bench numeric
+    ((_, _, fault) as dopts) =
   with_loaded file bench (fun source ->
-      remote_call socket ~op:"predict"
+      remote_call ?fault socket ~op:"predict"
         ([ ("source", Json.String source);
            ("name", Json.String (input_name file bench)) ]
-        @ common_params numeric dopts)
+        @ common_params ?deadline_ms numeric dopts)
         (fun _ -> ()))
 
-let remote_analyze socket session name file bench numeric dopts =
+let remote_analyze socket deadline_ms session name file bench numeric
+    ((_, _, fault) as dopts) =
   with_loaded file bench (fun source ->
       let name = Option.value ~default:(input_name file bench) name in
-      remote_call socket ~op:"analyze"
+      remote_call ?fault socket ~op:"analyze"
         ([ ("session", Json.String session);
            ("name", Json.String name);
            ("source", Json.String source) ]
-        @ common_params numeric dopts)
+        @ common_params ?deadline_ms numeric dopts)
         (fun resp ->
           (* Incremental accounting: what the daemon planned to re-analyze
              and what its session cache actually did. Stderr, like every
@@ -460,26 +509,27 @@ let remote_analyze socket session name file bench numeric dopts =
                 (n "hits") (n "misses") (n "invalidations")
             | None -> ())))
 
-let remote_compare socket file bench (tn, ts) (rn, rs) dopts =
+let remote_compare socket deadline_ms file bench (tn, ts) (rn, rs)
+    ((_, _, fault) as dopts) =
   with_loaded file bench (fun source ->
-      remote_call socket ~op:"compare"
+      remote_call ?fault socket ~op:"compare"
         ([ ("source", Json.String source);
            ("name", Json.String (input_name file bench));
            ("train", Json.List [ Json.Int tn; Json.Int ts ]);
            ("reference", Json.List [ Json.Int rn; Json.Int rs ]) ]
-        @ common_params false dopts)
+        @ common_params ?deadline_ms false dopts)
         (fun _ -> ()))
 
-let remote_batch socket dir jobs numeric dopts =
+let remote_batch socket deadline_ms dir jobs numeric ((_, _, fault) as dopts) =
   let files =
     List.map
       (fun p ->
         Json.Obj [ ("name", Json.String p); ("source", Json.String (read_file p)) ])
       (batch_paths dir)
   in
-  remote_call socket ~op:"batch"
+  remote_call ?fault socket ~op:"batch"
     ([ ("files", Json.List files); ("jobs", Json.Int jobs) ]
-    @ common_params numeric dopts)
+    @ common_params ?deadline_ms numeric dopts)
     (fun _ -> ())
 
 let remote_simple op socket = remote_call socket ~op [] (fun _ -> ())
@@ -842,6 +892,16 @@ let socket_arg =
           "vrpd address: a Unix-domain socket path, or $(b,HOST:PORT) for a \
            daemon started with --listen.")
 
+let remote_deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Stamp the request with a deadline budget. The daemon charges \
+           queue wait against it and answers $(b,deadline-expired) instead \
+           of dispatching a request whose budget is already gone.")
+
 let session_arg =
   Arg.(
     value & opt string "default"
@@ -861,16 +921,16 @@ let remote_cmd =
   let predict =
     cmd_of "predict" "Predict through the daemon (byte-identical to local predict)."
       Term.(
-        const remote_predict $ socket_arg $ file_arg $ bench_arg $ numeric_arg
-        $ diag_args)
+        const remote_predict $ socket_arg $ remote_deadline_arg $ file_arg
+        $ bench_arg $ numeric_arg $ diag_args)
   in
   let analyze =
     cmd_of "analyze"
       "Session-scoped incremental predict: unchanged functions come from the \
        session's warm cache."
       Term.(
-        const remote_analyze $ socket_arg $ session_arg $ name_arg $ file_arg
-        $ bench_arg $ numeric_arg $ diag_args)
+        const remote_analyze $ socket_arg $ remote_deadline_arg $ session_arg
+        $ name_arg $ file_arg $ bench_arg $ numeric_arg $ diag_args)
   in
   let compare =
     let train = args_pair ~names:[ "train" ] ~doc:"Training input." ~default:(100, 1) in
@@ -878,8 +938,9 @@ let remote_cmd =
       args_pair ~names:[ "reference" ] ~doc:"Reference input." ~default:(1000, 2)
     in
     cmd_of "compare" "Compare predictors through the daemon."
-      Term.(const remote_compare $ socket_arg $ file_arg $ bench_arg $ train $ ref_
-            $ diag_args)
+      Term.(
+        const remote_compare $ socket_arg $ remote_deadline_arg $ file_arg
+        $ bench_arg $ train $ ref_ $ diag_args)
   in
   let batch =
     let dir_arg =
@@ -890,8 +951,8 @@ let remote_cmd =
     in
     cmd_of "batch" "Batch-analyse a directory through the daemon."
       Term.(
-        const remote_batch $ socket_arg $ dir_arg $ jobs_arg $ numeric_arg
-        $ diag_args)
+        const remote_batch $ socket_arg $ remote_deadline_arg $ dir_arg
+        $ jobs_arg $ numeric_arg $ diag_args)
   in
   let simple name doc op =
     cmd_of name doc Term.(const (remote_simple op) $ socket_arg)

@@ -24,8 +24,8 @@ module Diag = Vrp_diag.Diag
 (* Each fleet worker is this same binary in plain single-daemon mode; a
    stale socket left by a SIGKILLed predecessor is reclaimed by the
    child's own listen_unix connect-probe. *)
-let process_spawner ~jobs ~deadline_ms ~cache_dir ~model_path ~worker_fault :
-    Fleet.spawner =
+let process_spawner ~jobs ~deadline_ms ~cache_dir ~model_path ~worker_fault
+    ~(limits : Vrp_server.Admit.limits) : Fleet.spawner =
  fun ~wid:_ ~incarnation:_ ~sock ->
   let args =
     [ Sys.executable_name; "--socket"; sock; "--jobs"; string_of_int jobs ]
@@ -34,6 +34,11 @@ let process_spawner ~jobs ~deadline_ms ~cache_dir ~model_path ~worker_fault :
       | None -> [])
     @ (match cache_dir with Some d -> [ "--cache"; d ] | None -> [])
     @ (match model_path with Some m -> [ "--model"; m ] | None -> [])
+    @ [
+        "--max-conns"; string_of_int limits.Vrp_server.Admit.max_conns;
+        "--max-inflight"; string_of_int limits.Vrp_server.Admit.max_inflight;
+        "--idle-timeout-ms"; string_of_int limits.Vrp_server.Admit.idle_timeout_ms;
+      ]
     @
     match worker_fault with
     | Some f -> [ "--inject-fault"; Diag.Fault.to_string f ]
@@ -87,8 +92,9 @@ let install_signals stop =
   (* A client vanishing mid-response must not kill the daemon. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 
-let run_single ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path =
-  let settings = { Server.jobs; deadline_ms; fault; cache_dir; model_path } in
+let run_single ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path
+    ~limits =
+  let settings = { Server.jobs; deadline_ms; fault; cache_dir; model_path; limits } in
   let server =
     match Server.create ~settings () with
     | server -> server
@@ -113,7 +119,7 @@ let run_single ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path 
   prerr_endline "vrpd: stopped"
 
 let run_fleet ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path
-    ~size ~fleet_dir ~strict =
+    ~limits ~size ~fleet_dir ~strict =
   (* kill-worker is the front door's chaos fault; every other spec (an
      analysis fault, slow-worker) belongs daemon-wide in the workers. *)
   let fleet_fault, worker_fault =
@@ -126,12 +132,19 @@ let run_fleet ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path
       ~default:(Filename.concat (Filename.get_temp_dir_name ()) "vrpd-fleet")
   in
   let settings =
-    { (Fleet.default_settings ~dir) with Fleet.size; strict; fault = fleet_fault }
+    {
+      (Fleet.default_settings ~dir) with
+      Fleet.size;
+      strict;
+      fault = fleet_fault;
+      limits;
+    }
   in
   let fleet =
     Fleet.create ~settings
       ~spawner:
-        (process_spawner ~jobs ~deadline_ms ~cache_dir ~model_path ~worker_fault)
+        (process_spawner ~jobs ~deadline_ms ~cache_dir ~model_path ~worker_fault
+           ~limits)
       ()
   in
   let listen_fd, where, cleanup = bind_listener ~socket ~listen in
@@ -150,17 +163,32 @@ let run_fleet ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path
   end;
   prerr_endline "vrpd: stopped"
 
-let run socket listen jobs deadline_ms fault cache_dir model_path fleet fleet_dir
-    strict =
+let run socket listen jobs deadline_ms fault cache_dir model_path max_conns
+    max_inflight idle_timeout_ms fleet fleet_dir strict =
+  if max_conns < 1 || max_inflight < 1 || idle_timeout_ms < 0 then begin
+    prerr_endline
+      "vrpd: --max-conns and --max-inflight want >= 1, --idle-timeout-ms >= 0";
+    exit 1
+  end;
+  let limits =
+    {
+      Vrp_server.Admit.default_limits with
+      Vrp_server.Admit.max_conns;
+      max_inflight;
+      idle_timeout_ms;
+    }
+  in
   match fleet with
-  | None -> run_single ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path
+  | None ->
+    run_single ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path
+      ~limits
   | Some size ->
     if size < 1 then begin
       prerr_endline "vrpd: --fleet wants at least 1 worker";
       exit 1
     end;
-    run_fleet ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path ~size
-      ~fleet_dir ~strict
+    run_fleet ~socket ~listen ~jobs ~deadline_ms ~fault ~cache_dir ~model_path
+      ~limits ~size ~fleet_dir ~strict
 
 let socket_arg =
   Arg.(
@@ -217,6 +245,38 @@ let model_arg =
            cannot decide then come from it instead of Ball\xe2\x80\x93Larus. A bad \
            file fails startup. Under --fleet the path is passed to every \
            worker.")
+
+let max_conns_arg =
+  Arg.(
+    value
+    & opt int Vrp_server.Admit.default_limits.Vrp_server.Admit.max_conns
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:
+          "Concurrent connection bound (per daemon). A connection over the \
+           bound is answered with one structured busy response carrying \
+           retry_after_ms and closed — accept-then-shed — instead of \
+           spawning a handler thread.")
+
+let max_inflight_arg =
+  Arg.(
+    value
+    & opt int Vrp_server.Admit.default_limits.Vrp_server.Admit.max_inflight
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Concurrent analysis-request bound (per daemon). Requests over \
+           the bound wait briefly in a bounded queue, then are shed with a \
+           busy response; vrpc remote retries them after retry_after_ms.")
+
+let idle_timeout_arg =
+  Arg.(
+    value
+    & opt int Vrp_server.Admit.default_limits.Vrp_server.Admit.idle_timeout_ms
+    & info [ "idle-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-connection stall budget: a connection idle or stalled \
+           mid-frame longer than this is closed by the sweeper (and by \
+           SO_RCVTIMEO/SO_SNDTIMEO), so slow or dead clients cannot pin \
+           handler threads. 0 disables.")
 
 let fleet_arg =
   Arg.(
@@ -276,6 +336,7 @@ let cmd =
          ])
     Term.(
       const run $ socket_arg $ listen_arg $ jobs_arg $ deadline_arg $ fault_arg
-      $ cache_arg $ model_arg $ fleet_arg $ fleet_dir_arg $ strict_arg)
+      $ cache_arg $ model_arg $ max_conns_arg $ max_inflight_arg
+      $ idle_timeout_arg $ fleet_arg $ fleet_dir_arg $ strict_arg)
 
 let () = exit (Cmd.eval cmd)

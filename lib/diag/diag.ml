@@ -227,6 +227,15 @@ module Fault = struct
         (** wedge a worker daemon: every request it handles (including
             health-check pings) sleeps N milliseconds first, so a fleet's
             ping timeout sees it as hung and crash-replaces it *)
+    | Flood_conns of int
+        (** transport chaos, enacted by the {e client}: open N raw
+            connections and leave them idle around the real request,
+            driving the daemon into its connection-capacity shed path *)
+    | Stall_frame of int
+        (** transport chaos, enacted by the {e client}: send a partial
+            frame header on a throwaway connection and stall N
+            milliseconds — the idle sweeper must disconnect it without
+            disturbing the real request *)
 
   exception Injected of string
 
@@ -243,11 +252,13 @@ module Fault = struct
     | Skew_range fn -> "skew:" ^ fn
     | Kill_worker n -> "kill-worker:" ^ string_of_int n
     | Slow_worker ms -> "slow-worker:" ^ string_of_int ms
+    | Flood_conns n -> "flood-conns:" ^ string_of_int n
+    | Stall_frame ms -> "stall-frame:" ^ string_of_int ms
 
   let spec_help =
     "crash:FN, fuel:FN, timeout:FN, steps:N, hang:FN, flaky:FN:K, \
      crash-file:NAME, corrupt-cache:N, torn-journal:N, skew:FN, \
-     kill-worker:N or slow-worker:MS"
+     kill-worker:N, slow-worker:MS, flood-conns:N or stall-frame:MS"
 
   (** Parse a CLI spec (see {!spec_help}). *)
   let parse spec =
@@ -292,6 +303,8 @@ module Fault = struct
       | "torn-journal" -> count ~min_:0 (fun n -> Torn_journal n)
       | "kill-worker" -> count ~min_:1 (fun n -> Kill_worker n)
       | "slow-worker" -> count ~min_:1 (fun ms -> Slow_worker ms)
+      | "flood-conns" -> count ~min_:1 (fun n -> Flood_conns n)
+      | "stall-frame" -> count ~min_:1 (fun ms -> Stall_frame ms)
       | _ ->
         Result.Error
           (Printf.sprintf "bad fault spec %S: unknown fault %S (want %s)" spec key

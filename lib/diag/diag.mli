@@ -119,6 +119,14 @@ module Fault : sig
     | Slow_worker of int
         (** wedge a worker: every request it handles (pings included)
             sleeps N ms first, so a fleet's health check sees it as hung *)
+    | Flood_conns of int
+        (** transport chaos, enacted by the client: open N idle raw
+            connections around the real request, driving the daemon into
+            its connection-capacity shed path *)
+    | Stall_frame of int
+        (** transport chaos, enacted by the client: stall N ms after a
+            partial frame header on a throwaway connection — the idle
+            sweeper must disconnect it *)
 
   exception Injected of string
 
@@ -129,6 +137,7 @@ module Fault : sig
 
   (** Parse a CLI spec: [crash:FN], [fuel:FN], [timeout:FN], [steps:N],
       [hang:FN], [flaky:FN:K], [crash-file:NAME], [corrupt-cache:N],
-      [torn-journal:N], [skew:FN], [kill-worker:N] or [slow-worker:MS]. *)
+      [torn-journal:N], [skew:FN], [kill-worker:N], [slow-worker:MS],
+      [flood-conns:N] or [stall-frame:MS]. *)
   val parse : string -> (t, string) result
 end

@@ -69,11 +69,20 @@ let create ?(policy = default_policy) () =
     }
   in
   (* No deadline means nothing to watch: skip the monitor domain so a
-     retries-only supervisor costs nothing at idle. *)
+     retries-only supervisor costs nothing at idle. A per-call deadline
+     arriving later spawns it lazily (see [ensure_monitor]). *)
   (match policy.deadline_ms with
   | None -> ()
   | Some _ -> t.monitor <- Some (Domain.spawn (monitor_loop t)));
   t
+
+(* Lazy monitor spawn for supervisors created without a policy deadline
+   whose first per-call deadline arrives mid-life. Under the lock so two
+   racing registrations spawn one monitor; never after shutdown. *)
+let ensure_monitor t =
+  locked t (fun () ->
+      if t.monitor = None && not (Atomic.get t.stop) then
+        t.monitor <- Some (Domain.spawn (monitor_loop t)))
 
 let shutdown t =
   Atomic.set t.stop true;
@@ -100,11 +109,18 @@ let counters_line t =
     "supervision: %d deadline hit(s), %d retry(ies), %d task(s) gave up"
     c.deadline_hits c.retry_count c.gave_up
 
-let register t token =
+let register t ?deadline_ms token =
+  (* A per-call deadline overrides the policy's; callers that want the
+     tighter of the two (e.g. a propagated request budget under a server
+     deadline) take the min before calling. *)
+  let eff =
+    match deadline_ms with Some _ -> deadline_ms | None -> t.policy.deadline_ms
+  in
+  (match eff with Some _ -> ensure_monitor t | None -> ());
   locked t (fun () ->
       let id = t.next_id in
       t.next_id <- id + 1;
-      (match t.policy.deadline_ms with
+      (match eff with
       | None -> ()
       | Some ms ->
         let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
@@ -113,7 +129,7 @@ let register t token =
 
 let unregister t id = locked t (fun () -> Hashtbl.remove t.registry id)
 
-let supervise t ~name ?report f =
+let supervise t ~name ?deadline_ms ?report f =
   let emit severity kind message =
     match report with
     | None -> ()
@@ -121,7 +137,7 @@ let supervise t ~name ?report f =
   in
   let rec attempt n =
     let token = Diag.Cancel.make ~attempt:n () in
-    let id = register t token in
+    let id = register t ?deadline_ms token in
     match Fun.protect ~finally:(fun () -> unregister t id) (fun () -> f token) with
     | v -> v
     | exception e ->

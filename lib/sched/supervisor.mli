@@ -68,9 +68,21 @@ val counters_line : t -> string
     attempt number for fault injection. Failures are retried per policy;
     the last failure is re-raised for the caller's containment to handle.
     Deadline cancellations and retries are recorded in [report] with
-    deterministic messages. *)
+    deterministic messages.
+
+    [deadline_ms] overrides the policy deadline for this call only — how a
+    request's propagated wall-clock budget (already reduced by queue wait)
+    tightens the server's blanket deadline. The monitor domain is spawned
+    lazily on the first call that actually has a deadline, so a supervisor
+    created without one still costs nothing until needed. Callers wanting
+    the tighter of policy and request budget pass the min. *)
 val supervise :
-  t -> name:string -> ?report:Diag.report -> (Diag.Cancel.token -> 'a) -> 'a
+  t ->
+  name:string ->
+  ?deadline_ms:int ->
+  ?report:Diag.report ->
+  (Diag.Cancel.token -> 'a) ->
+  'a
 
 (** Interpose supervision on a per-function analysis seam: each call runs
     under {!supervise} with the function's name, and the engine config is

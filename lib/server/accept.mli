@@ -7,7 +7,17 @@
     differ only in their [handle] function. Connection handling is
     thread-per-connection (blocking I/O on system threads); decode failures
     and torn frames are answered with {!Protocol.error_response} and never
-    escape a connection. *)
+    escape a connection.
+
+    With an {!Admit} state the loop is overload-hardened: a connection over
+    [max_conns] is answered with one structured busy frame and closed
+    without spawning a thread (accept-then-shed); accepted sockets are
+    armed with [SO_RCVTIMEO]/[SO_SNDTIMEO] at the idle timeout; and a
+    sweeper thread shuts down any connection stalled mid-frame (or idle
+    between frames) past the idle timeout, so a slow-loris peer loses its
+    thread instead of pinning it. Finished connection threads are reaped on
+    every accept — a long-lived daemon holds handles proportional to live
+    connections, not connections ever accepted. *)
 
 type t
 
@@ -19,11 +29,13 @@ val create : unit -> t
     on exit, wakes every in-flight connection and joins its thread, then
     rearms so a later [serve] on the same [t] starts clean. Does not close
     [listen_fd]. [handle] answers one decoded request; [on_bad_request] is
-    told about each contained decode failure. *)
+    told about each contained decode failure; [admit] bounds connections
+    and drives the idle sweeper (absent, the loop is unbounded as before). *)
 val serve :
   t ->
   handle:(Protocol.request -> Protocol.response) ->
   ?on_bad_request:(string -> unit) ->
+  ?admit:Admit.t ->
   Unix.file_descr ->
   unit
 

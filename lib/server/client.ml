@@ -14,30 +14,29 @@ let parse_addr addr =
     | Ok (host, port) -> `Tcp (host, port)
     | Error _ -> `Unix addr
 
-let connect addr =
-  let fd =
-    match parse_addr addr with
-    | `Unix path ->
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd (Unix.ADDR_UNIX path)
+let connect_fd addr =
+  match parse_addr addr with
+  | `Unix path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       (try Unix.close fd with _ -> ());
+       raise e);
+    fd
+  | `Tcp (host, port) -> (
+    match
+      Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+    with
+    | [] -> failwith (Printf.sprintf "cannot resolve %s:%d" host port)
+    | ai :: _ ->
+      let fd = Unix.socket (Unix.domain_of_sockaddr ai.Unix.ai_addr) Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd ai.Unix.ai_addr
        with e ->
          (try Unix.close fd with _ -> ());
          raise e);
-      fd
-    | `Tcp (host, port) -> (
-      match
-        Unix.getaddrinfo host (string_of_int port) [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
-      with
-      | [] -> failwith (Printf.sprintf "cannot resolve %s:%d" host port)
-      | ai :: _ ->
-        let fd = Unix.socket (Unix.domain_of_sockaddr ai.Unix.ai_addr) Unix.SOCK_STREAM 0 in
-        (try Unix.connect fd ai.Unix.ai_addr
-         with e ->
-           (try Unix.close fd with _ -> ());
-           raise e);
-        fd)
-  in
-  { fd; next_id = 1 }
+      fd)
+
+let connect addr = { fd = connect_fd addr; next_id = 1 }
 
 let request conn ~op ?(params = Json.Null) () =
   let id = conn.next_id in
@@ -86,7 +85,16 @@ let request_retry ?(attempts = 8) ?(backoff_ms = 25) ?(seed = 0) ~addr ~op
   let prng = Vrp_util.Prng.create (seed lxor Hashtbl.hash (addr, op)) in
   let rec go k =
     match with_connection addr (fun conn -> request conn ~op ~params ()) with
-    | resp -> resp
+    | resp -> (
+      (* A busy response is the server shedding load, not answering: honor
+         its retry-after hint and replay. Out of tries, the busy response
+         itself is returned so the caller sees the structured shed. *)
+      match Protocol.retry_after_ms resp with
+      | Some wait_ms when k + 1 < attempts ->
+        let jitter = Vrp_util.Prng.int prng (max 1 (wait_ms / 2) + 1) in
+        Thread.delay (float_of_int (wait_ms + jitter) /. 1000.);
+        go (k + 1)
+      | Some _ | None -> resp)
     | exception e when retryable e && k + 1 < attempts ->
       (* Exponential backoff with deterministic jitter, capped at ~2s: long
          enough for a crash-replaced worker to rebind its socket, bounded

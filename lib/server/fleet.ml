@@ -23,6 +23,7 @@ type settings = {
   retry_backoff_ms : int;
   strict : bool;
   fault : Diag.Fault.t option;
+  limits : Admit.limits;
 }
 
 let default_settings ~dir =
@@ -36,6 +37,7 @@ let default_settings ~dir =
     retry_backoff_ms = 40;
     strict = false;
     fault = None;
+    limits = Admit.default_limits;
   }
 
 type counters = {
@@ -53,6 +55,11 @@ type slot = {
   mutable body : worker option;
   mutable incarnation : int;  (* bodies spawned so far *)
   mutable state : slot_state;
+  (* Last load the worker reported in a ping (or that the proxy observed
+     in a busy response); drives saturation-aware routing. *)
+  mutable inflight : int;
+  mutable capacity : int;  (* 0 = unknown *)
+  mutable shed : int;
 }
 
 type t = {
@@ -64,6 +71,7 @@ type t = {
   report : Diag.report;
   lock : Mutex.t;  (* counters + report + slot states + proxied count *)
   acc : Accept.t;
+  admit : Admit.t;  (* front-door connection bound + idle sweeper *)
   monitor_stop : bool Atomic.t;
   mutable monitor : Thread.t option;
   mutable proxied : int;  (* Kill_worker fault trigger count *)
@@ -73,6 +81,7 @@ type t = {
 let settings t = t.settings
 let counters t = t.counters
 let report t = t.report
+let admit t = t.admit
 
 let locked t f =
   Mutex.lock t.lock;
@@ -108,10 +117,12 @@ let wait_listening ?(budget_ms = 10000) sock =
 
 (* One health check: connect, send a ping, wait for any well-formed
    response under the read timeout. A worker that cannot answer a ping in
-   time is as good as dead for routing purposes. *)
-let ping_ok ~timeout_ms sock =
+   time is as good as dead for routing purposes. A live answer doubles as
+   the load report: its data carries inflight/capacity/shed, which routing
+   uses to probe past saturated workers. *)
+let ping_probe ~timeout_ms sock =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let ok =
+  let resp =
     try
       Unix.connect fd (Unix.ADDR_UNIX sock);
       let secs = float_of_int timeout_ms /. 1000. in
@@ -122,13 +133,28 @@ let ping_ok ~timeout_ms sock =
       match Protocol.read_frame fd with
       | Some payload -> (
         match Protocol.decode_response payload with
-        | Ok resp -> resp.Protocol.ok
-        | Error _ -> false)
-      | None -> false
-    with _ -> false
+        | Ok resp when resp.Protocol.ok -> Some resp
+        | Ok _ | Error _ -> None)
+      | None -> None
+    with _ -> None
   in
   (try Unix.close fd with _ -> ());
-  ok
+  resp
+
+let data_int key data =
+  match List.assoc_opt key data with Some (Json.Int n) -> Some n | _ -> None
+
+let note_load t (s : slot) (resp : Protocol.response) =
+  locked t (fun () ->
+      (match data_int "inflight" resp.Protocol.data with
+      | Some n -> s.inflight <- n
+      | None -> ());
+      (match data_int "capacity" resp.Protocol.data with
+      | Some n -> s.capacity <- n
+      | None -> ());
+      match data_int "shed" resp.Protocol.data with
+      | Some n -> s.shed <- n
+      | None -> ())
 
 (* --- Spawning and replacement --- *)
 
@@ -195,11 +221,14 @@ let monitor_loop t () =
         if (not (Atomic.get t.monitor_stop)) && s.state = Healthy then
           match s.body with
           | Some w when not (w.alive ()) -> replace t s ~why:"died"
-          | Some _ when not (ping_ok ~timeout_ms:t.settings.ping_timeout_ms s.sock) ->
-            (* Unresponsive but running: a wedged daemon holds its socket,
-               so it must be killed before the slot can be rebound. *)
-            replace t s ~why:"stopped answering pings"
-          | _ -> ())
+          | Some _ -> (
+            match ping_probe ~timeout_ms:t.settings.ping_timeout_ms s.sock with
+            | Some resp -> note_load t s resp
+            | None ->
+              (* Unresponsive but running: a wedged daemon holds its socket,
+                 so it must be killed before the slot can be rebound. *)
+              replace t s ~why:"stopped answering pings")
+          | None -> ())
       t.slots;
     (* Sleep in small steps so shutdown does not wait a full interval. *)
     let rec nap left =
@@ -223,6 +252,9 @@ let create ~settings ~spawner () =
           body = None;
           incarnation = 0;
           state = Replacing;
+          inflight = 0;
+          capacity = 0;
+          shed = 0;
         })
   in
   let t =
@@ -243,6 +275,7 @@ let create ~settings ~spawner () =
       report = Diag.create ();
       lock = Mutex.create ();
       acc = Accept.create ();
+      admit = Admit.create ~limits:settings.limits ();
       monitor_stop = Atomic.make false;
       monitor = None;
       proxied = 0;
@@ -284,6 +317,11 @@ let route_key ~op ~params =
       | Some source -> "source:" ^ Digest.to_hex (Digest.string source)
       | None -> "op:" ^ op))
 
+(* Saturated = the worker's last load report shows no free in-flight slot;
+   routing treats it like a degraded slot in the first probe pass, so new
+   work spills to idle workers instead of queueing behind a hot shard. *)
+let saturated (s : slot) = s.capacity > 0 && s.inflight >= s.capacity
+
 let route t ~op ~params =
   let key = route_key ~op ~params in
   let d = Digest.string key in
@@ -291,15 +329,21 @@ let route t ~op ~params =
     (Char.code d.[0] lsl 16) lor (Char.code d.[1] lsl 8) lor Char.code d.[2]
   in
   let n = Array.length t.slots in
-  (* Linear probe past degraded slots; Replacing slots still route (their
-     socket comes back under the proxy's retry budget). *)
-  let rec probe k =
-    if k = n then failwith "all fleet workers are degraded"
+  (* Linear probe past degraded and saturated slots; Replacing slots still
+     route (their socket comes back under the proxy's retry budget). When
+     every non-degraded slot is saturated, fall back to the sharded order —
+     the worker's own queue + shed ladder then takes over. *)
+  let rec probe ~skip_saturated k =
+    if k = n then
+      if skip_saturated then probe ~skip_saturated:false 0
+      else failwith "all fleet workers are degraded"
     else
       let s = t.slots.((base + k) mod n) in
-      if s.state = Degraded then probe (k + 1) else s
+      if s.state = Degraded || (skip_saturated && saturated s) then
+        probe ~skip_saturated (k + 1)
+      else s
   in
-  probe 0
+  probe ~skip_saturated:true 0
 
 let route_sock t ~op ~params = (route t ~op ~params).sock
 
@@ -329,9 +373,14 @@ let handle_fleet_status t =
   Array.iter
     (fun s ->
       Buffer.add_string buf
-        (Printf.sprintf "worker-%d: %s (incarnation %d) %s\n" s.wid
-           (state_string s.state) (max 0 (s.incarnation - 1)) s.sock))
+        (Printf.sprintf "worker-%d: %s (incarnation %d) inflight %d/%s, %d shed, %s\n"
+           s.wid (state_string s.state)
+           (max 0 (s.incarnation - 1))
+           s.inflight
+           (if s.capacity > 0 then string_of_int s.capacity else "?")
+           s.shed s.sock))
     t.slots;
+  Buffer.add_string buf (Admit.counters_line t.admit ^ "\n");
   Buffer.add_string buf (Supervisor.counters_line t.sup ^ "\n");
   let workers =
     Array.to_list
@@ -342,6 +391,9 @@ let handle_fleet_status t =
                ("wid", Json.Int s.wid);
                ("state", Json.String (state_string s.state));
                ("incarnation", Json.Int (max 0 (s.incarnation - 1)));
+               ("inflight", Json.Int s.inflight);
+               ("capacity", Json.Int s.capacity);
+               ("shed", Json.Int s.shed);
                ("sock", Json.String s.sock);
              ])
          t.slots)
@@ -358,9 +410,15 @@ let handle_fleet_status t =
       ("workers", Json.List workers);
     ] )
 
-let handle_ping () =
+let handle_ping t =
+  let a = Admit.counters t.admit in
   ( { Ops.out = ""; err = ""; code = 0 },
-    [ ("pong", Json.Bool true); ("pid", Json.Int (Unix.getpid ())) ] )
+    [
+      ("pong", Json.Bool true);
+      ("pid", Json.Int (Unix.getpid ()));
+      ("inflight", Json.Int (Admit.inflight t.admit));
+      ("shed", Json.Int (a.Admit.shed_conns + a.Admit.shed_requests));
+    ] )
 
 let handle_shutdown t =
   Accept.request_stop t.acc;
@@ -384,18 +442,40 @@ let maybe_kill_routed t (s : slot) =
     end
   | _ -> ()
 
+(* A busy response raised through the proxy's retry ladder: each retry
+   re-routes, and the slot that shed was marked saturated, so the replay
+   probes to a less-loaded worker. Carries the response so an exhausted
+   ladder still hands the client the busy + retry_after_ms contract. *)
+exception Worker_busy of Protocol.response
+
 let proxy t (req : Protocol.request) =
   let op = req.Protocol.op and params = req.Protocol.params in
   let first = route t ~op ~params in
   maybe_kill_routed t first;
   let resp =
-    Supervisor.supervise t.sup ~name:(Printf.sprintf "%s via worker-%d" op first.wid)
-      (fun token ->
-        if Diag.Cancel.attempt token > 0 then
-          locked t (fun () -> t.counters.failovers <- t.counters.failovers + 1);
-        (* Re-route each attempt: the slot may have degraded mid-retry. *)
-        let s = route t ~op ~params in
-        Client.with_connection s.sock (fun c -> Client.request c ~op ~params ()))
+    match
+      Supervisor.supervise t.sup
+        ~name:(Printf.sprintf "%s via worker-%d" op first.wid)
+        (fun token ->
+          if Diag.Cancel.attempt token > 0 then
+            locked t (fun () -> t.counters.failovers <- t.counters.failovers + 1);
+          (* Re-route each attempt: the slot may have degraded (or
+             saturated) mid-retry. *)
+          let s = route t ~op ~params in
+          let resp =
+            Client.with_connection s.sock (fun c -> Client.request c ~op ~params ())
+          in
+          match Protocol.retry_after_ms resp with
+          | Some _ ->
+            (* The worker shed this request: remember it as saturated until
+               its next ping so replays probe past it. *)
+            locked t (fun () ->
+                s.inflight <- max s.inflight (max s.capacity 1));
+            raise (Worker_busy resp)
+          | None -> resp)
+    with
+    | resp -> resp
+    | exception Worker_busy resp -> resp
   in
   (* The worker's response passes through byte-identical; only the rid is
      rewritten to echo the client's request id instead of the proxy's. *)
@@ -418,7 +498,7 @@ let handle t (req : Protocol.request) =
       let o, data = handle_fleet_status t in
       local o data
     | "ping" ->
-      let o, data = handle_ping () in
+      let o, data = handle_ping t in
       local o data
     | "shutdown" ->
       let o, data = handle_shutdown t in
@@ -443,7 +523,7 @@ let serve t listen_fd =
   Accept.serve t.acc ~handle:(handle t)
     ~on_bad_request:(fun _msg ->
       locked t (fun () -> t.counters.contained <- t.counters.contained + 1))
-    listen_fd
+    ~admit:t.admit listen_fd
 
 let stop t = Accept.stop t.acc
 let stopping t = Accept.stopping t.acc

@@ -18,6 +18,17 @@
     excluded from routing → under [strict], a degraded slot stops the
     fleet, and [vrpd --fleet --strict] exits 3.
 
+    Load awareness: each ping's answer carries the worker's
+    inflight/capacity/shed, remembered per slot; routing linearly probes
+    past {e saturated} slots (no free in-flight slot in the last report)
+    the same way it probes past degraded ones, falling back to the sharded
+    order when every worker is saturated. A worker that sheds a proxied
+    request with a busy response is marked saturated until its next ping
+    and the proxy's retry ladder re-routes the replay; an exhausted ladder
+    passes the busy response (with its [retry_after_ms]) through to the
+    client, which backs off and retries. [fleet-status] shows the
+    per-worker inflight/shed and the front door's own admission line.
+
     Worker processes are abstracted behind a {!spawner} so the tests and
     the bench can run in-process thread workers ({!in_process_spawner})
     while [vrpd --fleet] spawns real [vrpd] child processes. Workers share
@@ -58,10 +69,16 @@ type settings = {
   retry_backoff_ms : int;  (** proxy retry base; attempt [n] sleeps [n·base] *)
   strict : bool;  (** stop the fleet when a slot degrades *)
   fault : Diag.Fault.t option;  (** front-door fault ([Kill_worker]) *)
+  limits : Admit.limits;
+      (** front-door overload limits: connection bound (accept-then-shed)
+          and idle-sweeper timeout for front-door connections. In-flight
+          bounds live in the {e workers}; the front door reacts to their
+          busy responses by re-routing. *)
 }
 
 (** 2 workers, 100ms ping interval, 250ms ping timeout, 3 restarts,
-    10 retries at 40ms base (≈2.2s failover budget), not strict. *)
+    10 retries at 40ms base (≈2.2s failover budget), not strict,
+    {!Admit.default_limits}. *)
 val default_settings : dir:string -> settings
 
 type counters = {
@@ -80,6 +97,10 @@ val create : settings:settings -> spawner:spawner -> unit -> t
 
 val settings : t -> settings
 val counters : t -> counters
+
+(** The front door's admission state (connection shed / idle-close
+    counters, also surfaced by [fleet-status]). *)
+val admit : t -> Admit.t
 
 (** Fleet-lifecycle diagnostics ([Server_event] entries). *)
 val report : t -> Diag.report

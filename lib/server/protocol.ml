@@ -16,12 +16,16 @@ let max_frame = 64 * 1024 * 1024
 
 (* --- Framing --- *)
 
+(* EINTR is retried (a signal is not a peer event); EAGAIN/EWOULDBLOCK is
+   NOT — on a connection armed with SO_RCVTIMEO/SO_SNDTIMEO it means the
+   peer stalled past its budget, and retrying would defeat the timeout. *)
 let really_read fd buf off len =
   let rec loop off len =
     if len > 0 then begin
-      let n = Unix.read fd buf off len in
-      if n = 0 then failwith "connection closed mid-frame";
-      loop (off + n) (len - n)
+      match Unix.read fd buf off len with
+      | 0 -> failwith "connection closed mid-frame"
+      | n -> loop (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop off len
     end
   in
   loop off len
@@ -29,15 +33,30 @@ let really_read fd buf off len =
 let really_write fd buf off len =
   let rec loop off len =
     if len > 0 then begin
-      let n = Unix.write fd buf off len in
-      loop (off + n) (len - n)
+      match Unix.write fd buf off len with
+      | 0 ->
+        (* A 0-byte write makes no progress; looping on it would spin
+           forever against a peer that stopped draining. *)
+        failwith "write stalled: peer stopped draining"
+      | n -> loop (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop off len
     end
   in
   loop off len
 
+(* Payloads are read in bounded chunks so memory tracks the bytes that
+   actually arrived: an adversarial length prefix just under the cap costs
+   one chunk, not one up-front 64 MiB allocation. *)
+let read_chunk = 64 * 1024
+
+let rec read_retry_eintr fd buf off len =
+  match Unix.read fd buf off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_retry_eintr fd buf off len
+
 let read_frame fd =
   let header = Bytes.create 4 in
-  match Unix.read fd header 0 4 with
+  match read_retry_eintr fd header 0 4 with
   | 0 -> None (* clean EOF between frames *)
   | n ->
     if n < 4 then really_read fd header n (4 - n);
@@ -49,9 +68,25 @@ let read_frame fd =
     in
     if len > max_frame then
       failwith (Printf.sprintf "frame of %d bytes exceeds the %d-byte cap" len max_frame);
-    let payload = Bytes.create len in
-    really_read fd payload 0 len;
-    Some (Bytes.unsafe_to_string payload)
+    if len <= read_chunk then begin
+      let payload = Bytes.create len in
+      really_read fd payload 0 len;
+      Some (Bytes.unsafe_to_string payload)
+    end
+    else begin
+      let buf = Buffer.create read_chunk in
+      let chunk = Bytes.create read_chunk in
+      let rec go remaining =
+        if remaining > 0 then begin
+          let want = min remaining read_chunk in
+          really_read fd chunk 0 want;
+          Buffer.add_subbytes buf chunk 0 want;
+          go (remaining - want)
+        end
+      in
+      go len;
+      Some (Buffer.contents buf)
+    end
 
 let write_frame fd payload =
   let len = String.length payload in
@@ -131,6 +166,19 @@ let error_response ~rid ~kind msg =
             ] );
       ];
   }
+
+(* A busy response is an error_response of kind "busy" plus the machine
+   field retry clients key off: data.retry_after_ms. *)
+let busy_response ~rid ~retry_after_ms msg =
+  let r = error_response ~rid ~kind:"busy" msg in
+  { r with data = ("retry_after_ms", Json.Int retry_after_ms) :: r.data }
+
+let retry_after_ms (r : response) =
+  if r.ok then None
+  else
+    match List.assoc_opt "retry_after_ms" r.data with
+    | Some (Json.Int ms) when ms >= 0 -> Some ms
+    | _ -> None
 
 (* --- Address parsing (shared by vrpd --listen and the TCP client) --- *)
 

@@ -52,6 +52,17 @@ val decode_response : string -> (response, string) result
     in [err] (one [vrpd: ...] line) and in [data.diagnostic]. *)
 val error_response : rid:int -> kind:string -> string -> response
 
+(** The overload shed response: an {!error_response} of kind ["busy"] whose
+    [data.retry_after_ms] tells the client how long to back off before the
+    idempotent retry. Sent when a connection is refused over [--max-conns]
+    (with [rid = 0], since no request was read) and when a request is shed
+    over [--max-inflight]. *)
+val busy_response : rid:int -> retry_after_ms:int -> string -> response
+
+(** [Some ms] iff [r] is a shed ([busy]) response carrying a retry hint —
+    the signal {!Client.request_retry} honors. *)
+val retry_after_ms : response -> int option
+
 (** Parse a TCP address of the form [HOST:PORT], splitting on the {e last}
     colon so IPv6 literals ([::1:9090]) and hosts containing colons keep
     working; a bracketed host ([\[::1\]:9090]) is unwrapped, an empty host

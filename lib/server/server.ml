@@ -14,10 +14,18 @@ type settings = {
   fault : Diag.Fault.t option;
   cache_dir : string option;
   model_path : string option;
+  limits : Admit.limits;
 }
 
 let default_settings =
-  { jobs = 1; deadline_ms = None; fault = None; cache_dir = None; model_path = None }
+  {
+    jobs = 1;
+    deadline_ms = None;
+    fault = None;
+    cache_dir = None;
+    model_path = None;
+    limits = Admit.default_limits;
+  }
 
 type counters = {
   mutable served : int;
@@ -32,6 +40,7 @@ type t = {
   sup : Supervisor.t;
   cache : Summary_cache.t;  (* server-wide, shared by predict/batch *)
   sessions : Session.t;
+  admit : Admit.t;  (* shared by the accept loop and the request gate *)
   counters : counters;
   report : Diag.report;
   state_lock : Mutex.t;  (* counters + report *)
@@ -66,6 +75,7 @@ let create ?(settings = default_settings) () =
         ();
     cache = Summary_cache.create ?disk_dir:settings.cache_dir ();
     sessions = Session.create ();
+    admit = Admit.create ~limits:settings.limits ();
     counters = { served = 0; contained = 0; cancelled = 0 };
     report = Diag.create ();
     state_lock = Mutex.create ();
@@ -75,6 +85,7 @@ let create ?(settings = default_settings) () =
 
 let settings t = t.settings
 let counters t = t.counters
+let admit t = t.admit
 let report t = t.report
 
 let locked t f =
@@ -145,16 +156,24 @@ let check_crash_file ~fault name =
    monitor cancels the token when the deadline passes, the engine and the
    interprocedural wave driver observe it, and every not-yet-analyzed
    function demotes to Ball–Larus — the request still completes, with the
-   degradation in its diagnostics. *)
-let supervised t ~label f =
-  Supervisor.supervise t.sup ~name:label (fun token -> f (Some token))
+   degradation in its diagnostics. [budget_ms] is the request's own
+   propagated wall-clock budget (already net of queue wait); the tighter
+   of it and the daemon-wide deadline governs. *)
+let supervised t ~label ?budget_ms f =
+  let deadline_ms =
+    match (t.settings.deadline_ms, budget_ms) with
+    | Some a, Some b -> Some (min a b)
+    | (Some _ as a), None -> a
+    | None, b -> b
+  in
+  Supervisor.supervise t.sup ~name:label ?deadline_ms (fun token -> f (Some token))
 
-let handle_predict t p =
+let handle_predict t ?budget_ms p =
   let source = req_string p "source" in
   let name = Option.value ~default:"<request>" (opt_string p "name") in
   let opts = opts_of t p in
   check_crash_file ~fault:opts.Ops.fault name;
-  supervised t ~label:("predict " ^ name) (fun cancel ->
+  supervised t ~label:("predict " ^ name) ?budget_ms (fun cancel ->
       let opts = { opts with Ops.cancel } in
       (* The warm server-wide cache serves repeat sources; skip it under
          fault injection so degradations replay exactly as one-shot. *)
@@ -189,7 +208,7 @@ let cache_counters_json (c : Summary_cache.counters) =
       ("quarantined", Json.Int c.Summary_cache.quarantined);
     ]
 
-let handle_analyze t p =
+let handle_analyze t ?budget_ms p =
   let sid = req_string p "session" in
   let source = req_string p "source" in
   let name = Option.value ~default:"<source>" (opt_string p "name") in
@@ -206,7 +225,8 @@ let handle_analyze t p =
         let cache = Session.cache s in
         let before = Summary_cache.counters cache in
         let o =
-          supervised t ~label:(Printf.sprintf "analyze %s %s" sid name) (fun cancel ->
+          supervised t ~label:(Printf.sprintf "analyze %s %s" sid name) ?budget_ms
+            (fun cancel ->
               let opts = { opts with Ops.cancel } in
               let analyze_fn =
                 Summary_cache.memoized ~slot_prefix:name cache c.Pipeline.ssa
@@ -216,14 +236,14 @@ let handle_analyze t p =
         let delta = Summary_cache.delta ~before (Summary_cache.counters cache) in
         outcome_ok o [ ("plan", plan_json plan); ("cache", cache_counters_json delta) ])
 
-let handle_compare t p =
+let handle_compare t ?budget_ms p =
   let source = req_string p "source" in
   let name = Option.value ~default:"<request>" (opt_string p "name") in
   let opts = opts_of t p in
   check_crash_file ~fault:opts.Ops.fault name;
   let train = Option.value ~default:[ 100; 1 ] (int_list p "train") in
   let ref_args = Option.value ~default:[ 1000; 2 ] (int_list p "reference") in
-  supervised t ~label:("compare " ^ name) (fun cancel ->
+  supervised t ~label:("compare " ^ name) ?budget_ms (fun cancel ->
       let opts = { opts with Ops.cancel } in
       outcome_ok (Ops.compare_predictors ~opts ~train ~ref_args ~source ()) [])
 
@@ -271,10 +291,16 @@ let handle_status t =
     (Printf.sprintf "requests: %d served, %d contained, %d cancelled\n" c.served
        c.contained c.cancelled);
   Buffer.add_string buf
+    (Printf.sprintf "limits: %d conns, %d inflight, %d queued, %dms idle timeout\n"
+       t.settings.limits.Admit.max_conns t.settings.limits.Admit.max_inflight
+       t.settings.limits.Admit.max_queue t.settings.limits.Admit.idle_timeout_ms);
+  Buffer.add_string buf (Admit.counters_line t.admit ^ "\n");
+  Buffer.add_string buf
     (Printf.sprintf "sessions: %d%s\n" (List.length sessions)
        (if sessions = [] then "" else " (" ^ String.concat ", " sessions ^ ")"));
   Buffer.add_string buf (Summary_cache.counters_line t.cache ^ "\n");
   Buffer.add_string buf (Supervisor.counters_line t.sup ^ "\n");
+  let a = Admit.counters t.admit in
   ( { Ops.out = Buffer.contents buf; err = ""; code = 0 },
     [
       ("version", Json.String Version.version);
@@ -283,6 +309,10 @@ let handle_status t =
       ("served", Json.Int c.served);
       ("contained", Json.Int c.contained);
       ("cancelled", Json.Int c.cancelled);
+      ("inflight", Json.Int (Admit.inflight t.admit));
+      ("shed", Json.Int (a.Admit.shed_conns + a.Admit.shed_requests));
+      ("expired", Json.Int a.Admit.expired);
+      ("idle_closed", Json.Int a.Admit.idle_closed);
       ("cache", cache_counters_json (Summary_cache.counters t.cache));
     ]
     @
@@ -295,9 +325,18 @@ let handle_evict t =
   ( { Ops.out = Printf.sprintf "evicted %d cached summaries\n" n; err = ""; code = 0 },
     [ ("evicted", Json.Int n) ] )
 
-let handle_ping () =
+(* Ping doubles as the fleet's load probe: inflight/capacity/shed let the
+   front door route around saturated workers, not just dead ones. *)
+let handle_ping t =
+  let a = Admit.counters t.admit in
   ( { Ops.out = ""; err = ""; code = 0 },
-    [ ("pong", Json.Bool true); ("pid", Json.Int (Unix.getpid ())) ] )
+    [
+      ("pong", Json.Bool true);
+      ("pid", Json.Int (Unix.getpid ()));
+      ("inflight", Json.Int (Admit.inflight t.admit));
+      ("capacity", Json.Int t.settings.limits.Admit.max_inflight);
+      ("shed", Json.Int (a.Admit.shed_conns + a.Admit.shed_requests));
+    ] )
 
 let handle_shutdown t =
   Accept.request_stop t.acc;
@@ -310,21 +349,28 @@ let note t severity fmt =
     (fun msg -> locked t (fun () -> Diag.add t.report severity Diag.Server_event msg))
     fmt
 
+(* Ops that do analysis work take an in-flight slot; the control plane
+   (status, ping, shutdown, evict) always answers, precisely so overload
+   stays observable and stoppable while the daemon is shedding. *)
+let analysis_op = function
+  | "predict" | "analyze" | "compare" | "batch" -> true
+  | _ -> false
+
 let handle t (req : Protocol.request) =
   (* A slow-worker fault wedges every request this daemon handles — pings
      included — so a fleet's health check sees it as hung. *)
   (match t.settings.fault with
   | Some (Diag.Fault.Slow_worker ms) -> Thread.delay (float_of_int ms /. 1000.)
   | _ -> ());
-  let dispatch () =
+  let dispatch ?budget_ms () =
     match req.Protocol.op with
-    | "predict" -> handle_predict t req.Protocol.params
-    | "analyze" -> handle_analyze t req.Protocol.params
-    | "compare" -> handle_compare t req.Protocol.params
+    | "predict" -> handle_predict t ?budget_ms req.Protocol.params
+    | "analyze" -> handle_analyze t ?budget_ms req.Protocol.params
+    | "compare" -> handle_compare t ?budget_ms req.Protocol.params
     | "batch" -> handle_batch t req.Protocol.params
     | "status" -> handle_status t
     | "evict" -> handle_evict t
-    | "ping" -> handle_ping ()
+    | "ping" -> handle_ping t
     | "shutdown" -> handle_shutdown t
     | op -> failwith (Printf.sprintf "unknown op %S" op)
   in
@@ -335,23 +381,65 @@ let handle t (req : Protocol.request) =
     note t Diag.Warning "%s id=%d contained: %s" req.Protocol.op req.Protocol.id msg;
     Protocol.error_response ~rid:req.Protocol.id ~kind msg
   in
-  match dispatch () with
-  | (o : Ops.outcome), data ->
-    locked t (fun () -> t.counters.served <- t.counters.served + 1);
-    note t Diag.Info "%s id=%d served code=%d" req.Protocol.op req.Protocol.id o.Ops.code;
-    {
-      Protocol.rid = req.Protocol.id;
-      ok = true;
-      code = o.Ops.code;
-      out = o.Ops.out;
-      err = o.Ops.err;
-      data;
-    }
-  | exception Diag.Fault.Injected msg -> contained ~kind:"fault-injected" msg
-  | exception Diag.Cancel.Cancelled name ->
-    contained ~cancelled:true ~kind:"cancelled" ("request cancelled: " ^ name)
-  | exception Failure msg -> contained ~kind:"bad-request" msg
-  | exception e -> contained ~kind:"crashed" (Printexc.to_string e)
+  let run ?budget_ms () =
+    match dispatch ?budget_ms () with
+    | (o : Ops.outcome), data ->
+      locked t (fun () -> t.counters.served <- t.counters.served + 1);
+      note t Diag.Info "%s id=%d served code=%d" req.Protocol.op req.Protocol.id
+        o.Ops.code;
+      {
+        Protocol.rid = req.Protocol.id;
+        ok = true;
+        code = o.Ops.code;
+        out = o.Ops.out;
+        err = o.Ops.err;
+        data;
+      }
+    | exception Diag.Fault.Injected msg -> contained ~kind:"fault-injected" msg
+    | exception Diag.Cancel.Cancelled name ->
+      contained ~cancelled:true ~kind:"cancelled" ("request cancelled: " ^ name)
+    | exception Failure msg -> contained ~kind:"bad-request" msg
+    | exception e -> contained ~kind:"crashed" (Printexc.to_string e)
+  in
+  if not (analysis_op req.Protocol.op) then run ()
+  else begin
+    (* The client's deadline_ms param is a relative budget stamped at send
+       time; it becomes an absolute instant on arrival, so the wait for an
+       in-flight slot is charged against it — a request that would start
+       already-expired is shed, never dispatched. *)
+    let arrival = Unix.gettimeofday () in
+    let deadline =
+      match Json.mem_int "deadline_ms" req.Protocol.params with
+      | Some ms when ms >= 0 -> Some (arrival +. (float_of_int ms /. 1000.))
+      | _ -> None
+    in
+    let expired () =
+      note t Diag.Warning "%s id=%d shed: deadline expired before dispatch"
+        req.Protocol.op req.Protocol.id;
+      Protocol.error_response ~rid:req.Protocol.id ~kind:"deadline-expired"
+        "request deadline expired before dispatch"
+    in
+    match Admit.admit t.admit ?deadline () with
+    | Admit.Shed retry_after_ms ->
+      note t Diag.Warning "%s id=%d shed: over capacity, retry in %dms"
+        req.Protocol.op req.Protocol.id retry_after_ms;
+      Protocol.busy_response ~rid:req.Protocol.id ~retry_after_ms
+        (Printf.sprintf "server at capacity (%d in flight); retry later"
+           t.settings.limits.Admit.max_inflight)
+    | Admit.Expired -> expired ()
+    | Admit.Admitted ->
+      Fun.protect
+        ~finally:(fun () -> Admit.release t.admit)
+        (fun () ->
+          let budget_ms =
+            Option.map
+              (fun d -> int_of_float ((d -. Unix.gettimeofday ()) *. 1000.))
+              deadline
+          in
+          match budget_ms with
+          | Some b when b <= 0 -> expired ()
+          | _ -> run ?budget_ms ())
+  end
 
 (* --- Listeners and the accept loop --- *)
 
@@ -401,7 +489,7 @@ let serve t listen_fd =
   Accept.serve t.acc ~handle:(handle t)
     ~on_bad_request:(fun _msg ->
       locked t (fun () -> t.counters.contained <- t.counters.contained + 1))
-    listen_fd
+    ~admit:t.admit listen_fd
 
 let shutdown t =
   if not t.shut then begin

@@ -16,10 +16,18 @@
 
     Operations ([op] field): [predict], [analyze] (session-scoped
     incremental predict), [compare], [batch], [status], [evict], [ping]
-    (liveness probe answering [pong] plus the daemon's pid — the fleet's
-    health check), [shutdown]. The analysis operations answer the
-    byte-identical stdout of the corresponding one-shot CLI command (same
-    {!Ops} code path). *)
+    (liveness-and-load probe answering [pong] plus the daemon's pid,
+    inflight, capacity and shed count — the fleet's health check),
+    [shutdown]. The analysis operations answer the byte-identical stdout
+    of the corresponding one-shot CLI command (same {!Ops} code path).
+
+    Overload: analysis ops pass through the {!Admit} gate — over
+    [limits.max_inflight] they queue briefly, then shed with a structured
+    [busy] response carrying [retry_after_ms]; a request stamping a
+    [deadline_ms] budget is charged for its queue wait and shed as
+    [deadline-expired] rather than dispatched late. The control plane
+    (status/ping/evict/shutdown) bypasses the gate so an overloaded daemon
+    stays observable and stoppable. *)
 
 module Diag = Vrp_diag.Diag
 
@@ -36,9 +44,14 @@ type settings = {
   model_path : string option;
       (** learned fallback model ([.vrpmodel]) loaded once at {!create} and
           served warm by every request; a bad path fails [create] fast *)
+  limits : Admit.limits;
+      (** overload limits: connection bound (accept-then-shed), in-flight
+          bound (queue then shed with [busy] + [retry_after_ms]), idle
+          sweeper timeout. See {!Admit}. *)
 }
 
-(** [jobs = 1], no deadline, no fault, memory-only cache, no model. *)
+(** [jobs = 1], no deadline, no fault, memory-only cache, no model,
+    {!Admit.default_limits}. *)
 val default_settings : settings
 
 type counters = {
@@ -52,6 +65,10 @@ type t
 val create : ?settings:settings -> unit -> t
 val settings : t -> settings
 val counters : t -> counters
+
+(** The daemon's admission state: live inflight/conns gauges and the shed /
+    expired / idle-closed counters (also surfaced by [status] and [ping]). *)
+val admit : t -> Admit.t
 
 (** Request-lifecycle diagnostics ([Server_event] entries). *)
 val report : t -> Diag.report

@@ -12,27 +12,55 @@ type session = {
   cache : Summary_cache.t;
   (* source name -> (function, SSA digest) of the last submission *)
   digests : (string, (string * string) list) Hashtbl.t;
+  mutable last_used : float;  (* LRU clock for the table bound *)
 }
 
-type t = { table : (string, session) Hashtbl.t; table_lock : Mutex.t }
+type t = {
+  table : (string, session) Hashtbl.t;
+  table_lock : Mutex.t;
+  max_sessions : int;
+}
 
-let create () = { table = Hashtbl.create 8; table_lock = Mutex.create () }
+let create ?(max_sessions = 512) () =
+  if max_sessions < 1 then invalid_arg "Session.create: max_sessions must be >= 1";
+  { table = Hashtbl.create 8; table_lock = Mutex.create (); max_sessions }
 
 let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
+(* The table is bounded so a client minting fresh session ids (or millions
+   of clients each minting one) cannot grow daemon memory without bound:
+   admitting a new session at capacity evicts the least-recently-used one.
+   An evicted session's live handles stay valid — its in-flight request
+   completes on the detached record; only the warm state is lost, and a
+   later request under that id starts fresh. *)
+let evict_lru_locked t =
+  let victim =
+    Hashtbl.fold
+      (fun _ s acc ->
+        match acc with
+        | Some v when v.last_used <= s.last_used -> acc
+        | _ -> Some s)
+      t.table None
+  in
+  match victim with None -> () | Some s -> Hashtbl.remove t.table s.sid
+
 let find_or_create t sid =
   locked t.table_lock (fun () ->
       match Hashtbl.find_opt t.table sid with
-      | Some s -> s
+      | Some s ->
+        s.last_used <- Unix.gettimeofday ();
+        s
       | None ->
+        if Hashtbl.length t.table >= t.max_sessions then evict_lru_locked t;
         let s =
           {
             sid;
             lock = Mutex.create ();
             cache = Summary_cache.create ();
             digests = Hashtbl.create 4;
+            last_used = Unix.gettimeofday ();
           }
         in
         Hashtbl.replace t.table sid s;

@@ -31,7 +31,12 @@ type t
 
 type session
 
-val create : unit -> t
+(** [create ~max_sessions ()] bounds the table (default 512): admitting a
+    new session at capacity evicts the least-recently-used one, so clients
+    minting fresh session ids cannot grow daemon memory without bound. An
+    evicted session's in-flight request completes on the detached record;
+    only its warm cache and digests are lost. *)
+val create : ?max_sessions:int -> unit -> t
 
 (** Find [id]'s session, creating it on first use. *)
 val find_or_create : t -> string -> session

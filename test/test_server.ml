@@ -17,6 +17,7 @@ module Session = Vrp_server.Session
 module Server = Vrp_server.Server
 module Client = Vrp_server.Client
 module Fleet = Vrp_server.Fleet
+module Admit = Vrp_server.Admit
 
 let tc = Alcotest.test_case
 
@@ -522,14 +523,22 @@ let fault_spec_units () =
   (match Diag.Fault.parse "slow-worker:600" with
   | Ok (Diag.Fault.Slow_worker 600) -> ()
   | _ -> Alcotest.fail "slow-worker:600 did not parse");
+  (match Diag.Fault.parse "flood-conns:300" with
+  | Ok (Diag.Fault.Flood_conns 300) -> ()
+  | _ -> Alcotest.fail "flood-conns:300 did not parse");
+  (match Diag.Fault.parse "stall-frame:2500" with
+  | Ok (Diag.Fault.Stall_frame 2500) -> ()
+  | _ -> Alcotest.fail "stall-frame:2500 did not parse");
   List.iter
     (fun spec ->
       match Diag.Fault.parse spec with
       | Error _ -> ()
       | Ok _ -> Alcotest.failf "accepted %s" spec)
-    [ "kill-worker:0"; "kill-worker:"; "slow-worker:x" ];
+    [ "kill-worker:0"; "kill-worker:"; "slow-worker:x"; "flood-conns:0"; "stall-frame:x" ];
   Alcotest.(check string) "round-trip" "kill-worker:3"
-    (Diag.Fault.to_string (Diag.Fault.Kill_worker 3))
+    (Diag.Fault.to_string (Diag.Fault.Kill_worker 3));
+  Alcotest.(check string) "chaos round-trip" "flood-conns:64"
+    (Diag.Fault.to_string (Diag.Fault.Flood_conns 64))
 
 (* --- Socket hygiene: live daemons are not stolen, stale files are --- *)
 
@@ -578,7 +587,14 @@ let ping_op () =
       Alcotest.(check (option bool)) "pong" (Some true)
         (List.assoc_opt "pong" resp.Protocol.data |> Option.map (fun v -> v = Json.Bool true));
       Alcotest.(check (option int)) "pid" (Some (Unix.getpid ()))
-        (Option.bind (List.assoc_opt "pid" resp.Protocol.data) Json.get_int))
+        (Option.bind (List.assoc_opt "pid" resp.Protocol.data) Json.get_int);
+      (* Ping doubles as the fleet's load probe. *)
+      let n k = Option.bind (List.assoc_opt k resp.Protocol.data) Json.get_int in
+      Alcotest.(check (option int)) "idle inflight" (Some 0) (n "inflight");
+      Alcotest.(check (option int)) "capacity"
+        (Some Vrp_server.Admit.default_limits.Vrp_server.Admit.max_inflight)
+        (n "capacity");
+      Alcotest.(check (option int)) "no shed yet" (Some 0) (n "shed"))
 
 (* --- TCP round trip: the same wire suite over listen_tcp --- *)
 
@@ -695,7 +711,17 @@ let fleet_routing_and_status () =
       Alcotest.(check (option int)) "healthy" (Some 2)
         (Option.bind (List.assoc_opt "healthy" st.Protocol.data) Json.get_int);
       (match List.assoc_opt "workers" st.Protocol.data with
-      | Some (Json.List ws) -> Alcotest.(check int) "worker rows" 2 (List.length ws)
+      | Some (Json.List ws) ->
+        Alcotest.(check int) "worker rows" 2 (List.length ws);
+        (* Every worker row carries the load fields routing keys off. *)
+        List.iter
+          (fun w ->
+            List.iter
+              (fun k ->
+                if Json.mem_int k w = None then
+                  Alcotest.failf "worker row missing %s" k)
+              [ "inflight"; "capacity"; "shed" ])
+          ws
       | _ -> Alcotest.fail "no workers list"))
 
 (* The acceptance scenario: a fleet front door on a live socket, 16
@@ -820,6 +846,396 @@ let fleet_wedged_worker_degrades () =
       Alcotest.(check bool) "contained" false resp.Protocol.ok;
       Alcotest.(check int) "exit-code-2 semantics" 2 resp.Protocol.code)
 
+(* --- Overload: framing edges, admission ladder, deadlines, sweeper --- *)
+
+let busy_response_units () =
+  let r = Protocol.busy_response ~rid:5 ~retry_after_ms:40 "at capacity" in
+  Alcotest.(check bool) "not ok" false r.Protocol.ok;
+  Alcotest.(check int) "exit-code-2 semantics" 2 r.Protocol.code;
+  Alcotest.(check (option int)) "retry hint" (Some 40) (Protocol.retry_after_ms r);
+  (match List.assoc_opt "diagnostic" r.Protocol.data with
+  | Some d ->
+    Alcotest.(check (option string)) "kind" (Some "busy") (Json.mem_string "kind" d)
+  | None -> Alcotest.fail "busy response has no diagnostic");
+  (* The hint survives the wire codec. *)
+  (match Protocol.decode_response (Protocol.encode_response r) with
+  | Ok r' ->
+    Alcotest.(check (option int)) "hint on the wire" (Some 40)
+      (Protocol.retry_after_ms r')
+  | Error msg -> Alcotest.failf "decode: %s" msg);
+  (* Only a failing response with a well-formed hint reads as busy. *)
+  let ok_resp =
+    { Protocol.rid = 1; ok = true; code = 0; out = ""; err = "";
+      data = [ ("retry_after_ms", Json.Int 10) ] }
+  in
+  Alcotest.(check (option int)) "ok response is not busy" None
+    (Protocol.retry_after_ms ok_resp);
+  Alcotest.(check (option int)) "plain error is not busy" None
+    (Protocol.retry_after_ms (Protocol.error_response ~rid:1 ~kind:"crashed" "x"))
+
+(* A peer dying inside the 4-byte header is a torn frame, not a clean EOF
+   and not a hang. *)
+let frame_partial_header_eof () =
+  with_socketpair (fun a b ->
+      ignore (Unix.write a (Bytes.of_string "\x00\x00") 0 2);
+      Unix.close a;
+      match Protocol.read_frame b with
+      | exception Failure _ -> ()
+      | Some _ -> Alcotest.fail "partial header produced a frame"
+      | None -> Alcotest.fail "partial header read as clean EOF")
+
+(* An adversarial length prefix must not cost its claimed size up front:
+   the payload is read in bounded chunks, so a 32 MiB claim followed by a
+   disconnect allocates chunk-order memory, not 32 MiB. *)
+let frame_oversize_prefix_bounded_alloc () =
+  with_socketpair (fun a b ->
+      let header = Bytes.of_string "\x02\x00\x00\x00" (* 32 MiB *) in
+      ignore (Unix.write a header 0 4);
+      Unix.close a;
+      let before = Gc.allocated_bytes () in
+      (match Protocol.read_frame b with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "torn 32 MiB frame accepted");
+      let allocated = Gc.allocated_bytes () -. before in
+      Alcotest.(check bool)
+        (Printf.sprintf "bounded allocation (%.0f bytes)" allocated)
+        true
+        (allocated < 4_000_000.))
+
+let overload_sock tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "vrpd-%s-%d.sock" tag (Unix.getpid ()))
+
+(* Run a server on a live Unix socket with the given admission limits. *)
+let with_live_server ?settings ~tag f =
+  let sock = overload_sock tag in
+  (try Sys.remove sock with _ -> ());
+  with_server ?settings (fun server ->
+      let listen_fd = Server.listen_unix sock in
+      let th = Thread.create (fun () -> Server.serve server listen_fd) () in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop server;
+          Thread.join th;
+          (try Unix.close listen_fd with _ -> ());
+          try Sys.remove sock with _ -> ())
+        (fun () -> f server sock))
+
+(* An oversize length prefix on a live connection is answered with a
+   structured bad-frame response (rid 0), only that connection dies, and
+   the daemon keeps serving. *)
+let oversize_prefix_contained_live () =
+  with_live_server ~tag:"oversize" (fun _server sock ->
+      let fd = Client.connect_fd sock in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          (* 64 MiB + 1: one past the cap. *)
+          ignore (Unix.write fd (Bytes.of_string "\x04\x00\x00\x01") 0 4);
+          match Protocol.read_frame fd with
+          | Some payload -> (
+            match Protocol.decode_response payload with
+            | Ok resp ->
+              Alcotest.(check bool) "refused" false resp.Protocol.ok;
+              Alcotest.(check int) "rid 0 (no request read)" 0 resp.Protocol.rid;
+              (match List.assoc_opt "diagnostic" resp.Protocol.data with
+              | Some d ->
+                Alcotest.(check (option string)) "bad-frame" (Some "bad-frame")
+                  (Json.mem_string "kind" d)
+              | None -> Alcotest.fail "no diagnostic")
+            | Error msg -> Alcotest.failf "undecodable answer: %s" msg)
+          | None -> Alcotest.fail "connection closed without a bad-frame answer");
+      (* The daemon survived; a fresh connection analyses normally. *)
+      let resp = Client.request_retry ~addr:sock ~op:"ping" () in
+      Alcotest.(check bool) "daemon alive after bad frame" true resp.Protocol.ok)
+
+(* A peer dying mid-payload kills only its own connection. *)
+let eof_mid_payload_contained_live () =
+  with_live_server ~tag:"midframe" (fun _server sock ->
+      let fd = Client.connect_fd sock in
+      ignore (Unix.write fd (Bytes.of_string "\x00\x00\x00\x0aabc") 0 7);
+      Unix.close fd;
+      let qsort = bench_source "qsort" in
+      let want = Ops.predict ~opts:Ops.default_opts ~source:qsort () in
+      let resp =
+        Client.request_retry ~addr:sock ~op:"predict"
+          ~params:
+            (Json.Obj
+               [ ("source", Json.String qsort); ("name", Json.String "qsort.mc") ])
+          ()
+      in
+      Alcotest.(check bool) "served after torn peer" true resp.Protocol.ok;
+      Alcotest.(check string) "byte-identical" want.Ops.out resp.Protocol.out)
+
+let admit_shed_ladder_units () =
+  let limits =
+    { Admit.max_conns = 2; max_inflight = 1; max_queue = 0; queue_wait_ms = 10;
+      idle_timeout_ms = 0 }
+  in
+  let a = Admit.create ~limits () in
+  (match Admit.admit a () with
+  | Admit.Admitted -> ()
+  | _ -> Alcotest.fail "idle admit refused");
+  (* Slot taken, zero queue: immediate shed with a positive hint. *)
+  (match Admit.admit a () with
+  | Admit.Shed ms -> Alcotest.(check bool) "positive hint" true (ms > 0)
+  | _ -> Alcotest.fail "over-capacity admit not shed");
+  (* A request already past its deadline is expired, not queued. *)
+  (match Admit.admit a ~deadline:(Unix.gettimeofday () -. 1.) () with
+  | Admit.Expired -> ()
+  | _ -> Alcotest.fail "dead request not expired");
+  Admit.release a;
+  (match Admit.admit a () with
+  | Admit.Admitted -> Admit.release a
+  | _ -> Alcotest.fail "released slot not reusable");
+  let c = Admit.counters a in
+  Alcotest.(check int) "admitted" 2 c.Admit.admitted;
+  Alcotest.(check int) "shed requests" 1 c.Admit.shed_requests;
+  Alcotest.(check int) "expired" 1 c.Admit.expired;
+  Alcotest.(check int) "peak inflight" 1 c.Admit.peak_inflight;
+  (* Connection ladder: two slots, then shed. *)
+  Alcotest.(check bool) "conn 1" true (Admit.try_conn a);
+  Alcotest.(check bool) "conn 2" true (Admit.try_conn a);
+  Alcotest.(check bool) "conn 3 shed" false (Admit.try_conn a);
+  Admit.conn_closed a;
+  Alcotest.(check bool) "slot freed" true (Admit.try_conn a)
+
+(* deadline_ms is charged from arrival: a request whose budget is already
+   gone is shed as deadline-expired, never dispatched. *)
+let deadline_expired_before_dispatch () =
+  with_server (fun server ->
+      let req =
+        {
+          Protocol.id = 11;
+          op = "predict";
+          params =
+            Json.Obj
+              [
+                ("source", Json.String "int main(){ return 0; }");
+                ("name", Json.String "x.mc");
+                ("deadline_ms", Json.Int 0);
+              ];
+        }
+      in
+      let resp = Server.handle server req in
+      Alcotest.(check bool) "refused" false resp.Protocol.ok;
+      Alcotest.(check int) "exit-code-2 semantics" 2 resp.Protocol.code;
+      (match List.assoc_opt "diagnostic" resp.Protocol.data with
+      | Some d ->
+        Alcotest.(check (option string)) "kind" (Some "deadline-expired")
+          (Json.mem_string "kind" d)
+      | None -> Alcotest.fail "no diagnostic");
+      let a = Admit.counters (Server.admit server) in
+      Alcotest.(check int) "counted as expired" 1 a.Admit.expired;
+      (* The same request without the dead budget is served. *)
+      let ok =
+        Server.handle server
+          {
+            Protocol.id = 12;
+            op = "predict";
+            params =
+              Json.Obj
+                [
+                  ("source", Json.String "int main(){ return 0; }");
+                  ("name", Json.String "x.mc");
+                  ("deadline_ms", Json.Int 60_000);
+                ];
+          }
+      in
+      Alcotest.(check bool) "live budget served" true ok.Protocol.ok)
+
+(* Accept-then-shed: the connection over max_conns gets one structured busy
+   frame (rid 0) with a retry hint, and the admitted connection is
+   undisturbed. *)
+let max_conns_accept_shed () =
+  let settings =
+    { Server.default_settings with
+      Server.limits = { Admit.default_limits with Admit.max_conns = 1 } }
+  in
+  with_live_server ~settings ~tag:"maxconns" (fun _server sock ->
+      Client.with_connection sock (fun conn ->
+          (* Ensure the first connection is accepted and registered. *)
+          let resp = Client.request conn ~op:"ping" () in
+          Alcotest.(check bool) "first conn admitted" true resp.Protocol.ok;
+          let fd = Client.connect_fd sock in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with _ -> ())
+            (fun () ->
+              match Protocol.read_frame fd with
+              | Some payload -> (
+                match Protocol.decode_response payload with
+                | Ok busy ->
+                  Alcotest.(check int) "rid 0" 0 busy.Protocol.rid;
+                  Alcotest.(check bool) "retry hint" true
+                    (Protocol.retry_after_ms busy <> None)
+                | Error msg -> Alcotest.failf "undecodable shed frame: %s" msg)
+              | None -> Alcotest.fail "shed connection closed without a busy frame");
+          (* The admitted connection still works. *)
+          let resp = Client.request conn ~op:"ping" () in
+          Alcotest.(check bool) "survivor still served" true resp.Protocol.ok))
+
+(* The slow-loris drill: a client that sends 3 header bytes and stalls is
+   disconnected by the idle sweeper; a well-behaved client on the same
+   daemon is untouched. *)
+let idle_sweeper_closes_stalled () =
+  let settings =
+    { Server.default_settings with
+      Server.limits = { Admit.default_limits with Admit.idle_timeout_ms = 150 } }
+  in
+  with_live_server ~settings ~tag:"sweeper" (fun server sock ->
+      let fd = Client.connect_fd sock in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          ignore (Unix.write fd (Bytes.of_string "\x00\x00\x00") 0 3);
+          (* The sweeper (or SO_RCVTIMEO) must cut us off well within 5s. *)
+          match Unix.select [ fd ] [] [] 5.0 with
+          | [], _, _ -> Alcotest.fail "stalled connection was not disconnected"
+          | _ ->
+            let n = Unix.read fd (Bytes.create 64) 0 64 in
+            Alcotest.(check int) "EOF, not data" 0 n);
+      (* Normal traffic was never disturbed. *)
+      let resp = Client.request_retry ~addr:sock ~op:"ping" () in
+      Alcotest.(check bool) "daemon healthy" true resp.Protocol.ok;
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while
+        (Admit.counters (Server.admit server)).Admit.idle_closed = 0
+        && Unix.gettimeofday () < deadline
+      do
+        Thread.delay 0.02
+      done;
+      Alcotest.(check bool) "stall counted" true
+        ((Admit.counters (Server.admit server)).Admit.idle_closed >= 1))
+
+(* The acceptance scenario: a daemon capped at 2 in-flight requests, 16
+   concurrent remote clients. Shed clients honor retry_after_ms and every
+   one of them ends with the byte-identical one-shot answer. *)
+let saturation_16_clients_byte_identical () =
+  let settings =
+    { Server.default_settings with
+      Server.jobs = 2;
+      Server.limits =
+        { Admit.default_limits with
+          Admit.max_inflight = 2; max_queue = 2; queue_wait_ms = 30 } }
+  in
+  with_live_server ~settings ~tag:"saturate" (fun server sock ->
+      let qsort = bench_source "qsort" in
+      let want = Ops.predict ~opts:Ops.default_opts ~source:qsort () in
+      (* Deterministic shed first: pin both in-flight slots directly, so the
+         wire request must climb the busy ladder. *)
+      let admit = Server.admit server in
+      (match (Admit.admit admit (), Admit.admit admit ()) with
+      | Admit.Admitted, Admit.Admitted -> ()
+      | _ -> Alcotest.fail "could not pin the in-flight slots");
+      let busy =
+        Client.with_connection sock (fun conn ->
+            Client.request conn ~op:"predict"
+              ~params:
+                (Json.Obj
+                   [ ("source", Json.String qsort); ("name", Json.String "qsort.mc") ])
+              ())
+      in
+      Alcotest.(check bool) "saturated daemon sheds" true
+        (Protocol.retry_after_ms busy <> None);
+      Admit.release admit;
+      Admit.release admit;
+      (* Now the fleet of clients; request_retry rides out every shed. *)
+      let n_clients = 16 in
+      let results = Array.make n_clients None in
+      let threads =
+        List.init n_clients (fun i ->
+            Thread.create
+              (fun () ->
+                results.(i) <-
+                  Some
+                    (Client.request_retry ~attempts:12 ~seed:i ~addr:sock
+                       ~op:"predict"
+                       ~params:
+                         (Json.Obj
+                            [ ("source", Json.String qsort);
+                              ("name", Json.String "qsort.mc") ])
+                       ()))
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i resp ->
+          match resp with
+          | None -> Alcotest.failf "client %d lost" i
+          | Some (resp : Protocol.response) ->
+            Alcotest.(check bool) (Printf.sprintf "client %d ok" i) true
+              resp.Protocol.ok;
+            Alcotest.(check string)
+              (Printf.sprintf "client %d byte-identical" i)
+              want.Ops.out resp.Protocol.out)
+        results;
+      let c = Admit.counters admit in
+      Alcotest.(check bool) "every dispatch admitted" true (c.Admit.admitted >= 16);
+      Alcotest.(check bool) "shed ladder exercised" true (c.Admit.shed_requests >= 1);
+      Alcotest.(check bool) "bounded peak" true (c.Admit.peak_inflight <= 2))
+
+(* request_retry treats a busy answer as a delay, not a result: it sleeps
+   the hint and replays, and only returns the busy response once out of
+   tries. *)
+let request_retry_honors_busy () =
+  let sock = overload_sock "busyretry" in
+  (try Sys.remove sock with _ -> ());
+  let listen_fd = Server.listen_unix sock in
+  let served_busy = ref 0 in
+  let th =
+    Thread.create
+      (fun () ->
+        (* First connection: shed with a 30ms hint. Second: answer. *)
+        for round = 0 to 1 do
+          let fd, _ = Unix.accept listen_fd in
+          (match Protocol.read_frame fd with
+          | Some payload -> (
+            match Protocol.decode_request payload with
+            | Ok req ->
+              let resp =
+                if round = 0 then begin
+                  incr served_busy;
+                  Protocol.busy_response ~rid:req.Protocol.id ~retry_after_ms:30
+                    "shedding"
+                end
+                else
+                  { Protocol.rid = req.Protocol.id; ok = true; code = 0;
+                    out = "pong\n"; err = ""; data = [] }
+              in
+              Protocol.write_frame fd (Protocol.encode_response resp)
+            | Error _ -> ())
+          | None | (exception _) -> ());
+          try Unix.close fd with _ -> ()
+        done)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join th;
+      (try Unix.close listen_fd with _ -> ());
+      try Sys.remove sock with _ -> ())
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let resp = Client.request_retry ~addr:sock ~op:"ping" () in
+      let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      Alcotest.(check bool) "retried through busy" true resp.Protocol.ok;
+      Alcotest.(check string) "real answer" "pong\n" resp.Protocol.out;
+      Alcotest.(check int) "was shed once" 1 !served_busy;
+      Alcotest.(check bool) "waited the hint" true (elapsed_ms >= 25.))
+
+(* The session table is bounded: minting fresh session ids evicts the
+   least-recently-used session instead of growing without bound. *)
+let session_lru_bound () =
+  let t = Session.create ~max_sessions:2 () in
+  ignore (Session.find_or_create t "a");
+  ignore (Session.find_or_create t "b");
+  (* Touch [a] so [b] is the LRU victim. *)
+  ignore (Session.find_or_create t "a");
+  ignore (Session.find_or_create t "c");
+  Alcotest.(check int) "bounded" 2 (Session.count t);
+  let ids = List.sort compare (Session.ids t) in
+  Alcotest.(check (list string)) "LRU evicted" [ "a"; "c" ] ids
+
 let suite =
   ( "server",
     [
@@ -848,4 +1264,16 @@ let suite =
       tc "fleet routing + fleet-status" `Quick fleet_routing_and_status;
       tc "fleet kill-worker failover, 16 clients" `Quick fleet_kill_failover_16_clients;
       tc "fleet wedged workers degrade" `Quick fleet_wedged_worker_degrades;
+      tc "busy response + retry_after_ms" `Quick busy_response_units;
+      tc "frame partial header EOF" `Quick frame_partial_header_eof;
+      tc "frame oversize prefix, bounded alloc" `Quick frame_oversize_prefix_bounded_alloc;
+      tc "oversize prefix contained live" `Quick oversize_prefix_contained_live;
+      tc "EOF mid-payload contained live" `Quick eof_mid_payload_contained_live;
+      tc "admit shed ladder" `Quick admit_shed_ladder_units;
+      tc "deadline expired before dispatch" `Quick deadline_expired_before_dispatch;
+      tc "max-conns accept-then-shed" `Quick max_conns_accept_shed;
+      tc "idle sweeper closes stalled conn" `Quick idle_sweeper_closes_stalled;
+      tc "saturation: 16 clients, 2 in-flight" `Quick saturation_16_clients_byte_identical;
+      tc "request_retry honors busy" `Quick request_retry_honors_busy;
+      tc "session table LRU-bounded" `Quick session_lru_bound;
     ] )

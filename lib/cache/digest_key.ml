@@ -167,6 +167,7 @@ let config_digest (c : Engine.config) =
   add_tag buf (if c.Engine.symbolic then 't' else 'f');
   add_tag buf (if c.Engine.use_assertions then 't' else 'f');
   add_tag buf (if c.Engine.use_derivation then 't' else 'f');
+  add_tag buf (if c.Engine.algebra then 't' else 'f');
   add_int buf c.Engine.eval_quota;
   add_float buf c.Engine.trip_prior;
   add_tag buf (if c.Engine.flow_first then 't' else 'f');

@@ -32,27 +32,27 @@ let profiles =
     {
       pname = "mixed";
       weights =
-        { Synth.counted_loops = 1; nested_arrays = 1; data_loops = 1; branchy = 1; calls = 1 };
+        { Synth.counted_loops = 1; nested_arrays = 1; data_loops = 1; branchy = 1; calls = 1; affine = 0 };
     };
     {
       pname = "loops";
       weights =
-        { Synth.counted_loops = 4; nested_arrays = 1; data_loops = 3; branchy = 1; calls = 1 };
+        { Synth.counted_loops = 4; nested_arrays = 1; data_loops = 3; branchy = 1; calls = 1; affine = 0 };
     };
     {
       pname = "branches";
       weights =
-        { Synth.counted_loops = 1; nested_arrays = 1; data_loops = 1; branchy = 5; calls = 1 };
+        { Synth.counted_loops = 1; nested_arrays = 1; data_loops = 1; branchy = 5; calls = 1; affine = 0 };
     };
     {
       pname = "arrays";
       weights =
-        { Synth.counted_loops = 1; nested_arrays = 5; data_loops = 1; branchy = 1; calls = 1 };
+        { Synth.counted_loops = 1; nested_arrays = 5; data_loops = 1; branchy = 1; calls = 1; affine = 0 };
     };
     {
       pname = "calls";
       weights =
-        { Synth.counted_loops = 1; nested_arrays = 1; data_loops = 1; branchy = 1; calls = 5 };
+        { Synth.counted_loops = 1; nested_arrays = 1; data_loops = 1; branchy = 1; calls = 5; affine = 0 };
     };
     (* Branch-shape diversity for learned-predictor corpora: heavy on
        conditionals, with enough loops and array traffic that the loop- and
@@ -60,7 +60,15 @@ let profiles =
     {
       pname = "features";
       weights =
-        { Synth.counted_loops = 3; nested_arrays = 3; data_loops = 2; branchy = 5; calls = 1 };
+        { Synth.counted_loops = 3; nested_arrays = 3; data_loops = 2; branchy = 5; calls = 1; affine = 0 };
+    };
+    (* Affine index patterns ([2*i+1], [size-1-i], guarded [x+c]) whose
+       guards recompute the tested expression at the use site — discharged
+       by the sum-of-products algebra, never by v1 [var + const] bounds. *)
+    {
+      pname = "affine";
+      weights =
+        { Synth.counted_loops = 1; nested_arrays = 1; data_loops = 1; branchy = 1; calls = 1; affine = 6 };
     };
   ]
 
@@ -250,6 +258,9 @@ let rec gen_stmt ctx : Ast.stmt list =
       ((if ctx.arrays = [] then 0 else 1 + (2 * w.Synth.nested_arrays)), fun () -> [ store ctx ]);
       ((if ctx.callees = [] then 0 else 2 * w.Synth.calls), fun () -> [ call_stmt ctx ]);
       ((if ctx.depth = 0 then 0 else 1), fun () -> [ escape ctx ]);
+      (* appended last so profiles with [affine = 0] keep their historical
+         RNG stream byte for byte *)
+      ((if nested then 0 else 2 * w.Synth.affine), fun () -> affine_stmt ctx);
     ]
 
 and decl ctx =
@@ -335,6 +346,131 @@ and escape ctx =
       ]
   in
   stmt (Ast.Sif (cond, [ inner ], None))
+
+(* Affine index patterns whose guards recompute the tested expression at
+   the use site: lowering gives the guard and the access {e distinct}
+   temporaries, so v1 [var + const] bounds cannot connect them — only the
+   sum-of-products algebra can. Loops keep [for_stmt]'s termination
+   discipline (literal bounds, positive literal stride, counter never
+   assignable). *)
+and affine_stmt ctx : Ast.stmt list =
+  weighted ctx
+    [
+      ((if ctx.arrays = [] then 0 else 3), fun () -> affine_odd_loop ctx);
+      ((if ctx.arrays = [] then 0 else 2), fun () -> affine_reverse_loop ctx);
+      ((if ctx.ints = [] then 0 else 2), fun () -> affine_guard_chain ctx);
+      ( (if ctx.ints = [] || ctx.arrays = [] then 0 else 2),
+        fun () -> affine_offset_store ctx );
+      (1, fun () -> [ decl ctx ]);
+    ]
+
+and affine_odd_loop ctx =
+  (* for (i = 0; i < size; i++) if (2*i+1 < size) a[2*i+1] = e;
+     The stride-2 image [2*i+1] reaches up to [2*size-1], so the numeric
+     interval never proves the upper bound — the guard does, but only once
+     the algebra equates the guard temp and the index temp. *)
+  let name, size = pick_list ctx ctx.arrays in
+  let i = fresh ctx "i" in
+  let idx () =
+    Ast.Binop (Ast.Add, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Var i), Ast.Int 1)
+  in
+  let saved_ints = ctx.ints and saved_loop = ctx.loop in
+  ctx.ints <- i :: ctx.ints (* readable, never assignable *);
+  ctx.loop <- `For;
+  let rhs = int_expr ctx 1 in
+  ctx.ints <- saved_ints;
+  ctx.loop <- saved_loop;
+  let body =
+    [
+      stmt
+        (Ast.Sif
+           ( Ast.Rel (Ast.Lt, idx (), Ast.Int size),
+             [ stmt (Ast.Sassign (Ast.Lindex (name, idx ()), rhs)) ],
+             None ));
+    ]
+  in
+  [
+    stmt
+      (Ast.Sfor
+         ( Some (stmt (Ast.Sdecl (Ast.Tint, i, Ast.Iscalar (Some (Ast.Int 0))))),
+           Some (Ast.Rel (Ast.Lt, Ast.Var i, Ast.Int size)),
+           Some (stmt (Ast.Sassign (Ast.Lvar i, Ast.Binop (Ast.Add, Ast.Var i, Ast.Int 1)))),
+           body ));
+  ]
+
+and affine_reverse_loop ctx =
+  (* for (i = 0; i < size + slack; i++) if (size-1-i >= 0) a[size-1-i] = e;
+     the overshooting bound drives [size-1-i] negative, so only the
+     recomputed-expression guard proves the lower bound. *)
+  let name, size = pick_list ctx ctx.arrays in
+  let i = fresh ctx "i" in
+  let slack = 1 + Prng.int ctx.rng 8 in
+  let idx () = Ast.Binop (Ast.Sub, Ast.Int (size - 1), Ast.Var i) in
+  let saved_ints = ctx.ints and saved_loop = ctx.loop in
+  ctx.ints <- i :: ctx.ints (* readable, never assignable *);
+  ctx.loop <- `For;
+  let rhs = int_expr ctx 1 in
+  ctx.ints <- saved_ints;
+  ctx.loop <- saved_loop;
+  let body =
+    [
+      stmt
+        (Ast.Sif
+           ( Ast.Rel (Ast.Ge, idx (), Ast.Int 0),
+             [ stmt (Ast.Sassign (Ast.Lindex (name, idx ()), rhs)) ],
+             None ));
+    ]
+  in
+  [
+    stmt
+      (Ast.Sfor
+         ( Some (stmt (Ast.Sdecl (Ast.Tint, i, Ast.Iscalar (Some (Ast.Int 0))))),
+           Some (Ast.Rel (Ast.Lt, Ast.Var i, Ast.Int (size + slack))),
+           Some (stmt (Ast.Sassign (Ast.Lvar i, Ast.Binop (Ast.Add, Ast.Var i, Ast.Int 1)))),
+           body ));
+  ]
+
+and affine_guard_chain ctx =
+  (* if (2*x+1 < K) if (2*x < K) { ... } — the inner branch is provably
+     one-way, but only through the polynomial implication. *)
+  let x = pick_list ctx ctx.ints in
+  let k = 4 + Prng.int ctx.rng 60 in
+  let e coeff c =
+    Ast.Binop (Ast.Add, Ast.Binop (Ast.Mul, Ast.Int coeff, Ast.Var x), Ast.Int c)
+  in
+  let inner_body =
+    match ctx.assignable with
+    | [] -> [ stmt (Ast.Sreturn (Some (int_expr ctx 1))) ]
+    | vs -> [ stmt (Ast.Sassign (Ast.Lvar (pick_list ctx vs), int_expr ctx 1)) ]
+  in
+  [
+    stmt
+      (Ast.Sif
+         ( Ast.Rel (Ast.Lt, e 2 1, Ast.Int k),
+           [ stmt (Ast.Sif (Ast.Rel (Ast.Lt, e 2 0, Ast.Int k), inner_body, None)) ],
+           None ));
+  ]
+
+and affine_offset_store ctx =
+  (* if (x+c < size) if (x+c >= 0) a[x+c] = e; — both bounds come from
+     guards on a recomputed expression. *)
+  let name, size = pick_list ctx ctx.arrays in
+  let x = pick_list ctx ctx.ints in
+  let c = Prng.int ctx.rng 5 in
+  let idx () = Ast.Binop (Ast.Add, Ast.Var x, Ast.Int c) in
+  [
+    stmt
+      (Ast.Sif
+         ( Ast.Rel (Ast.Lt, idx (), Ast.Int size),
+           [
+             stmt
+               (Ast.Sif
+                  ( Ast.Rel (Ast.Ge, idx (), Ast.Int 0),
+                    [ stmt (Ast.Sassign (Ast.Lindex (name, idx ()), int_expr ctx 1)) ],
+                    None ));
+           ],
+           None ));
+  ]
 
 and sub_block ctx : Ast.block =
   ctx.depth <- ctx.depth + 1;

@@ -22,6 +22,7 @@ type property =
   | Bounds_safety
   | Prediction_consistency
   | Determinism
+  | Algebra_refinement
 
 let property_name = function
   | Well_formed -> "well-formed"
@@ -30,6 +31,7 @@ let property_name = function
   | Bounds_safety -> "bounds-safety"
   | Prediction_consistency -> "prediction-consistency"
   | Determinism -> "determinism"
+  | Algebra_refinement -> "algebra-refinement"
 
 type violation = { prop : property; vfn : string; detail : string }
 
@@ -76,6 +78,18 @@ let memo (f : string -> 'a) : string -> 'a =
       Hashtbl.add tbl key v;
       v
 
+(* Static results are trustworthy end to end: the driver converged, no
+   function was demoted, no analysis exhausted fuel or timed out. *)
+let end_to_end_trusted (ssa : Ir.program) (ipa : Interproc.t) : bool =
+  ipa.Interproc.converged
+  && Hashtbl.length ipa.Interproc.failed = 0
+  && List.for_all
+       (fun (f : Ir.fn) ->
+         match Interproc.result ipa f.Ir.fname with
+         | Some r -> not (r.Engine.fuel_exhausted || r.Engine.timed_out)
+         | None -> true)
+       ssa.Ir.fns
+
 let check ?(config = Engine.default_config)
     ?(args_list = Gen.main_args) (source : string) : outcome =
   match Pipeline.compile_result source with
@@ -90,16 +104,7 @@ let check ?(config = Engine.default_config)
     let ipa = Interproc.analyze ~config ssa in
     (* Membership oracles are armed only when the static results are
        trustworthy end to end (see the interface). *)
-    let trusted =
-      ipa.Interproc.converged
-      && Hashtbl.length ipa.Interproc.failed = 0
-      && List.for_all
-           (fun (f : Ir.fn) ->
-             match Interproc.result ipa f.Ir.fname with
-             | Some r -> not (r.Engine.fuel_exhausted || r.Engine.timed_out)
-             | None -> true)
-           ssa.Ir.fns
-    in
+    let trusted = end_to_end_trusted ssa ipa in
     let engine_of = memo (fun fn -> Interproc.result ipa fn) in
     let sccp_of =
       memo (fun fn ->
@@ -117,7 +122,11 @@ let check ?(config = Engine.default_config)
           match engine_of f.Ir.fname with
           | None -> ()
           | Some res ->
-            let report = Bounds_check.analyze ssa res in
+            let report =
+              Bounds_check.analyze
+                ~algebra:(config.Engine.symbolic && config.Engine.algebra)
+                ssa res
+            in
             List.iter
               (fun (c : Bounds_check.check) ->
                 Hashtbl.replace bounds_map
@@ -306,3 +315,129 @@ let check_determinism ?(config = Engine.default_config) ~(name : string)
       expect "journalled" (render ~journal 1);
       expect "journal-resumed" (render ~journal 1));
   List.rev !violations
+
+(* ------------------------------------------------------------------ *)
+(* Differential algebra refinement                                     *)
+
+(* Membership probes for the "ranges only tighten" direction: a dense grid
+   around the magnitudes the generator emits, plus a few outliers. *)
+let probe_grid =
+  List.init 131 (fun i -> i - 65) @ [ -65536; -1000; -256; 255; 1000; 65535 ]
+
+(* Decidable membership: [Some] only when the value is numeric enough to
+   decide. Symbolic bounds are undecided — their concrete extent depends on
+   the base — so they can never produce a (false-positive) disagreement. *)
+let decided_mem (v : Value.t) (n : int) : bool option =
+  match v with
+  | Value.Bottom -> Some true
+  | Value.Top -> Some false
+  | Value.Ranges rs ->
+    let rec go = function
+      | [] -> Some false
+      | r :: rest ->
+        if not (Srange.is_numeric r) then None
+        else (
+          match Srange.prog r with
+          | None -> None
+          | Some p -> if P.mem n p then Some true else go rest)
+    in
+    go rs
+
+let check_algebra ?(config = Engine.default_config) (source : string) :
+    bool * violation list =
+  match Pipeline.compile_result source with
+  | Error _ -> (false, []) (* [check] reports the Well_formed failure *)
+  | Ok compiled ->
+    let ssa = compiled.Pipeline.ssa in
+    let ipa1 = Interproc.analyze ~config:{ config with Engine.algebra = false } ssa in
+    let ipa2 = Interproc.analyze ~config:{ config with Engine.algebra = true } ssa in
+    (* Both sides must be trustworthy end to end, else governor timing —
+       not the algebra — explains any difference. *)
+    if not (end_to_end_trusted ssa ipa1 && end_to_end_trusted ssa ipa2) then
+      (false, [])
+    else begin
+      let violations = ref [] in
+      let nviol = ref 0 in
+      let add ~vfn detail =
+        if !nviol < max_violations then begin
+          incr nviol;
+          violations := { prop = Algebra_refinement; vfn; detail } :: !violations
+        end
+      in
+      List.iter
+        (fun (f : Ir.fn) ->
+          match (Interproc.result ipa1 f.Ir.fname, Interproc.result ipa2 f.Ir.fname) with
+          | Some r1, Some r2 ->
+            (* Ranges only tighten: no value decidably excluded without the
+               algebra may be decidably admitted with it. A ⊥ on the v2
+               side claims nothing and is vacuous. *)
+            Array.iteri
+              (fun id val1 ->
+                if id < Array.length r2.Engine.values then
+                  match r2.Engine.values.(id) with
+                  | Value.Bottom -> ()
+                  | val2 ->
+                    List.iter
+                      (fun n ->
+                        match (decided_mem val1 n, decided_mem val2 n) with
+                        | Some false, Some true ->
+                          add ~vfn:f.Ir.fname
+                            (Printf.sprintf
+                               "v%d: %d excluded without algebra (%s) but \
+                                admitted with it (%s)"
+                               id n (Value.to_string val1) (Value.to_string val2))
+                        | _ -> ())
+                      probe_grid)
+              r1.Engine.values;
+            (* One-way branches are preserved: a branch proven one-way
+               without the algebra stays proven, with the same direction
+               (unless the whole block died, which is strictly stronger). *)
+            Ir.iter_blocks f (fun b ->
+                match b.Ir.term with
+                | Ir.Br _ when r2.Engine.visited.(b.Ir.bid) -> (
+                  match Engine.branch_prob r1 b.Ir.bid with
+                  | Some p
+                    when (p = 0.0 || p = 1.0)
+                         && not (Engine.used_fallback r1 b.Ir.bid) -> (
+                    match Engine.branch_prob r2 b.Ir.bid with
+                    | Some q when q = p && not (Engine.used_fallback r2 b.Ir.bid)
+                      ->
+                      ()
+                    | _ ->
+                      add ~vfn:f.Ir.fname
+                        (Printf.sprintf
+                           "block %d proven one-way (p=%.1f) without algebra \
+                            but not with it"
+                           b.Ir.bid p))
+                  | _ -> ())
+                | _ -> ());
+            (* Bounds-check eliminations only grow (site by site). *)
+            let rep1 = Bounds_check.analyze ~algebra:false ssa r1 in
+            let rep2 = Bounds_check.analyze ~algebra:true ssa r2 in
+            let safe2 = Hashtbl.create 16 in
+            List.iter
+              (fun (c : Bounds_check.check) ->
+                Hashtbl.replace safe2
+                  (c.Bounds_check.block, c.Bounds_check.instr_index)
+                  c.Bounds_check.provably_safe)
+              rep2.Bounds_check.checks;
+            List.iter
+              (fun (c : Bounds_check.check) ->
+                if c.Bounds_check.provably_safe then
+                  match
+                    Hashtbl.find_opt safe2
+                      (c.Bounds_check.block, c.Bounds_check.instr_index)
+                  with
+                  | Some true | None -> ()
+                  | Some false ->
+                    add ~vfn:f.Ir.fname
+                      (Printf.sprintf
+                         "check %s[.] at block %d instr %d eliminated without \
+                          algebra but not with it"
+                         c.Bounds_check.array c.Bounds_check.block
+                         c.Bounds_check.instr_index))
+              rep1.Bounds_check.checks
+          | _ -> ())
+        ssa.Ir.fns;
+      (true, List.rev !violations)
+    end

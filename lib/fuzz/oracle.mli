@@ -42,6 +42,10 @@ type property =
   | Bounds_safety
   | Prediction_consistency
   | Determinism
+  | Algebra_refinement
+      (** the sum-of-products algebra weakened a claim the v1 analysis
+          made: a range loosened, a one-way branch un-proved, or a
+          bounds-check elimination lost (see {!check_algebra}) *)
 
 val property_name : property -> string
 
@@ -76,3 +80,14 @@ val check :
     removed before returning. *)
 val check_determinism :
   ?config:Engine.config -> name:string -> string -> violation list
+
+(** Differential refinement check for the sum-of-products algebra: analyse
+    the program with [algebra] off and on (everything else from [config]),
+    and require that switching it on only refines — inferred ranges only
+    tighten (checked decidably over a probe grid, v2-⊥ vacuous), branches
+    proven one-way stay proven with the same direction, and per-site
+    bounds-check eliminations only grow. Returns [(armed, violations)]:
+    [armed] is false (and the list empty) when either side failed to
+    converge end to end, in which case governor timing — not the algebra —
+    would explain any difference. *)
+val check_algebra : ?config:Engine.config -> string -> bool * violation list

@@ -18,6 +18,7 @@ type summary = {
   trapped : int;
   membership_checked : int;
   determinism_checked : int;
+  algebra_checked : int;
   failures : failure list;
 }
 
@@ -36,6 +37,7 @@ let run ?(config = Engine.default_config) ?(minimize = false)
   let trapped = ref 0 in
   let checked = ref 0 in
   let det = ref 0 in
+  let alg = ref 0 in
   let failures = ref [] in
   List.iter
     (fun (p : Gen.profile) ->
@@ -48,6 +50,13 @@ let run ?(config = Engine.default_config) ?(minimize = false)
         if o.Oracle.trapped then incr trapped;
         if o.Oracle.membership_checked then incr checked;
         let violations = ref o.Oracle.violations in
+        (* Differential algebra refinement: v1 vs v2 on every program the
+           full config would run with the algebra on. *)
+        if config.Engine.symbolic && config.Engine.algebra then begin
+          let armed, av = Oracle.check_algebra ~config source in
+          if armed then incr alg;
+          violations := !violations @ av
+        end;
         if determinism_every > 0 && i mod determinism_every = 0 then begin
           incr det;
           let name = Printf.sprintf "%s_%d" p.Gen.pname i in
@@ -63,6 +72,8 @@ let run ?(config = Engine.default_config) ?(minimize = false)
                 match prop with
                 | Oracle.Determinism ->
                   Oracle.check_determinism ~config ~name:"shrink" src <> []
+                | Oracle.Algebra_refinement ->
+                  snd (Oracle.check_algebra ~config src) <> []
                 | _ ->
                   let oc = Oracle.check ~config src in
                   List.exists
@@ -98,6 +109,7 @@ let run ?(config = Engine.default_config) ?(minimize = false)
     trapped = !trapped;
     membership_checked = !checked;
     determinism_checked = !det;
+    algebra_checked = !alg;
     failures = List.rev !failures;
   }
 
@@ -110,6 +122,7 @@ let render (s : summary) : string =
   Printf.bprintf b "trapped: %d\n" s.trapped;
   Printf.bprintf b "membership-checked: %d\n" s.membership_checked;
   Printf.bprintf b "determinism-checked: %d\n" s.determinism_checked;
+  Printf.bprintf b "algebra-checked: %d\n" s.algebra_checked;
   Printf.bprintf b "failures: %d\n" (List.length s.failures);
   List.iter
     (fun f ->

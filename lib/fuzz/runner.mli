@@ -3,8 +3,10 @@
     A campaign is fully determined by [(seed, count, profiles)]: program
     [i] of profile [p] is generated from a PRNG seeded by mixing [seed],
     the profile name and [i], so any failure is replayable in isolation.
-    Each program runs through {!Oracle.check}; every [determinism_every]-th
-    program additionally runs the (much more expensive) differential
+    Each program runs through {!Oracle.check} and (when the configuration
+    enables the sum-of-products algebra) the differential
+    {!Oracle.check_algebra}; every [determinism_every]-th program
+    additionally runs the (much more expensive) differential
     {!Oracle.check_determinism}. Failures are optionally minimised with
     {!Shrink.minimize} under a predicate that accepts only candidates
     failing the same property. The summary is deterministic — no timing,
@@ -27,6 +29,9 @@ type summary = {
   membership_checked : int;
       (** programs whose static results were trusted end to end *)
   determinism_checked : int;
+  algebra_checked : int;
+      (** programs where the {!Oracle.check_algebra} differential was
+          armed (both the algebra-off and algebra-on runs converged) *)
   failures : failure list;
 }
 

@@ -1,6 +1,15 @@
 (** Symbolic bounds: [SSA variable + constant] (paper §3.4). A bound is a
     plain integer when [base = None]. Arithmetic and comparison are partial:
-    [None] means the answer needs more than one base variable. *)
+    [None] means either that the answer needs more than one base variable, or
+    that an offset lies beyond the [limit] magnitude cap — [cmp] refuses to
+    order same-base bounds once either offset exceeds [limit], because such
+    bounds are outside the window where range arithmetic is exact and the
+    caller is about to widen them to ⊥ anyway.
+
+    The [le]/[lt]/[ge]/[gt] wrappers additionally consult the ambient
+    {!oracle} (installed by the engine when symbolic algebra v2 is enabled)
+    before giving up, so relational facts like [i < n] can decide
+    comparisons between different base variables. *)
 
 module Var = Vrp_ir.Var
 
@@ -25,8 +34,19 @@ val add : t -> t -> t option
 (** Subtraction; same-base operands cancel to a numeric result. *)
 val sub : t -> t -> t option
 
-(** Partial comparison: [None] = undecidable without the base's value. *)
+(** Partial comparison: [None] = undecidable without the base's value, or
+    either offset beyond the [limit] cap. *)
 val cmp : t -> t -> int option
+
+(** Relation oracle consulted by [le]/[lt]/[ge]/[gt] when [cmp] is [None].
+    Installed domain-locally (like [Counters] frames); [with_relation_oracle]
+    restores the previous oracle on exit, exceptions included. *)
+type oracle = {
+  o_le : t -> t -> bool option;  (** decides [a <= b] *)
+  o_lt : t -> t -> bool option;  (** decides [a < b] *)
+}
+
+val with_relation_oracle : oracle -> (unit -> 'a) -> 'a
 
 val le : t -> t -> bool option
 val lt : t -> t -> bool option

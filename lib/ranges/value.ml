@@ -474,8 +474,12 @@ let narrow_hi (r : Srange.t) (limit : Sym.t) : Srange.t option =
         else Some { nr with Srange.p = nr.Srange.p *. frac }
       | _ -> Some nr)
   in
-  match Sym.cmp limit r.hi with
-  | Some c -> if c >= 0 then Some r (* already within bound *) else apply limit
+  (* [ge] rather than [cmp]: identical on same-base bounds, but the ambient
+     relation oracle (symbolic algebra v2) can additionally decide cross-base
+     pairs like [n-1 >= m], making the narrowing strictly tighter. *)
+  match Sym.ge limit r.hi with
+  | Some true -> Some r (* already within bound *)
+  | Some false -> apply limit
   | None ->
     (* Bounds not comparable: both r.hi and limit are sound upper bounds.
        Prefer the numeric one — it can decide future comparisons and makes
@@ -506,8 +510,10 @@ let narrow_lo (r : Srange.t) (limit : Sym.t) : Srange.t option =
         else Some { nr with Srange.p = nr.Srange.p *. frac }
       | _ -> Some nr)
   in
-  match Sym.cmp limit r.lo with
-  | Some c -> if c <= 0 then Some r else apply limit
+  (* Oracle-aware for the same reason as [narrow_hi]. *)
+  match Sym.le limit r.lo with
+  | Some true -> Some r
+  | Some false -> apply limit
   | None ->
     if Sym.is_numeric limit then
       Srange.make ~p:r.Srange.p ~lo:limit ~hi:r.hi ~stride:r.stride
@@ -598,7 +604,21 @@ let assert_narrow (a : t) (rel : Vrp_lang.Ast.relop) (b : t) : t =
     Any ⊥ contribution with non-zero weight makes the result ⊥; ⊤
     contributions are ignored (not-yet-known paths). *)
 let union_weighted (parts : (float * t) list) : t =
-  let parts = List.filter (fun (w, _) -> w > Config.eps) parts in
+  (* Weights are unnormalised frequency masses, and a deep chain of loops
+     decays the mass below any fixed cutoff (five sequential loops suffice
+     for [Config.eps]). A live contribution must never be dropped on weight
+     alone: its members would vanish from the merge, and with every part
+     dropped the φ would sit at optimistic ⊤ — both unsound. The merge is
+     scale-invariant ([normalize] rescales mass to 1), so when any live
+     weight sits at or below the cutoff, divide all weights by the largest
+     one instead of filtering; otherwise keep the exact arithmetic path. *)
+  let parts = List.filter (fun (w, _) -> w > 0.0) parts in
+  let parts =
+    if List.exists (fun (w, _) -> w <= Config.eps) parts then
+      let wmax = List.fold_left (fun m (w, _) -> Float.max m w) 0.0 parts in
+      List.map (fun (w, v) -> (w /. wmax, v)) parts
+    else parts
+  in
   if parts = [] then Top
   else if List.exists (fun (_, v) -> is_bottom v) parts then Bottom
   else begin

@@ -717,6 +717,61 @@ int main(int n, int s) {
 }
 |}
 
+(* Affine index traffic (symbolic algebra v2 showcase): every guard
+   recomputes the tested expression at its use site — [2*i + 1], [2*i],
+   [n - 1 - i] — so the guard condition and the access index lower to
+   distinct SSA temps. v1 symbolic bounds ([var + const]) cannot connect
+   them; the sum-of-products prover discharges the bounds checks and the
+   nested guard chain in [fold] becomes a proven one-way branch. *)
+let affine =
+  rng_preamble
+  ^ {|
+int data[4096];
+int aux[4096];
+
+void reverse_fill(int n) {
+  // Deliberately overshoots by 3: the guard, not the loop bound, keeps
+  // the store in range, and only algebra proves n-1-i >= 0 from i < n.
+  for (int i = 0; i < n + 3; i++) {
+    if (n - 1 - i >= 0) {
+      data[n - 1 - i] = rand_below(100000);
+    }
+  }
+}
+
+void deinterleave(int n) {
+  for (int i = 0; i < n; i++) {
+    if (2 * i + 1 < n) {
+      aux[2 * i + 1] = data[i];
+    }
+    if (2 * i < n) {
+      aux[2 * i] = data[n - 1 - i];
+    }
+  }
+}
+
+int fold(int n) {
+  int acc = 0;
+  for (int x = 0; x < n; x++) {
+    if (2 * x + 1 < n) {
+      if (2 * x < n) {
+        acc = (acc + aux[2 * x] + aux[2 * x + 1]) % 100000;
+      }
+    }
+  }
+  return acc;
+}
+
+int main(int n, int seed) {
+  if (n < 8) { n = 8; }
+  if (n > 4096) { n = 4096; }
+  rng = seed % 65536 + 1;
+  reverse_fill(n);
+  deinterleave(n);
+  return fold(n);
+}
+|}
+
 let all : (string * string) list =
   [
     ("qsort", qsort);
@@ -730,4 +785,5 @@ let all : (string * string) list =
     ("proto", proto);
     ("sieve", sieve);
     ("calc", calc);
+    ("affine", affine);
   ]

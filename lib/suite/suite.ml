@@ -36,6 +36,7 @@ let benchmarks : benchmark list =
     mk "proto" Int_suite Progs_int.proto ~train:[ 250; 47 ] ~ref_:[ 3500; 9 ];
     mk "sieve" Int_suite Progs_int.sieve ~train:[ 60; 7 ] ~ref_:[ 900; 33 ];
     mk "calc" Int_suite Progs_int.calc ~train:[ 60; 21 ] ~ref_:[ 800; 55 ];
+    mk "affine" Int_suite Progs_int.affine ~train:[ 300; 9 ] ~ref_:[ 4000; 27 ];
     (* Numeric suite. *)
     mk "matmul" Fp_suite Progs_fp.matmul ~train:[ 2; 41 ] ~ref_:[ 6; 7 ];
     mk "jacobi" Fp_suite Progs_fp.jacobi ~train:[ 10; 5 ] ~ref_:[ 60; 61 ];

@@ -14,18 +14,30 @@ type weights = {
   data_loops : int;
   branchy : int;
   calls : int;
+  affine : int;
 }
 
 let default_weights =
-  { counted_loops = 1; nested_arrays = 1; data_loops = 1; branchy = 1; calls = 0 }
+  {
+    counted_loops = 1;
+    nested_arrays = 1;
+    data_loops = 1;
+    branchy = 1;
+    calls = 0;
+    affine = 0;
+  }
 
 (* Weighted shape choice. With [default_weights] the total is 4 and the
    cumulative mapping is the identity, so the RNG stream (one [Prng.int]
    draw of bound 4) and therefore the emitted program are unchanged from
-   the historical hard-coded mix. *)
+   the historical hard-coded mix. The [affine] shape is appended last for
+   the same reason: a zero weight leaves the stream untouched. *)
 let pick_shape rng w =
   let table =
-    [| w.counted_loops; w.nested_arrays; w.data_loops; w.branchy; w.calls |]
+    [|
+      w.counted_loops; w.nested_arrays; w.data_loops; w.branchy; w.calls;
+      w.affine;
+    |]
   in
   let total = Array.fold_left ( + ) 0 table in
   if total <= 0 then 0
@@ -100,7 +112,7 @@ let generate ?(weights = default_weights) ~(units : int) ~(seed : int) () :
            \  if (t %% 3 == 0) { acc = acc * 2; } else { acc = acc + b; }\n\
            \  for (int i = 0; i < %d; i++) { acc = acc + aux[i %% 1024]; }\n"
            threshold bound)
-    | _ ->
+    | 4 ->
       (* call-heavy: branch on the parameters, then lean on earlier units *)
       Buffer.add_string buf
         (Printf.sprintf
@@ -112,7 +124,18 @@ let generate ?(weights = default_weights) ~(units : int) ~(seed : int) () :
           (Printf.sprintf
              "  acc = acc + unit%d(u, v);\n\
              \  acc = acc + unit%d(v, acc %% %d);\n"
-             (f - 1) (f - 1) (threshold + 3)));
+             (f - 1) (f - 1) (threshold + 3))
+    | _ ->
+      (* affine index traffic: the guarded [2*i+1] access recomputes the
+         tested expression at the use site, so only the sum-of-products
+         algebra connects guard and index *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  for (int i = 0; i < %d; i++) {\n\
+           \    if (2 * i + 1 < 1024) { data[2 * i + 1] = acc %% 256; }\n\
+           \    acc = acc + aux[1023 - i];\n\
+           \  }\n"
+           (512 + bound)));
     if f > 0 then
       Buffer.add_string buf
         (Printf.sprintf "  acc = acc + unit%d(acc, a %% 97);\n" (f - 1));

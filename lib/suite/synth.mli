@@ -13,11 +13,15 @@ type weights = {
   data_loops : int;  (** data-dependent while loops *)
   branchy : int;  (** chained conditionals *)
   calls : int;  (** extra calls into earlier units *)
+  affine : int;
+      (** affine index patterns ([a\[2*i+1\]], [a\[n-1-i\]]) behind guards
+          that recompute the tested expression — discharged only by the
+          sum-of-products algebra ({!Vrp_ranges.Sop}) *)
 }
 
 val default_weights : weights
 (** The historical fixed mix: the four original shapes equally weighted,
-    no extra call shape. [generate] with [default_weights] reproduces the
-    pre-[?weights] output byte for byte. *)
+    no extra call or affine shape. [generate] with [default_weights]
+    reproduces the pre-[?weights] output byte for byte. *)
 
 val generate : ?weights:weights -> units:int -> seed:int -> unit -> string

@@ -53,8 +53,12 @@ let within (v : Value.t) ~(size : int) : bool * bool =
     (lower, upper)
 
 (** Analyse every array access of [res]'s function against the array tables
-    of [program]. *)
-let analyze (program : Ir.program) (res : Engine.t) : report =
+    of [program]. With [algebra] (default), accesses the numeric ranges
+    cannot prove safe get a second chance against the symbolic-algebra-v2
+    prover: assertion facts, SSA-def equations, and the converged ranges
+    together discharge affine index patterns ([a\[2*i+1\]], [a\[n-i-1\]])
+    whose values widen to ⊥ under [var + const] bounds alone. *)
+let analyze ?(algebra = true) (program : Ir.program) (res : Engine.t) : report =
   let fn = res.Engine.fn in
   let lookup (v : Var.t) = res.Engine.values.(v.Var.id) in
   let index_value (op : Ir.operand) : Value.t =
@@ -62,6 +66,20 @@ let analyze (program : Ir.program) (res : Engine.t) : report =
     | Ir.Cint n -> Value.const_int n
     | Ir.Cfloat _ -> Value.bottom
     | Ir.Ovar v -> Value.subst (lookup v) ~lookup
+  in
+  (* The algebraic context is only sound on converged results: partial
+     (fuel-exhausted / timed-out) ranges are transient claims. Built lazily:
+     most functions prove all their checks numerically. *)
+  let converged = not (res.Engine.fuel_exhausted || res.Engine.timed_out) in
+  let alg = ref None in
+  let alg_ctx () =
+    match !alg with
+    | Some ctx -> ctx
+    | None ->
+      let ctx = Alg.make fn in
+      Alg.add_range_facts ctx ~values:res.Engine.values;
+      alg := Some ctx;
+      ctx
   in
   let checks = ref [] in
   Ir.iter_blocks fn (fun b ->
@@ -74,6 +92,17 @@ let analyze (program : Ir.program) (res : Engine.t) : report =
               | Some info ->
                 let lower_safe, upper_safe =
                   within (index_value index) ~size:info.Ir.size
+                in
+                let lower_safe, upper_safe =
+                  if (lower_safe && upper_safe) || not (algebra && converged)
+                  then (lower_safe, upper_safe)
+                  else begin
+                    let alower, aupper =
+                      Alg.prove_index_bounds (alg_ctx ()) ~bid:b.Ir.bid
+                        ~size:info.Ir.size index
+                    in
+                    (lower_safe || alower, upper_safe || aupper)
+                  end
                 in
                 checks :=
                   {

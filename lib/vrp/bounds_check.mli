@@ -20,5 +20,8 @@ type check = {
 type report = { checks : check list; total : int; eliminated : int }
 
 (** Analyse every array access of the function analysed in [Engine.t]
-    against the array tables of the program. *)
-val analyze : Ir.program -> Engine.t -> report
+    against the array tables of the program. [algebra] (default [true])
+    additionally runs the symbolic-algebra-v2 prover ({!Alg}) on accesses
+    the numeric ranges cannot discharge — pass [false] to measure the v1
+    baseline. Algebraic proofs are only attempted on converged results. *)
+val analyze : ?algebra:bool -> Ir.program -> Engine.t -> report

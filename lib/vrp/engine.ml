@@ -41,6 +41,13 @@ type config = {
   symbolic : bool;  (** track symbolic ranges (paper's full configuration) *)
   use_assertions : bool;  (** narrow through branch assertions *)
   use_derivation : bool;  (** derive loop-carried φs instead of iterating *)
+  algebra : bool;
+      (** symbolic algebra v2: build a per-function {!Alg} fact context
+          (sum-of-products equations + scoped assertion facts) and run a
+          post-fixpoint pass that upgrades fallback branches to proved
+          one-way predictions. The fixpoint itself never consults the facts
+          — the trajectory and final ranges are byte-identical to v1, so v2
+          strictly adds proofs. Only effective with [symbolic] *)
   eval_quota : int;
       (** per-variable value {e changes} before widening to ⊥. Implements
           the paper's §4 observation operationally: ranges that keep
@@ -79,6 +86,7 @@ let default_config =
     symbolic = true;
     use_assertions = true;
     use_derivation = true;
+    algebra = true;
     eval_quota = 12;
     trip_prior = 10.0;
     flow_first = true;
@@ -667,6 +675,13 @@ let analyze ?(config = default_config) ?report
       widenings = 0;
     }
   in
+  (* The fixpoint below deliberately runs WITHOUT the ambient [Sym] relation
+     oracle: installing it mid-run keeps more endpoints symbolic, which
+     perturbs the iteration trajectory, trips the growth/widening caps more
+     often, and can end with *wider* final ranges than v1 (measured on the
+     committed suite). All v2 gains are post-fixpoint passes over converged
+     v1-identical ranges — monotone by construction, and byte-identical
+     whenever the algebra discovers nothing new. *)
   (* Parameters: supplied ranges, or ⊥ (program input). *)
   let pvals =
     match param_values with
@@ -770,6 +785,41 @@ let analyze ?(config = default_config) ?report
       (Printf.sprintf
          "wall-clock limit hit after %d steps; results are partial" fuel_spent)
   end;
+  (* Symbolic algebra v2, post-fixpoint pass: harvest the converged ranges
+     into the fact environment, then try to prove fallback branches one-way.
+     Only fallback branches are touched — a range-derived probability is
+     never overridden — and only on converged runs, since mid-run ranges are
+     transient and unsound to cite as facts. Building the fact context is
+     the expensive part, so it is deferred until the first candidate: a
+     function whose branches all converged to range-derived probabilities
+     pays nothing for having the algebra enabled. *)
+  (if config.symbolic && config.algebra && (not !exhausted) && not !timed_out
+   then
+     let alg = ref None in
+     let the_alg () =
+       match !alg with
+       | Some a -> a
+       | None ->
+         let a = Alg.make fn in
+         Alg.add_range_facts a ~values:st.vals;
+         alg := Some a;
+         a
+     in
+     Ir.iter_blocks fn (fun b ->
+         if st.svisited.(b.Ir.bid) then
+           match b.Ir.term with
+           | Ir.Br { rel; ba; bb; _ }
+             when Option.value ~default:false
+                    (Hashtbl.find_opt st.bfallback b.Ir.bid) -> (
+             match Alg.decide_branch (the_alg ()) ~bid:b.Ir.bid rel ba bb with
+             | Some taken ->
+               diag st ~block:b.Ir.bid Diag.Info Diag.Note
+                 (Printf.sprintf "branch proved %s-way by algebraic facts"
+                    (if taken then "true" else "false"));
+               Hashtbl.replace st.bprobs b.Ir.bid (if taken then 1.0 else 0.0);
+               Hashtbl.replace st.bfallback b.Ir.bid false
+             | None -> ())
+           | Ir.Br _ | Ir.Jump _ | Ir.Ret _ -> ()));
   (* Collect the merged return value over executable returns. *)
   let returns = ref [] in
   Ir.iter_blocks fn (fun b ->

@@ -15,6 +15,13 @@ type config = {
   symbolic : bool;  (** track symbolic ranges (paper's full configuration) *)
   use_assertions : bool;  (** narrow through branch assertions *)
   use_derivation : bool;  (** derive loop-carried φs instead of iterating *)
+  algebra : bool;
+      (** symbolic algebra v2 ({!Alg}): sum-of-products facts from
+          assertions, SSA equations and converged ranges feed a
+          post-fixpoint pass proving fallback branches one-way (and, in
+          {!Bounds_check}, index bounds). The fixpoint itself never
+          consults the facts, so ranges are byte-identical to v1 and v2
+          strictly adds proofs. Only effective with [symbolic] *)
   eval_quota : int;  (** per-variable value changes before widening to ⊥ *)
   trip_prior : float;  (** assumed back-edge/entry frequency ratio at φs *)
   flow_first : bool;  (** prefer the FlowWorkList (paper §3.3 step 2) *)

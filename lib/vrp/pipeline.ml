@@ -188,13 +188,19 @@ let vrp_predictions ?(config = Engine.default_config) ?(interprocedural = true)
     used in the harness output. [train] is the profiling predictor's
     training run. [config] (default the paper's full configuration) applies
     to the full-VRP run only — so CLI resilience options, including fault
-    injection, reach it — while "vrp-numeric" stays the fixed numeric-only
-    ablation. *)
+    injection, reach it — while "vrp-sym1" (symbolic without the v2
+    sum-of-products algebra) and "vrp-numeric" stay the fixed ablations of
+    the numeric-vs-symbolic-v1-vs-v2 comparison. *)
 let all_predictors ?report ?(config = Engine.default_config) ?fallback
     ~(train : Vrp_profile.Interp.profile) (ssa : Ir.program) :
     (string * Predictor.prediction) list =
   let vrp_full, _ = vrp_predictions ~config ?report ssa in
   let vrp_numeric, _ = vrp_predictions ~config:Engine.numeric_only_config ssa in
+  (* Symbolic-v1 ablation: full symbolic ranges but no sum-of-products
+     algebra, isolating the v2 contribution in the §5 comparison. *)
+  let vrp_sym1, _ =
+    vrp_predictions ~config:{ config with Engine.algebra = false } ssa
+  in
   (* The learned tier rides on the same full-VRP configuration; only the ⊥
      gaps differ from the "vrp" column, so the delta isolates the fallback
      ladder's contribution. *)
@@ -212,6 +218,7 @@ let all_predictors ?report ?(config = Engine.default_config) ?fallback
   ]
   @ learned
   @ [
+      ("vrp-sym1", vrp_sym1);
       ("vrp-numeric", vrp_numeric);
       ("90/50", Predictor.ninety_fifty ssa);
       ("random", Predictor.random ssa);

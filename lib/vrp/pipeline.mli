@@ -63,8 +63,10 @@ val vrp_predictions :
 (** The predictors of the paper's Figures 7/8, keyed by legend name.
     [train] is the profiling predictor's training profile; [report] collects
     diagnostics from the full-VRP run, and [config] (default
-    {!Engine.default_config}) applies to that run only — "vrp-numeric"
-    stays the fixed numeric-only ablation. With [fallback], a seventh
+    {!Engine.default_config}) applies to that run only — "vrp-sym1"
+    (symbolic ranges without the v2 sum-of-products algebra) and
+    "vrp-numeric" stay the fixed ablations of the paper-§5
+    numeric-vs-symbolic-v1-vs-v2 comparison. With [fallback], a
     "vrp+learned" column (the full-VRP run with the learned fallback tier)
     appears right after "vrp". *)
 val all_predictors :

@@ -51,6 +51,7 @@ let config_digest_covers_every_knob () =
       ("default", d);
       ("numeric", { d with Engine.symbolic = false });
       ("no-asserts", { d with Engine.use_assertions = false });
+      ("no-algebra", { d with Engine.algebra = not d.Engine.algebra });
       ("no-derive", { d with Engine.use_derivation = false });
       ("quota", { d with Engine.eval_quota = d.Engine.eval_quota + 1 });
       ("trip-prior", { d with Engine.trip_prior = d.Engine.trip_prior +. 1.0 });

@@ -115,6 +115,8 @@ let smoke_campaign () =
     Alcotest.fail "smoke campaign never armed the membership oracles";
   if s.Runner.determinism_checked = 0 then
     Alcotest.fail "smoke campaign never ran the determinism oracle";
+  if s.Runner.algebra_checked = 0 then
+    Alcotest.fail "smoke campaign never armed the algebra differential";
   (* The report is a pure function of the campaign coordinates. *)
   Alcotest.(check string) "report deterministic" (Runner.render s)
     (Runner.render (run ()))

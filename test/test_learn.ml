@@ -23,8 +23,8 @@ let default_seed = 42
 let default_count = 300
 let default_depth = 7
 let default_min_leaf = 10
-let default_corpus_digest = "7e07f30973e74c4887a6e45160297a43"
-let default_model_digest = "94d04e120438a6caf187026f42022db3"
+let default_corpus_digest = "e54168c946e8dc3dd044c711745360e4"
+let default_model_digest = "52da6c8644947fd51f6b8ba8d337ccc6"
 
 let small_model () =
   let ds = Dataset.build ~seed:7 ~count:15 () in

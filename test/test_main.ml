@@ -21,6 +21,7 @@ let () =
       Test_supervisor.suite;
       Test_cache.suite;
       Test_integration.suite;
+      Test_algebra.suite;
       Test_fuzz.suite;
       Test_learn.suite;
       Test_server.suite;

@@ -497,6 +497,229 @@ let prop_widen_terminates =
         bs;
       !changes <= 5)
 
+(* --- Symbolic algebra v2: Sop / Alg_env laws ---
+
+   Structural equality of Sop terms is semantic equality (normal form), so
+   the ring laws are checked structurally; every decided comparison and
+   every prover verdict is additionally driven through [Sop.eval] under
+   random concrete environments (substitution soundness). *)
+
+module Sop = Vrp_ranges.Sop
+module Alg_env = Vrp_ranges.Alg_env
+
+let sop_var i =
+  { Vrp_ir.Var.id = i + 1; base = Printf.sprintf "x%d" i; version = 1; ty = Ast.Tint }
+
+let sop_vars = Array.init 4 sop_var
+
+let gen_sop : Sop.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        map Sop.const (int_range (-30) 30);
+        map (fun i -> Sop.of_var sop_vars.(i)) (int_range 0 (Array.length sop_vars - 1));
+      ]
+  in
+  let rec build n =
+    if n = 0 then leaf
+    else
+      let sub = build (n - 1) in
+      oneof
+        [
+          leaf;
+          map2 Sop.add sub sub;
+          map2 Sop.sub sub sub;
+          map2 Sop.scale (int_range (-5) 5) sub;
+          map2
+            (fun a b -> match Sop.mul a b with Some p -> p | None -> Sop.add a b)
+            sub sub;
+        ]
+  in
+  build 3
+
+let gen_env : (Vrp_ir.Var.t -> int) QCheck2.Gen.t =
+  QCheck2.Gen.map
+    (fun xs ->
+      let arr = Array.of_list xs in
+      fun (v : Vrp_ir.Var.t) -> arr.(v.Vrp_ir.Var.id mod Array.length arr))
+    QCheck2.Gen.(list_size (return 8) (int_range (-9) 9))
+
+let prop_sop_normal_form =
+  Helpers.qtest ~count:500 "sop: normalisation idempotent" gen_sop (fun t ->
+      Sop.equal (Sop.add t Sop.zero) t
+      && Sop.equal (Sop.scale 1 t) t
+      && Sop.equal (Sop.sub t t) Sop.zero
+      && Sop.equal (Sop.neg (Sop.neg t)) t)
+
+let prop_sop_add_laws =
+  Helpers.qtest ~count:500 "sop: add commutative and associative"
+    QCheck2.Gen.(triple gen_sop gen_sop gen_sop)
+    (fun (a, b, c) ->
+      Sop.equal (Sop.add a b) (Sop.add b a)
+      && Sop.equal (Sop.add (Sop.add a b) c) (Sop.add a (Sop.add b c)))
+
+let prop_sop_mul_laws =
+  Helpers.qtest ~count:500 "sop: mul commutative, associative, distributive"
+    QCheck2.Gen.(triple gen_sop gen_sop gen_sop)
+    (fun (a, b, c) ->
+      let comm =
+        match (Sop.mul a b, Sop.mul b a) with
+        | Some p, Some q -> Sop.equal p q
+        | None, None -> true
+        | _ -> false
+      in
+      let assoc =
+        match (Sop.mul a b, Sop.mul b c) with
+        | Some ab, Some bc -> (
+          match (Sop.mul ab c, Sop.mul a bc) with
+          | Some l, Some r -> Sop.equal l r
+          | _ -> true (* the caps may cut either association *))
+        | _ -> true
+      in
+      let distrib =
+        match (Sop.mul a (Sop.add b c), Sop.mul a b, Sop.mul a c) with
+        | Some l, Some ab, Some ac -> Sop.equal l (Sop.add ab ac)
+        | _ -> true
+      in
+      comm && assoc && distrib)
+
+let prop_sop_cmp_laws =
+  Helpers.qtest ~count:500 "sop: cmp antisymmetric and transitive"
+    QCheck2.Gen.(triple gen_sop gen_sop gen_sop)
+    (fun (a, b, c) ->
+      let anti =
+        match (Sop.cmp a b, Sop.cmp b a) with
+        | Some x, Some y -> y = -x
+        | None, None -> true
+        | _ -> false
+      in
+      let trans =
+        match (Sop.cmp a b, Sop.cmp b c) with
+        | Some x, Some y when x <= 0 && y <= 0 -> (
+          match Sop.cmp a c with Some z -> z <= 0 | None -> false)
+        | _ -> true
+      in
+      anti && trans)
+
+let prop_sop_eval_homomorphism =
+  Helpers.qtest ~count:500 "sop: eval is a ring homomorphism"
+    QCheck2.Gen.(triple gen_env gen_sop gen_sop)
+    (fun (env, a, b) ->
+      Sop.eval ~env (Sop.add a b) = Sop.eval ~env a + Sop.eval ~env b
+      && Sop.eval ~env (Sop.sub a b) = Sop.eval ~env a - Sop.eval ~env b
+      && Sop.eval ~env (Sop.neg a) = -Sop.eval ~env a
+      &&
+      match Sop.mul a b with
+      | Some p -> Sop.eval ~env p = Sop.eval ~env a * Sop.eval ~env b
+      | None -> true)
+
+let prop_sop_cmp_sound =
+  Helpers.qtest ~count:500 "sop: decided cmp agrees with every environment"
+    QCheck2.Gen.(triple gen_env gen_sop gen_sop)
+    (fun (env, a, b) ->
+      match Sop.cmp a b with
+      | None -> true
+      | Some c -> Int.compare (Sop.eval ~env a) (Sop.eval ~env b) = c)
+
+(* Fact sets consistent by construction: each candidate polynomial is
+   oriented to be >= 0 under a ground-truth environment, so the set is
+   satisfiable and every prover verdict must hold in that model. *)
+let oriented env p = if Sop.eval ~env p >= 0 then p else Sop.neg p
+
+let env_of env polys =
+  List.fold_left
+    (fun acc p -> Alg_env.add_nonneg acc (oriented env p))
+    Alg_env.empty polys
+
+let eval_rel rel x y =
+  match rel with
+  | Ast.Eq -> x = y
+  | Ast.Ne -> x <> y
+  | Ast.Lt -> x < y
+  | Ast.Le -> x <= y
+  | Ast.Gt -> x > y
+  | Ast.Ge -> x >= y
+
+let gen_sop_query =
+  QCheck2.Gen.(
+    oneof
+      [
+        pair gen_sop gen_sop;
+        map2 (fun p k -> (p, Sop.add p (Sop.const k))) gen_sop (int_range (-4) 4);
+      ])
+
+let prop_alg_env_sound =
+  Helpers.qtest ~count:400 "alg_env: decided queries hold in the model"
+    QCheck2.Gen.(quad gen_env (list_size (int_range 0 8) gen_sop) gen_rel gen_sop_query)
+    (fun (env, polys, rel, (a, b)) ->
+      let aenv = Alg_env.refine (env_of env polys) in
+      let holds = eval_rel rel (Sop.eval ~env a) (Sop.eval ~env b) in
+      match Alg_env.decide aenv rel a b with
+      | Some true -> holds
+      | Some false -> not holds
+      | None -> true)
+
+let prop_alg_env_monotone =
+  Helpers.qtest ~count:400 "alg_env: adding facts never un-decides"
+    QCheck2.Gen.(
+      pair
+        (quad gen_env (list_size (int_range 0 6) gen_sop) gen_rel gen_sop_query)
+        (list_size (int_range 0 4) gen_sop))
+    (fun ((env, polys, rel, (a, b)), more) ->
+      let base = env_of env polys in
+      let bigger = Alg_env.refine (env_of env (polys @ more)) in
+      match Alg_env.decide base rel a b with
+      | None -> true
+      | Some r -> Alg_env.decide bigger rel a b = Some r)
+
+let sop_normal_form_examples () =
+  let vx = sop_vars.(0) and vy = sop_vars.(1) in
+  let x = Sop.of_var vx and y = Sop.of_var vy in
+  (* (x+2)(y+3) = xy + 3x + 2y + 6 *)
+  (match Sop.mul (Sop.add x (Sop.const 2)) (Sop.add y (Sop.const 3)) with
+  | None -> Alcotest.fail "product must stay inside the caps"
+  | Some p ->
+    Alcotest.(check int) "coeff x" 3 (Sop.coeff_of p [ vx ]);
+    Alcotest.(check int) "coeff y" 2 (Sop.coeff_of p [ vy ]);
+    Alcotest.(check int) "coeff xy" 1 (Sop.coeff_of p [ vx; vy ]);
+    Alcotest.(check int) "const" 6 (Sop.const_part p);
+    Alcotest.(check (option int)) "cmp against p+1" (Some (-1))
+      (Sop.cmp p (Sop.add p Sop.one)));
+  let x2 = Option.get (Sop.mul x x) in
+  Alcotest.(check bool) "degree cap refuses x^4" true (Sop.mul x2 x2 = None)
+
+let alg_env_proves_chains () =
+  let sx = Sop.of_var sop_vars.(0) and sy = Sop.of_var sop_vars.(1) in
+  (* x < y, y <= 11 *)
+  let env = Alg_env.add_lt Alg_env.empty sx sy in
+  let env = Alg_env.add_le env sy (Sop.const 11) in
+  let env = Alg_env.refine env in
+  Alcotest.(check (option bool)) "x < 11" (Some true)
+    (Alg_env.decide env Ast.Lt sx (Sop.const 11));
+  Alcotest.(check (option bool)) "2x+1 <= 21" (Some true)
+    (Alg_env.decide env Ast.Le (Sop.add (Sop.scale 2 sx) Sop.one) (Sop.const 21));
+  Alcotest.(check (option bool)) "x > 11 refuted" (Some false)
+    (Alg_env.decide env Ast.Gt sx (Sop.const 11));
+  Alcotest.(check (option bool)) "y < x refuted" (Some false)
+    (Alg_env.decide env Ast.Lt sy sx);
+  Alcotest.(check (option bool)) "x = 3 undecided" None
+    (Alg_env.decide env Ast.Eq sx (Sop.const 3))
+
+let sym_cmp_capped_at_limit () =
+  (* The satellite pin for the sym.mli doc contract: same-base comparisons
+     decide exactly up to [Sym.limit] and refuse beyond it. *)
+  let v = sop_var 6 in
+  let at off = Sym.of_var ~off v in
+  Alcotest.(check (option int)) "at the limit" (Some 1)
+    (Sym.cmp (at Sym.limit) (at (Sym.limit - 1)));
+  Alcotest.(check (option int)) "beyond the limit" None
+    (Sym.cmp (at (Sym.limit + 1)) (at 0));
+  Alcotest.(check (option int)) "numeric beyond the limit" None
+    (Sym.cmp (Sym.num (Sym.limit + 1)) (Sym.num 0));
+  Alcotest.(check (option int)) "numeric at the limit" (Some 1)
+    (Sym.cmp (Sym.num Sym.limit) (Sym.num (-1)))
+
 let suite =
   ( "ranges",
     [
@@ -537,4 +760,15 @@ let suite =
       prop_meet_is_intersection;
       prop_widen_sound;
       prop_widen_terminates;
+      tc "sop normal-form examples" `Quick sop_normal_form_examples;
+      tc "alg_env elimination chains" `Quick alg_env_proves_chains;
+      tc "sym cmp capped at limit" `Quick sym_cmp_capped_at_limit;
+      prop_sop_normal_form;
+      prop_sop_add_laws;
+      prop_sop_mul_laws;
+      prop_sop_cmp_laws;
+      prop_sop_eval_homomorphism;
+      prop_sop_cmp_sound;
+      prop_alg_env_sound;
+      prop_alg_env_monotone;
     ] )

@@ -371,6 +371,37 @@ let server_bench ~json () =
     failwith "server bench: a daemon response diverged from the one-shot CLI";
   let cold_hits, cold_misses, cold_rate = hit_rate c0 c1 in
   let warm_hits, warm_misses, warm_rate = hit_rate c1 c2 in
+  (* Observability overhead: the same warm pass with the span tracer
+     capturing vs disabled. The metric counters have no off switch (their
+     sharded increments are part of both sides); the toggle is the tracer,
+     whose disabled path claims to cost one atomic load. Best-of-two per
+     side damps scheduler noise; the budget is asserted here and the
+     req/s + p99 land in the JSON so the perf gate pins them. *)
+  let best_of_two f =
+    let l1, t1 = time f in
+    let l2, t2 = time f in
+    if t1 <= t2 then (l1, t1) else (l2, t2)
+  in
+  let obs_off_lat, obs_off_s = best_of_two (fun () -> run_pass warm_reqs) in
+  Vrp_obs.Trace.enable ~capacity:(1 lsl 18) ();
+  let obs_on_lat, obs_on_s =
+    Fun.protect ~finally:Vrp_obs.Trace.disable (fun () ->
+        best_of_two (fun () -> run_pass warm_reqs))
+  in
+  let obs_spans = List.length (Vrp_obs.Trace.events ()) in
+  let obs_overhead_pct =
+    if obs_off_s > 0.0 then 100.0 *. (obs_on_s -. obs_off_s) /. obs_off_s
+    else 0.0
+  in
+  (* < 5% relative, with absolute slack so a millisecond-scale pass can't
+     fail on scheduler jitter alone. *)
+  if obs_overhead_pct > 5.0 && obs_on_s -. obs_off_s > 0.05 then
+    failwith
+      (Printf.sprintf
+         "server bench: tracing overhead %.1f%% exceeds the 5%% budget"
+         obs_overhead_pct);
+  if Atomic.get mismatches > 0 then
+    failwith "server bench: a traced response diverged from the one-shot CLI";
   let percentile p lat =
     let a = Array.of_list lat in
     Array.sort compare a;
@@ -535,6 +566,9 @@ let server_bench ~json () =
       \ \"overload\": {\"capacity\": %d, \"clients\": %d, \"requests\": %d, \
        \"requests_per_sec\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \
        \"shed\": %d, \"all_served\": true},\n\
+      \ \"obs\": {\"requests\": %d, \"off\": {\"requests_per_sec\": %.1f, \
+       \"p99_ms\": %.3f}, \"on\": {\"requests_per_sec\": %.1f, \"p99_ms\": \
+       %.3f, \"spans\": %d}, \"overhead_pct\": %.2f, \"within_budget\": true},\n\
       \ \"byte_identical\": true}\n"
       (List.length sources) jobs clients cores one_shot_s cold_s warm_s
       (rps (List.length sources) cold_s)
@@ -562,6 +596,12 @@ let server_bench ~json () =
       (ms (percentile 50.0 o_lat))
       (ms (percentile 99.0 o_lat))
       o_shed
+      (List.length warm_reqs)
+      (rps (List.length warm_reqs) obs_off_s)
+      (ms (percentile 99.0 obs_off_lat))
+      (rps (List.length warm_reqs) obs_on_s)
+      (ms (percentile 99.0 obs_on_lat))
+      obs_spans obs_overhead_pct
   else begin
     header "Analysis server: request throughput + incremental re-analysis";
     Printf.printf "  workload: %d predict requests over %d client threads (pool jobs=%d, %d cores)\n"
@@ -605,6 +645,14 @@ let server_bench ~json () =
       (ms (percentile 99.0 o_lat));
     Printf.printf "  overload: %d request(s) shed then replayed via retry_after_ms, all served\n"
       o_shed;
+    Printf.printf
+      "  obs overhead (warm pass, best of two): tracer off %.1f req/s p99 \
+       %.3fms, on %.1f req/s p99 %.3fms (%+.1f%%, %d spans captured)\n"
+      (rps (List.length warm_reqs) obs_off_s)
+      (ms (percentile 99.0 obs_off_lat))
+      (rps (List.length warm_reqs) obs_on_s)
+      (ms (percentile 99.0 obs_on_lat))
+      obs_overhead_pct obs_spans;
     Printf.printf "  every response byte-identical to the one-shot CLI\n%!"
   end
 

@@ -221,9 +221,33 @@ let with_loaded file bench k =
     exit 2
   | Ok source -> k source
 
-let predict file bench numeric jobs model dopts =
+(* --trace-out: record per-phase spans (compile, interproc waves, engine
+   runs, algebra) around the analysis and write them as Chrome trace_event
+   JSON — loadable in chrome://tracing or Perfetto for a flamegraph view.
+   The file is written from a [Fun.protect] finaliser before the outcome's
+   exit code is raised, and tracing never perturbs analysis results (the
+   golden tests pin byte-identity with tracing on). *)
+let with_trace trace_out k =
+  match trace_out with
+  | None -> k ()
+  | Some path ->
+    Vrp_obs.Trace.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Vrp_obs.Trace.disable ();
+        Vrp_obs.Trace.write path;
+        Printf.eprintf "trace: wrote %d span(s) to %s\n%!"
+          (List.length (Vrp_obs.Trace.events ()))
+          path)
+      k
+
+let predict file bench numeric jobs model trace_out dopts =
   with_loaded file bench (fun source ->
-      print_outcome (Ops.predict ~opts:(opts_of ~jobs ?model numeric dopts) ~source ()))
+      let o =
+        with_trace trace_out (fun () ->
+            Ops.predict ~opts:(opts_of ~jobs ?model numeric dopts) ~source ())
+      in
+      print_outcome o)
 
 let run file bench args =
   with_source file bench (fun c ->
@@ -344,7 +368,7 @@ let batch_paths dir =
     exit 2
 
 let batch dir jobs cache_dir cache_max_mb deadline_ms retries resume numeric
-    ((_, _, fault) as dopts) =
+    trace_out ((_, _, fault) as dopts) =
   let module Supervisor = Vrp_sched.Supervisor in
   let module Summary_cache = Vrp_cache.Summary_cache in
   let sources = List.map (fun p -> (p, read_file p)) (batch_paths dir) in
@@ -368,8 +392,9 @@ let batch dir jobs cache_dir cache_max_mb deadline_ms retries resume numeric
     Fun.protect
       ~finally:(fun () -> Option.iter Supervisor.shutdown supervisor)
       (fun () ->
-        Ops.batch ?cache ?supervisor ?journal:resume ?journal_fault
-          ~opts:(opts_of ~jobs numeric dopts) ~sources ())
+        with_trace trace_out (fun () ->
+            Ops.batch ?cache ?supervisor ?journal:resume ?journal_fault
+              ~opts:(opts_of ~jobs numeric dopts) ~sources ()))
   in
   print_string o.Ops.out;
   prerr_string o.Ops.err;
@@ -561,6 +586,16 @@ let model_arg =
            Ball–Larus heuristics. A file that fails to load or verify is a \
            $(b,model-error) diagnostic and the run degrades back to \
            Ball–Larus.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record per-phase analysis spans and write them to $(docv) as \
+           Chrome trace_event JSON (open in chrome://tracing or Perfetto \
+           for a flamegraph). Tracing does not change analysis output.")
 
 let write_file path contents =
   let oc = open_out_bin path in
@@ -762,7 +797,7 @@ let predict_cmd =
   cmd_of "predict" "Print branch probabilities from VRP and the heuristic baselines."
     Term.(
       const predict $ file_arg $ bench_arg $ numeric_arg $ jobs_arg $ model_arg
-      $ diag_args)
+      $ trace_out_arg $ diag_args)
 
 let batch_cmd =
   let dir_arg =
@@ -814,7 +849,8 @@ let batch_cmd =
      caching, supervision and checkpoint/resume."
     Term.(
       const batch $ dir_arg $ jobs_arg $ cache_arg $ cache_max_mb_arg
-      $ deadline_arg $ retries_arg $ resume_arg $ numeric_arg $ diag_args)
+      $ deadline_arg $ retries_arg $ resume_arg $ numeric_arg $ trace_out_arg
+      $ diag_args)
 
 let run_cmd =
   let args =
@@ -965,6 +1001,8 @@ let remote_cmd =
       compare;
       batch;
       simple "status" "Daemon version, sessions, request and cache counters." "status";
+      simple "metrics"
+        "Scrape the daemon's metrics registry as Prometheus text." "metrics";
       simple "fleet-status"
         "Fleet front-door counters and per-worker health (vrpd --fleet)."
         "fleet-status";

@@ -158,6 +158,35 @@ let counters t =
         quarantined = t.c.quarantined;
       })
 
+(* Registry mirrors of the cache counters: same increment sites as the
+   per-cache record, so the Prometheus exposition and [counters_line] can
+   never disagree. *)
+let obs_hits =
+  Vrp_obs.Metrics.counter ~help:"Summary cache hits (memory or disk)"
+    "vrp_cache_hits_total"
+
+let obs_disk_hits =
+  Vrp_obs.Metrics.counter ~help:"Summary cache hits served from the disk tier"
+    "vrp_cache_disk_hits_total"
+
+let obs_misses =
+  Vrp_obs.Metrics.counter ~help:"Summary cache misses" "vrp_cache_misses_total"
+
+let obs_stores =
+  Vrp_obs.Metrics.counter ~help:"Summary cache stores" "vrp_cache_stores_total"
+
+let obs_invalidations =
+  Vrp_obs.Metrics.counter ~help:"Summary cache invalidations (stamp changes, stale or corrupt entries)"
+    "vrp_cache_invalidations_total"
+
+let obs_quarantined =
+  Vrp_obs.Metrics.counter ~help:"Corrupt summary files quarantined"
+    "vrp_cache_quarantined_total"
+
+let obs_evictions =
+  Vrp_obs.Metrics.counter ~help:"Summary cache memory-tier evictions"
+    "vrp_cache_evictions_total"
+
 let delta ~before (after : counters) =
   {
     hits = after.hits - before.hits;
@@ -173,6 +202,7 @@ let evict_memory t =
       let n = Hashtbl.length t.mem in
       Hashtbl.reset t.mem;
       Hashtbl.reset t.seen;
+      Vrp_obs.Metrics.inc ~by:n obs_evictions;
       n)
 
 let holds_maintenance_lock t = t.maintenance
@@ -209,11 +239,13 @@ let insert_locked t key res =
   t.tick <- t.tick + 1;
   Hashtbl.replace t.mem key { res; last_use = t.tick };
   t.c.stores <- t.c.stores + 1;
+  Vrp_obs.Metrics.inc obs_stores;
   if Hashtbl.length t.mem > t.capacity then begin
     let entries = Hashtbl.fold (fun k e acc -> (e.last_use, k) :: acc) t.mem [] in
     let by_age = List.sort compare entries in
     let excess = Hashtbl.length t.mem - (t.capacity * 3 / 4) in
-    List.iteri (fun i (_, k) -> if i < excess then Hashtbl.remove t.mem k) by_age
+    List.iteri (fun i (_, k) -> if i < excess then Hashtbl.remove t.mem k) by_age;
+    Vrp_obs.Metrics.inc ~by:excess obs_evictions
   end
 
 (* --- Disk tier ---
@@ -328,7 +360,8 @@ let find_or_compute t ~slot ~stamp ~key compute =
     locked t (fun () ->
         (match Hashtbl.find_opt t.seen slot with
         | Some old when not (String.equal old stamp) ->
-          t.c.invalidations <- t.c.invalidations + 1
+          t.c.invalidations <- t.c.invalidations + 1;
+          Vrp_obs.Metrics.inc obs_invalidations
         | _ -> ());
         Hashtbl.replace t.seen slot stamp;
         match Hashtbl.find_opt t.mem key with
@@ -336,6 +369,7 @@ let find_or_compute t ~slot ~stamp ~key compute =
           t.tick <- t.tick + 1;
           e.last_use <- t.tick;
           t.c.hits <- t.c.hits + 1;
+          Vrp_obs.Metrics.inc obs_hits;
           Some e.res
         | None -> None)
   in
@@ -347,16 +381,23 @@ let find_or_compute t ~slot ~stamp ~key compute =
       locked t (fun () ->
           t.c.hits <- t.c.hits + 1;
           t.c.disk_hits <- t.c.disk_hits + 1;
+          Vrp_obs.Metrics.inc obs_hits;
+          Vrp_obs.Metrics.inc obs_disk_hits;
           insert_locked t key res);
       res
     | (Stale | Corrupt | Absent) as verdict ->
       locked t (fun () ->
           t.c.misses <- t.c.misses + 1;
+          Vrp_obs.Metrics.inc obs_misses;
           match verdict with
-          | Stale -> t.c.invalidations <- t.c.invalidations + 1
+          | Stale ->
+            t.c.invalidations <- t.c.invalidations + 1;
+            Vrp_obs.Metrics.inc obs_invalidations
           | Corrupt ->
             t.c.invalidations <- t.c.invalidations + 1;
-            t.c.quarantined <- t.c.quarantined + 1
+            t.c.quarantined <- t.c.quarantined + 1;
+            Vrp_obs.Metrics.inc obs_invalidations;
+            Vrp_obs.Metrics.inc obs_quarantined
           | Served _ | Absent -> ());
       let res = compute () in
       locked t (fun () -> insert_locked t key res);

@@ -1,0 +1,169 @@
+(* Lightweight span tracer with Chrome trace_event JSON export.
+
+   Spans are scoped ([with_span name f]) and carry an explicit parent link:
+   each domain keeps a DLS stack of open span ids, so nesting is recorded
+   even though events are only emitted at span end. Completed spans go into
+   a mutex-guarded ring buffer (per run; [reset] clears it); once full, the
+   oldest events are overwritten and counted as dropped.
+
+   Disabled is the default and costs one atomic load per [with_span] — no
+   allocation, no clock read — so instrumentation can stay in hot paths
+   permanently. Timestamps are wall-clock microseconds, tid is the domain
+   id, which is what Chrome's trace viewer groups rows by. *)
+
+type event = {
+  name : string;
+  ts_us : float; (* span start, absolute wall-clock microseconds *)
+  dur_us : float;
+  tid : int; (* domain id *)
+  id : int; (* unique span id *)
+  parent : int; (* enclosing span id on the same domain, 0 = root *)
+  args : (string * string) list;
+}
+
+type state = {
+  enabled : bool Atomic.t;
+  lock : Mutex.t;
+  mutable buf : event option array;
+  mutable next : int; (* ring write cursor *)
+  mutable stored : int;
+  mutable dropped : int;
+}
+
+let default_capacity = 65536
+
+let state =
+  {
+    enabled = Atomic.make false;
+    lock = Mutex.create ();
+    buf = [||];
+    next = 0;
+    stored = 0;
+    dropped = 0;
+  }
+
+let next_id = Atomic.make 1
+
+let stack_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let locked f =
+  Mutex.lock state.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state.lock) f
+
+let enabled () = Atomic.get state.enabled
+
+let reset () =
+  locked (fun () ->
+      Array.fill state.buf 0 (Array.length state.buf) None;
+      state.next <- 0;
+      state.stored <- 0;
+      state.dropped <- 0)
+
+let enable ?(capacity = default_capacity) () =
+  locked (fun () ->
+      state.buf <- Array.make (max 16 capacity) None;
+      state.next <- 0;
+      state.stored <- 0;
+      state.dropped <- 0);
+  Atomic.set state.enabled true
+
+let disable () = Atomic.set state.enabled false
+
+let record ev =
+  locked (fun () ->
+      let cap = Array.length state.buf in
+      if cap > 0 then begin
+        if state.stored >= cap then state.dropped <- state.dropped + 1
+        else state.stored <- state.stored + 1;
+        state.buf.(state.next) <- Some ev;
+        state.next <- (state.next + 1) mod cap
+      end)
+
+let with_span ?(args = []) name f =
+  if not (Atomic.get state.enabled) then f ()
+  else begin
+    let id = Atomic.fetch_and_add next_id 1 in
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with [] -> 0 | p :: _ -> p in
+    stack := id :: !stack;
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      let t1 = Unix.gettimeofday () in
+      (match !stack with _ :: tl -> stack := tl | [] -> ());
+      record
+        {
+          name;
+          ts_us = t0 *. 1e6;
+          dur_us = (t1 -. t0) *. 1e6;
+          tid = (Domain.self () :> int);
+          id;
+          parent;
+          args;
+        }
+    in
+    Fun.protect ~finally:finish f
+  end
+
+(* Events in completion order (oldest surviving first). *)
+let events () =
+  locked (fun () ->
+      let cap = Array.length state.buf in
+      if cap = 0 then []
+      else begin
+        let out = ref [] in
+        let start = if state.stored >= cap then state.next else 0 in
+        for i = 0 to state.stored - 1 do
+          match state.buf.((start + i) mod cap) with
+          | Some e -> out := e :: !out
+          | None -> ()
+        done;
+        List.rev !out
+      end)
+
+let dropped () = locked (fun () -> state.dropped)
+
+(* --- Chrome trace_event export --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let event_json e =
+  let args =
+    ("span_id", string_of_int e.id)
+    :: ("parent_id", string_of_int e.parent)
+    :: e.args
+  in
+  Printf.sprintf
+    {|{"name":"%s","cat":"vrp","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{%s}}|}
+    (json_escape e.name) e.ts_us e.dur_us e.tid
+    (String.concat ","
+       (List.map
+          (fun (k, v) ->
+            Printf.sprintf {|"%s":"%s"|} (json_escape k) (json_escape v))
+          args))
+
+let export () =
+  let evs = events () in
+  "{\"traceEvents\":[\n"
+  ^ String.concat ",\n" (List.map event_json evs)
+  ^ "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (export ()))

@@ -1,0 +1,56 @@
+(** Lightweight span tracer with Chrome trace_event JSON export.
+
+    Spans are scoped ({!with_span}) and carry an explicit parent link:
+    each domain keeps a stack of open span ids, so nesting is recorded
+    even though events are only emitted at span end. Completed spans go
+    into a mutex-guarded ring buffer; once full, the oldest events are
+    overwritten and counted as {!dropped}.
+
+    Disabled is the default and costs one atomic load per {!with_span} —
+    no allocation, no clock read — so instrumentation can stay in hot
+    paths permanently. Tracing never touches analysis state: output with
+    tracing enabled is byte-identical to output with it disabled (pinned
+    by test). *)
+
+(** A completed span. [ts_us] is the absolute wall-clock start in
+    microseconds, [tid] the domain id, [parent] the enclosing span on the
+    same domain (0 = root). *)
+type event = {
+  name : string;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  id : int;
+  parent : int;
+  args : (string * string) list;
+}
+
+(** Start capturing: (re)allocate the ring at [capacity] (default 65536,
+    min 16) and clear any previous run. *)
+val enable : ?capacity:int -> unit -> unit
+
+(** Stop capturing; recorded events stay readable. *)
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** Clear the ring and the dropped count without changing enablement. *)
+val reset : unit -> unit
+
+(** [with_span name f] runs [f] inside a span (also closed when [f]
+    raises). When tracing is disabled this is just [f ()]. *)
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Completed spans, oldest surviving first. *)
+val events : unit -> event list
+
+(** Events overwritten because the ring was full. *)
+val dropped : unit -> int
+
+(** The capture as a Chrome [trace_event] JSON document (complete events,
+    [ph:"X"]; load via chrome://tracing or Perfetto). Span ids and parent
+    links ride in each event's [args]. *)
+val export : unit -> string
+
+(** {!export} to a file. *)
+val write : string -> unit

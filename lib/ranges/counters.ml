@@ -33,18 +33,36 @@ let copy c =
     fuel_exhaustions = c.fuel_exhaustions;
   }
 
-(* The root frame is always open so legacy [reset]/[read] keep working; the
-   tail of the list is scoped frames, innermost first.
+(* Process-wide totals live in the metrics registry as per-domain-sharded
+   counters: every domain increments its own atomic shard and reads sum the
+   shards, so — unlike the plain-mutable root frame these replaced — no
+   increment is ever lost when worker domains tick concurrently. The same
+   cells back the Prometheus exposition, so there is exactly one
+   bookkeeping path. *)
+let evaluations_total =
+  Vrp_obs.Metrics.counter
+    ~help:"Engine expression evaluations (paper Figure 5)"
+    "vrp_engine_evaluations_total"
 
-   The frame stack is domain-local: analyses running on scheduler worker
-   domains each tick their own stack, so concurrent per-function runs cannot
-   corrupt each other's frames. A frame opened on one domain therefore does
-   not observe work done on another — per-run totals for parallel batch
-   work are aggregated from the per-function [Engine.t] fields instead. The
-   shared root frame is still ticked by every domain (monotonic counters
-   whose races at worst lose increments, never corrupt structure). *)
-let root = zero ()
+let sub_ops_total =
+  Vrp_obs.Metrics.counter
+    ~help:"Range-pair primitive sub-operations (paper Figure 6)"
+    "vrp_engine_sub_ops_total"
 
+let widenings_total =
+  Vrp_obs.Metrics.counter ~help:"Forced widenings to bottom (quota/growth cap)"
+    "vrp_engine_widenings_total"
+
+let fuel_exhaustions_total =
+  Vrp_obs.Metrics.counter ~help:"Engine runs that ran out of fuel"
+    "vrp_engine_fuel_exhaustions_total"
+
+(* Scoped frames are domain-local, innermost first: analyses running on
+   scheduler worker domains each tick their own stack, so concurrent
+   per-function runs cannot corrupt each other's frames. A frame opened on
+   one domain therefore does not observe work done on another — per-run
+   totals for parallel batch work are aggregated from the per-function
+   [Engine.t] fields instead (and from the registry totals above). *)
 let frames : t list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
 
 let with_counters f =
@@ -55,25 +73,28 @@ let with_counters f =
   in
   (result, frame)
 
-let each g =
-  g root;
-  List.iter g (Domain.DLS.get frames)
+let each g = List.iter g (Domain.DLS.get frames)
 
-let tick () = each (fun c -> c.sub_ops <- c.sub_ops + 1)
+let tick () =
+  Vrp_obs.Metrics.inc sub_ops_total;
+  each (fun c -> c.sub_ops <- c.sub_ops + 1)
 
-let record_evaluation () = each (fun c -> c.evaluations <- c.evaluations + 1)
+let record_evaluation () =
+  Vrp_obs.Metrics.inc evaluations_total;
+  each (fun c -> c.evaluations <- c.evaluations + 1)
 
-let record_widening () = each (fun c -> c.widenings <- c.widenings + 1)
+let record_widening () =
+  Vrp_obs.Metrics.inc widenings_total;
+  each (fun c -> c.widenings <- c.widenings + 1)
 
 let record_fuel_exhaustion () =
+  Vrp_obs.Metrics.inc fuel_exhaustions_total;
   each (fun c -> c.fuel_exhaustions <- c.fuel_exhaustions + 1)
 
 (* --- Legacy root-frame interface (pre-frame callers) --- *)
 
 let reset () =
-  root.evaluations <- 0;
-  root.sub_ops <- 0;
-  root.widenings <- 0;
-  root.fuel_exhaustions <- 0
+  List.iter Vrp_obs.Metrics.reset_counter
+    [ evaluations_total; sub_ops_total; widenings_total; fuel_exhaustions_total ]
 
-let read () = root.sub_ops
+let read () = Vrp_obs.Metrics.value sub_ops_total

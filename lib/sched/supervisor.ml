@@ -39,6 +39,22 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* Registry mirrors of the per-supervisor counters: process-wide totals the
+   metrics exposition scrapes. The per-[t] record stays authoritative for
+   [counters_line]; both are bumped at the same sites. *)
+let deadline_hits_total =
+  Vrp_obs.Metrics.counter ~help:"Supervised tasks cancelled by deadline"
+    "vrp_sched_deadline_hits_total"
+
+let retries_total =
+  Vrp_obs.Metrics.counter ~help:"Supervised task retries"
+    "vrp_sched_retries_total"
+
+let gave_up_total =
+  Vrp_obs.Metrics.counter
+    ~help:"Supervised tasks that exhausted their retry budget"
+    "vrp_sched_gave_up_total"
+
 (* The monitor never touches reports or results: it only flips cancellation
    flags and bumps counters, so all observable diagnostics are emitted from
    the worker that owns the task — no cross-domain races on reports. *)
@@ -50,7 +66,8 @@ let monitor_loop t () =
           (fun _ r ->
             if now > r.deadline && not (Diag.Cancel.cancelled r.token) then begin
               Diag.Cancel.cancel r.token;
-              t.c.deadline_hits <- t.c.deadline_hits + 1
+              t.c.deadline_hits <- t.c.deadline_hits + 1;
+              Vrp_obs.Metrics.inc deadline_hits_total
             end)
           t.registry);
     Unix.sleepf 0.002
@@ -150,6 +167,7 @@ let supervise t ~name ?deadline_ms ?report f =
       | _ -> ());
       if n < t.policy.retries then begin
         locked t (fun () -> t.c.retry_count <- t.c.retry_count + 1);
+        Vrp_obs.Metrics.inc retries_total;
         emit Diag.Info Diag.Task_retry
           (Printf.sprintf "retrying %s (attempt %d of %d)" name (n + 2)
              (t.policy.retries + 1));
@@ -159,6 +177,7 @@ let supervise t ~name ?deadline_ms ?report f =
       end
       else begin
         locked t (fun () -> t.c.gave_up <- t.c.gave_up + 1);
+        Vrp_obs.Metrics.inc gave_up_total;
         raise e
       end
   in

@@ -47,6 +47,61 @@ type counters = {
   mutable replaced : int;
 }
 
+(* --- Front-door observability ---
+
+   Registry mirrors of the fleet counters plus per-worker health gauges;
+   the front door answers the [metrics] op from its own registry (its
+   admission gate, proxy ladder and slot states live here, not in any
+   worker), and [fleet-status] sources its uptime/per-op lines from the
+   same cells. *)
+
+let fleet_ops =
+  [ "predict"; "analyze"; "compare"; "batch"; "status"; "evict"; "ping";
+    "metrics"; "shutdown"; "fleet-status" ]
+
+let fleet_op_label op = if List.mem op fleet_ops then op else "unknown"
+
+let obs_requests op =
+  Vrp_obs.Metrics.counter ~help:"Fleet front-door requests, by operation"
+    ~labels:[ ("op", fleet_op_label op) ] "vrpd_fleet_requests_total"
+
+let obs_request_seconds op =
+  Vrp_obs.Metrics.histogram
+    ~help:"Fleet front-door request latency in seconds, by operation"
+    ~labels:[ ("op", fleet_op_label op) ] "vrpd_fleet_request_seconds"
+
+let obs_served =
+  Vrp_obs.Metrics.counter ~help:"Fleet requests served"
+    "vrpd_fleet_served_total"
+
+let obs_contained =
+  Vrp_obs.Metrics.counter ~help:"Fleet requests contained"
+    "vrpd_fleet_contained_total"
+
+let obs_failovers =
+  Vrp_obs.Metrics.counter ~help:"Proxy retries that re-routed to another worker"
+    "vrpd_fleet_failovers_total"
+
+let obs_replaced =
+  Vrp_obs.Metrics.counter ~help:"Workers crash-replaced"
+    "vrpd_fleet_replaced_total"
+
+let obs_workers_healthy =
+  Vrp_obs.Metrics.gauge ~help:"Fleet workers currently healthy"
+    "vrpd_fleet_workers_healthy"
+
+let obs_worker_up wid =
+  Vrp_obs.Metrics.gauge ~help:"Per-worker liveness (1 = healthy)"
+    ~labels:[ ("worker", string_of_int wid) ] "vrpd_fleet_worker_up"
+
+let obs_worker_inflight wid =
+  Vrp_obs.Metrics.gauge ~help:"Per-worker in-flight load from its last ping"
+    ~labels:[ ("worker", string_of_int wid) ] "vrpd_fleet_worker_inflight"
+
+let obs_fleet_uptime =
+  Vrp_obs.Metrics.gauge ~help:"Fleet front door uptime in seconds"
+    "vrpd_fleet_uptime_seconds"
+
 type slot_state = Healthy | Replacing | Degraded
 
 type slot = {
@@ -72,6 +127,7 @@ type t = {
   lock : Mutex.t;  (* counters + report + slot states + proxied count *)
   acc : Accept.t;
   admit : Admit.t;  (* front-door connection bound + idle sweeper *)
+  started : float;  (* unix time of [create] *)
   monitor_stop : bool Atomic.t;
   mutable monitor : Thread.t option;
   mutable proxied : int;  (* Kill_worker fault trigger count *)
@@ -204,7 +260,9 @@ let replace t (s : slot) ~why =
   else
     match spawn_slot t s with
     | () ->
-      locked t (fun () -> t.counters.replaced <- t.counters.replaced + 1);
+      locked t (fun () ->
+          t.counters.replaced <- t.counters.replaced + 1;
+          Vrp_obs.Metrics.inc obs_replaced);
       note t Diag.Warning "worker-%d %s; replaced (incarnation %d)" s.wid why
         (s.incarnation - 1)
     | exception e ->
@@ -276,6 +334,7 @@ let create ~settings ~spawner () =
       lock = Mutex.create ();
       acc = Accept.create ();
       admit = Admit.create ~limits:settings.limits ();
+      started = Unix.gettimeofday ();
       monitor_stop = Atomic.make false;
       monitor = None;
       proxied = 0;
@@ -357,11 +416,32 @@ let state_string = function
   | Replacing -> "replacing"
   | Degraded -> "degraded"
 
+(* Refresh the per-worker and aggregate health gauges from slot state.
+   Called on every scrape/status rather than on every transition so the
+   gauges cannot drift from the slots they summarize. *)
+let refresh_health_gauges t =
+  let healthy = ref 0 in
+  Array.iter
+    (fun s ->
+      if s.state = Healthy then incr healthy;
+      Vrp_obs.Metrics.set (obs_worker_up s.wid)
+        (if s.state = Healthy then 1.0 else 0.0);
+      Vrp_obs.Metrics.set (obs_worker_inflight s.wid) (float_of_int s.inflight))
+    t.slots;
+  Vrp_obs.Metrics.set obs_workers_healthy (float_of_int !healthy);
+  Vrp_obs.Metrics.set obs_fleet_uptime (Unix.gettimeofday () -. t.started)
+
 let handle_fleet_status t =
   let c = t.counters in
   let healthy =
     Array.fold_left (fun n s -> if s.state = Healthy then n + 1 else n) 0 t.slots
   in
+  refresh_health_gauges t;
+  let uptime = Unix.gettimeofday () -. t.started in
+  let op_counts =
+    List.map (fun op -> (op, Vrp_obs.Metrics.value (obs_requests op))) fleet_ops
+  in
+  let total_requests = List.fold_left (fun acc (_, n) -> acc + n) 0 op_counts in
   let buf = Buffer.create 256 in
   Buffer.add_string buf
     (Printf.sprintf "fleet %s: %d worker(s), %d healthy\n" Version.version
@@ -369,6 +449,11 @@ let handle_fleet_status t =
   Buffer.add_string buf
     (Printf.sprintf "requests: %d served, %d contained, %d failover(s)\n" c.served
        c.contained c.failovers);
+  Buffer.add_string buf (Printf.sprintf "uptime: %.1fs\n" uptime);
+  Buffer.add_string buf
+    (Printf.sprintf "ops: %d total (%s)\n" total_requests
+       (String.concat ", "
+          (List.map (fun (op, n) -> Printf.sprintf "%s %d" op n) op_counts)));
   Buffer.add_string buf (Printf.sprintf "workers replaced: %d\n" c.replaced);
   Array.iter
     (fun s ->
@@ -407,6 +492,9 @@ let handle_fleet_status t =
       ("contained", Json.Int c.contained);
       ("failovers", Json.Int c.failovers);
       ("replaced", Json.Int c.replaced);
+      ("uptime_s", Json.Float uptime);
+      ("requests_total", Json.Int total_requests);
+      ("ops", Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) op_counts));
       ("workers", Json.List workers);
     ] )
 
@@ -423,6 +511,14 @@ let handle_ping t =
 let handle_shutdown t =
   Accept.request_stop t.acc;
   ({ Ops.out = ""; err = ""; code = 0 }, [ ("stopping", Json.Bool true) ])
+
+(* Front-door Prometheus scrape. Answered locally — the front door's own
+   registry holds its admission gate, proxy ladder, replacement counters
+   and per-worker health; workers are separate processes with their own
+   scrapeable registries. Control plane: never proxied, never queued. *)
+let handle_metrics t =
+  refresh_health_gauges t;
+  ({ Ops.out = Vrp_obs.Metrics.render (); err = ""; code = 0 }, [])
 
 (* The Kill_worker chaos fault: every Nth proxied request force-kills its
    routed worker just before forwarding — the proxy's retry ladder plus
@@ -458,7 +554,9 @@ let proxy t (req : Protocol.request) =
         ~name:(Printf.sprintf "%s via worker-%d" op first.wid)
         (fun token ->
           if Diag.Cancel.attempt token > 0 then
-            locked t (fun () -> t.counters.failovers <- t.counters.failovers + 1);
+            locked t (fun () ->
+                t.counters.failovers <- t.counters.failovers + 1;
+                Vrp_obs.Metrics.inc obs_failovers);
           (* Re-route each attempt: the slot may have degraded (or
              saturated) mid-retry. *)
           let s = route t ~op ~params in
@@ -500,20 +598,29 @@ let handle t (req : Protocol.request) =
     | "ping" ->
       let o, data = handle_ping t in
       local o data
+    | "metrics" ->
+      let o, data = handle_metrics t in
+      local o data
     | "shutdown" ->
       let o, data = handle_shutdown t in
       local o data
     | _ -> proxy t req
   in
+  Vrp_obs.Metrics.inc (obs_requests req.Protocol.op);
+  Vrp_obs.Metrics.time (obs_request_seconds req.Protocol.op) @@ fun () ->
   match dispatch () with
   | resp ->
-    locked t (fun () -> t.counters.served <- t.counters.served + 1);
+    locked t (fun () ->
+        t.counters.served <- t.counters.served + 1;
+        Vrp_obs.Metrics.inc obs_served);
     resp
   | exception e ->
     let msg =
       match e with Failure m -> m | e -> Printexc.to_string e
     in
-    locked t (fun () -> t.counters.contained <- t.counters.contained + 1);
+    locked t (fun () ->
+        t.counters.contained <- t.counters.contained + 1;
+        Vrp_obs.Metrics.inc obs_contained);
     note t Diag.Warning "%s id=%d contained: %s" req.Protocol.op req.Protocol.id msg;
     Protocol.error_response ~rid:req.Protocol.id ~kind:"worker-unavailable" msg
 

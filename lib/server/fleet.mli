@@ -36,7 +36,9 @@
     (guarded by the cache's advisory locks).
 
     Front-door-local operations: [fleet-status] (fleet counters and
-    per-worker state), [ping], [shutdown]. Everything else is proxied.
+    per-worker state), [ping], [metrics] (Prometheus exposition of the
+    front door's registry: admission, proxy ladder, replacement counters,
+    per-worker health gauges), [shutdown]. Everything else is proxied.
 
     Fault injection: [Kill_worker n] force-kills the routed worker on
     every [n]th proxied request just before forwarding — the request must

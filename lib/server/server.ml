@@ -27,6 +27,58 @@ let default_settings =
     limits = Admit.default_limits;
   }
 
+(* --- Registry-backed request telemetry ---
+
+   Per-op request counters and latency histograms, admission mirrors (see
+   {!Admit}), uptime, and session diff-size histograms. The [status] text
+   sources its uptime/per-op lines from these cells — one bookkeeping
+   path, scraped by the [metrics] op as Prometheus text. *)
+
+let known_ops =
+  [ "predict"; "analyze"; "compare"; "batch"; "status"; "evict"; "ping";
+    "metrics"; "shutdown" ]
+
+(* Bound label cardinality: unknown client-supplied op strings collapse to
+   one series instead of minting one per typo. *)
+let op_label op = if List.mem op known_ops then op else "unknown"
+
+let obs_requests op =
+  Vrp_obs.Metrics.counter ~help:"Requests handled, by operation"
+    ~labels:[ ("op", op_label op) ] "vrpd_requests_total"
+
+let obs_request_seconds op =
+  Vrp_obs.Metrics.histogram ~help:"Request latency in seconds, by operation"
+    ~labels:[ ("op", op_label op) ] "vrpd_request_seconds"
+
+let obs_contained =
+  Vrp_obs.Metrics.counter ~help:"Requests answered by the containment wrapper"
+    "vrpd_requests_contained_total"
+
+let obs_cancelled =
+  Vrp_obs.Metrics.counter ~help:"Requests contained by cancellation"
+    "vrpd_requests_cancelled_total"
+
+let obs_uptime =
+  Vrp_obs.Metrics.gauge ~help:"Daemon uptime in seconds" "vrpd_uptime_seconds"
+
+let obs_start_time =
+  Vrp_obs.Metrics.gauge ~help:"Daemon start time in unix seconds"
+    "vrpd_start_time_seconds"
+
+let session_size_buckets = [ 0.; 1.; 2.; 5.; 10.; 20.; 50.; 100. ]
+
+let obs_session_changed =
+  Vrp_obs.Metrics.histogram ~help:"Changed functions per session diff"
+    ~buckets:session_size_buckets "vrpd_session_changed_functions"
+
+let obs_session_dirty =
+  Vrp_obs.Metrics.histogram ~help:"Dirty functions per session diff"
+    ~buckets:session_size_buckets "vrpd_session_dirty_functions"
+
+let obs_session_reused =
+  Vrp_obs.Metrics.histogram ~help:"Reused summaries per session diff"
+    ~buckets:session_size_buckets "vrpd_session_reused_functions"
+
 type counters = {
   mutable served : int;
   mutable contained : int;
@@ -45,6 +97,7 @@ type t = {
   report : Diag.report;
   state_lock : Mutex.t;  (* counters + report *)
   acc : Accept.t;
+  started : float;  (* unix time of [create]; uptime in status/metrics *)
   mutable shut : bool;
 }
 
@@ -80,6 +133,10 @@ let create ?(settings = default_settings) () =
     report = Diag.create ();
     state_lock = Mutex.create ();
     acc = Accept.create ();
+    started =
+      (let now = Unix.gettimeofday () in
+       Vrp_obs.Metrics.set obs_start_time now;
+       now);
     shut = false;
   }
 
@@ -222,6 +279,12 @@ let handle_analyze t ?budget_ms p =
       | Error o -> outcome_ok o []
       | Ok c ->
         let plan = Session.plan s ~name c.Pipeline.ssa in
+        Vrp_obs.Metrics.observe obs_session_changed
+          (float_of_int (List.length plan.Session.changed));
+        Vrp_obs.Metrics.observe obs_session_dirty
+          (float_of_int (List.length plan.Session.dirty));
+        Vrp_obs.Metrics.observe obs_session_reused
+          (float_of_int (List.length plan.Session.reused));
         let cache = Session.cache s in
         let before = Summary_cache.counters cache in
         let o =
@@ -290,6 +353,17 @@ let handle_status t =
   Buffer.add_string buf
     (Printf.sprintf "requests: %d served, %d contained, %d cancelled\n" c.served
        c.contained c.cancelled);
+  let uptime = Unix.gettimeofday () -. t.started in
+  Vrp_obs.Metrics.set obs_uptime uptime;
+  Buffer.add_string buf (Printf.sprintf "uptime: %.1fs\n" uptime);
+  let op_counts =
+    List.map (fun op -> (op, Vrp_obs.Metrics.value (obs_requests op))) known_ops
+  in
+  let total_requests = List.fold_left (fun acc (_, n) -> acc + n) 0 op_counts in
+  Buffer.add_string buf
+    (Printf.sprintf "ops: %d total (%s)\n" total_requests
+       (String.concat ", "
+          (List.map (fun (op, n) -> Printf.sprintf "%s %d" op n) op_counts)));
   Buffer.add_string buf
     (Printf.sprintf "limits: %d conns, %d inflight, %d queued, %dms idle timeout\n"
        t.settings.limits.Admit.max_conns t.settings.limits.Admit.max_inflight
@@ -309,6 +383,10 @@ let handle_status t =
       ("served", Json.Int c.served);
       ("contained", Json.Int c.contained);
       ("cancelled", Json.Int c.cancelled);
+      ("uptime_s", Json.Float uptime);
+      ("requests_total", Json.Int total_requests);
+      ( "ops",
+        Json.Obj (List.map (fun (op, n) -> (op, Json.Int n)) op_counts) );
       ("inflight", Json.Int (Admit.inflight t.admit));
       ("shed", Json.Int (a.Admit.shed_conns + a.Admit.shed_requests));
       ("expired", Json.Int a.Admit.expired);
@@ -342,6 +420,12 @@ let handle_shutdown t =
   Accept.request_stop t.acc;
   ({ Ops.out = ""; err = ""; code = 0 }, [ ("stopping", Json.Bool true) ])
 
+(* Prometheus scrape. Control plane like [ping]: bypasses admission so an
+   overloaded or shedding daemon stays scrapeable. *)
+let handle_metrics t =
+  Vrp_obs.Metrics.set obs_uptime (Unix.gettimeofday () -. t.started);
+  ({ Ops.out = Vrp_obs.Metrics.render (); err = ""; code = 0 }, [])
+
 (* --- Dispatch + per-request containment --- *)
 
 let note t severity fmt =
@@ -350,8 +434,8 @@ let note t severity fmt =
     fmt
 
 (* Ops that do analysis work take an in-flight slot; the control plane
-   (status, ping, shutdown, evict) always answers, precisely so overload
-   stays observable and stoppable while the daemon is shedding. *)
+   (status, ping, metrics, shutdown, evict) always answers, precisely so
+   overload stays observable and stoppable while the daemon is shedding. *)
 let analysis_op = function
   | "predict" | "analyze" | "compare" | "batch" -> true
   | _ -> false
@@ -371,6 +455,7 @@ let handle t (req : Protocol.request) =
     | "status" -> handle_status t
     | "evict" -> handle_evict t
     | "ping" -> handle_ping t
+    | "metrics" -> handle_metrics t
     | "shutdown" -> handle_shutdown t
     | op -> failwith (Printf.sprintf "unknown op %S" op)
   in
@@ -378,10 +463,15 @@ let handle t (req : Protocol.request) =
     locked t (fun () ->
         t.counters.contained <- t.counters.contained + 1;
         if cancelled then t.counters.cancelled <- t.counters.cancelled + 1);
+    Vrp_obs.Metrics.inc obs_contained;
+    if cancelled then Vrp_obs.Metrics.inc obs_cancelled;
     note t Diag.Warning "%s id=%d contained: %s" req.Protocol.op req.Protocol.id msg;
     Protocol.error_response ~rid:req.Protocol.id ~kind msg
   in
   let run ?budget_ms () =
+    Vrp_obs.Metrics.inc (obs_requests req.Protocol.op);
+    Vrp_obs.Metrics.time (obs_request_seconds req.Protocol.op) @@ fun () ->
+    Vrp_obs.Trace.with_span ("op:" ^ op_label req.Protocol.op) @@ fun () ->
     match dispatch ?budget_ms () with
     | (o : Ops.outcome), data ->
       locked t (fun () -> t.counters.served <- t.counters.served + 1);

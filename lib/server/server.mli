@@ -18,6 +18,7 @@
     incremental predict), [compare], [batch], [status], [evict], [ping]
     (liveness-and-load probe answering [pong] plus the daemon's pid,
     inflight, capacity and shed count — the fleet's health check),
+    [metrics] (Prometheus text exposition of the process-wide registry),
     [shutdown]. The analysis operations answer the byte-identical stdout
     of the corresponding one-shot CLI command (same {!Ops} code path).
 
@@ -26,8 +27,8 @@
     [busy] response carrying [retry_after_ms]; a request stamping a
     [deadline_ms] budget is charged for its queue wait and shed as
     [deadline-expired] rather than dispatched late. The control plane
-    (status/ping/evict/shutdown) bypasses the gate so an overloaded daemon
-    stays observable and stoppable. *)
+    (status/ping/evict/metrics/shutdown) bypasses the gate so an overloaded
+    daemon stays observable and stoppable. *)
 
 module Diag = Vrp_diag.Diag
 

@@ -588,7 +588,7 @@ let starvation_fuel = 4
     (fuel exhaustion, timeout, forced widening) is additionally flagged in
     the result record.
     @raise Diag.Fault.Injected under crash fault injection. *)
-let analyze ?(config = default_config) ?report
+let analyze_body ?(config = default_config) ?report
     ?(call_oracle = fun _ _ -> Value.bottom)
     ?(param_values : Value.t list option) (fn : Ir.fn) : t =
   (* Resolve fault injection against this function. *)
@@ -795,6 +795,7 @@ let analyze ?(config = default_config) ?report
      pays nothing for having the algebra enabled. *)
   (if config.symbolic && config.algebra && (not !exhausted) && not !timed_out
    then
+     Vrp_obs.Trace.with_span "algebra" ~args:[ ("fn", fname) ] @@ fun () ->
      let alg = ref None in
      let the_alg () =
        match !alg with
@@ -879,3 +880,21 @@ let analyze ?(config = default_config) ?report
     timed_out = !timed_out;
     widenings = st.widenings;
   }
+
+(* Per-run observability around the core fixpoint: a counter + duration
+   histogram in the registry and a scoped span (parent-linked under the
+   caller's pipeline/interproc spans) when tracing is enabled. None of it
+   touches analysis state, so results are byte-identical either way. *)
+let runs_total =
+  Vrp_obs.Metrics.counter ~help:"Engine analyze runs (one per function)"
+    "vrp_engine_runs_total"
+
+let run_seconds =
+  Vrp_obs.Metrics.histogram ~help:"Engine analyze duration in seconds"
+    "vrp_engine_run_seconds"
+
+let analyze ?config ?report ?call_oracle ?param_values (fn : Ir.fn) : t =
+  Vrp_obs.Metrics.inc runs_total;
+  Vrp_obs.Metrics.time run_seconds (fun () ->
+      Vrp_obs.Trace.with_span "engine" ~args:[ ("fn", fn.Ir.fname) ] (fun () ->
+          analyze_body ?config ?report ?call_oracle ?param_values fn))

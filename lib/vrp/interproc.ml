@@ -84,6 +84,25 @@ let default_max_rounds = 5
 
 let sequential_runner : runner = Array.map (fun task -> task.run ())
 
+(* Scheduler-level observability: rounds/waves/tasks counted in the metrics
+   registry, per-task durations in a histogram. Ticked by the driver (not
+   the runner) so sequential and pooled execution report identically. *)
+let rounds_total =
+  Vrp_obs.Metrics.counter ~help:"Interprocedural propagation rounds"
+    "vrp_interproc_rounds_total"
+
+let waves_total =
+  Vrp_obs.Metrics.counter ~help:"Scheduler waves of independent tasks"
+    "vrp_sched_waves_total"
+
+let tasks_total =
+  Vrp_obs.Metrics.counter ~help:"Scheduler tasks executed"
+    "vrp_sched_tasks_total"
+
+let task_seconds =
+  Vrp_obs.Metrics.histogram ~help:"Scheduler task duration in seconds"
+    "vrp_sched_task_seconds"
+
 let default_analyze_fn : analyze_fn =
  fun ~config ~report ~call_oracle ~param_values fn ->
   Engine.analyze ~config ?report ~call_oracle ~param_values fn
@@ -138,6 +157,7 @@ let analyze ?(config = Engine.default_config) ?report
   let continue = ref true in
   while !continue && !rounds < max_rounds do
     incr rounds;
+    Vrp_obs.Metrics.inc rounds_total;
     let round_results = Hashtbl.create 16 in
     (* Executable (callee, args) records of this round, in deterministic
        discovery order — the jump functions for the next round. *)
@@ -156,6 +176,11 @@ let analyze ?(config = Engine.default_config) ?report
         group = members;
         run =
           (fun () ->
+            Vrp_obs.Metrics.inc tasks_total;
+            Vrp_obs.Metrics.time task_seconds @@ fun () ->
+            Vrp_obs.Trace.with_span "task"
+              ~args:[ ("group", String.concat "," members) ]
+            @@ fun () ->
             List.map
               (fun name ->
                 let local = Diag.create () in
@@ -198,7 +223,16 @@ let analyze ?(config = Engine.default_config) ?report
     let wave = ref [ [ "main" ] ] in
     List.iter (fun members -> List.iter (fun n -> Hashtbl.replace done_fns n ()) members) !wave;
     while !wave <> [] do
-      let task_results = run_tasks (Array.of_list (List.map make_task !wave)) in
+      Vrp_obs.Metrics.inc waves_total;
+      let task_results =
+        Vrp_obs.Trace.with_span "wave"
+          ~args:
+            [
+              ("round", string_of_int !rounds);
+              ("tasks", string_of_int (List.length !wave));
+            ]
+          (fun () -> run_tasks (Array.of_list (List.map make_task !wave)))
+      in
       (* Merge in task order: results, failures, diagnostics, call records
          and the next frontier are all deterministic. *)
       let frontier = ref [] (* reversed first-discovery order *) in

@@ -18,11 +18,21 @@ type compiled = {
 (** Parse, check, lower, clean, split, convert to SSA and validate.
     @raise Vrp_lang front-end errors or {!Vrp_ir.Check.Violation}. *)
 let compile (source : string) : compiled =
-  let ast = Vrp_lang.Front.parse_and_check source in
-  let cfg = Vrp_ir.Build.program ast in
-  let ssa, ssa_infos = Vrp_ir.Ssa.transform_program cfg in
-  Vrp_ir.Check.check_ssa_program ssa;
-  { source; ast; ssa; ssa_infos }
+  Vrp_obs.Trace.with_span "compile" (fun () ->
+      let ast =
+        Vrp_obs.Trace.with_span "parse+check" (fun () ->
+            Vrp_lang.Front.parse_and_check source)
+      in
+      let cfg =
+        Vrp_obs.Trace.with_span "build-cfg" (fun () -> Vrp_ir.Build.program ast)
+      in
+      let ssa, ssa_infos =
+        Vrp_obs.Trace.with_span "ssa" (fun () ->
+            Vrp_ir.Ssa.transform_program cfg)
+      in
+      Vrp_obs.Trace.with_span "check-ssa" (fun () ->
+          Vrp_ir.Check.check_ssa_program ssa);
+      { source; ast; ssa; ssa_infos })
 
 (** Total variant of {!compile} for consumers that must not see exceptions:
     any front-end error, IR-check violation or internal crash becomes a
@@ -161,7 +171,10 @@ let vrp_predictions ?(config = Engine.default_config) ?(interprocedural = true)
       ssa.Ir.fns
   in
   if interprocedural then begin
-    match Interproc.analyze ~config ?report ?groups ?run_tasks ?analyze_fn ssa with
+    match
+      Vrp_obs.Trace.with_span "interproc" (fun () ->
+          Interproc.analyze ~config ?report ?groups ?run_tasks ?analyze_fn ssa)
+    with
     | ipa ->
       List.iter
         (fun (fn : Ir.fn) ->

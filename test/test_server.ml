@@ -248,6 +248,80 @@ let wire_corpus_replay () =
               let resp = Client.request conn ~op:"shutdown" () in
               Alcotest.(check bool) "shutdown ok" true resp.Protocol.ok)))
 
+(* The metrics op over a live socket: valid Prometheus text whose request
+   counters move exactly with the work the daemon just did. The registry
+   is process-wide (other tests in this binary also bump it), so the test
+   asserts deltas between two scrapes, not absolute values. *)
+let metrics_scrape_live () =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vrpd-metrics-%d.sock" (Unix.getpid ()))
+  in
+  let series text name =
+    let prefix = name ^ " " in
+    String.split_on_char '\n' text
+    |> List.find_map (fun line ->
+           if String.length line >= String.length prefix
+              && String.sub line 0 (String.length prefix) = prefix
+           then
+             int_of_string_opt
+               (String.sub line (String.length prefix)
+                  (String.length line - String.length prefix))
+           else None)
+    |> function
+    | Some n -> n
+    | None -> Alcotest.failf "series %s not in scrape" name
+  in
+  with_server ~settings:{ Server.default_settings with Server.jobs = 2 }
+    (fun server ->
+      let listen_fd = Server.listen_unix sock in
+      let th = Thread.create (fun () -> Server.serve server listen_fd) () in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop server;
+          Thread.join th;
+          (try Unix.close listen_fd with _ -> ());
+          try Sys.remove sock with _ -> ())
+        (fun () ->
+          Client.with_connection sock (fun conn ->
+              let scrape () =
+                let resp = Client.request conn ~op:"metrics" () in
+                Alcotest.(check bool) "metrics ok" true resp.Protocol.ok;
+                resp.Protocol.out
+              in
+              let before = scrape () in
+              Alcotest.(check bool) "TYPE line" true
+                (Astring.String.is_infix
+                   ~affix:"# TYPE vrpd_requests_total counter" before);
+              Alcotest.(check bool) "uptime gauge" true
+                (Astring.String.is_infix
+                   ~affix:"# TYPE vrpd_uptime_seconds gauge" before);
+              let qsort = bench_source "qsort" in
+              for _ = 1 to 2 do
+                let resp =
+                  Client.request conn ~op:"predict"
+                    ~params:
+                      (Json.Obj
+                         [ ("source", Json.String qsort);
+                           ("name", Json.String "qsort.mc") ])
+                    ()
+                in
+                Alcotest.(check bool) "predict ok" true resp.Protocol.ok
+              done;
+              let after = scrape () in
+              let delta name = series after name - series before name in
+              Alcotest.(check int) "predicts counted" 2
+                (delta {|vrpd_requests_total{op="predict"}|});
+              Alcotest.(check int) "latency histogram observed" 2
+                (delta {|vrpd_request_seconds_count{op="predict"}|});
+              (* The scrape counts itself: the [before] scrape is visible
+                 in the [after] scrape's own op counter. *)
+              Alcotest.(check bool) "scrapes counted" true
+                (delta {|vrpd_requests_total{op="metrics"}|} >= 1);
+              (* Engine counters flowed into the same registry. *)
+              Alcotest.(check bool) "engine runs exposed" true
+                (delta "vrp_engine_runs_total" > 0))))
+
 (* 16 concurrent mixed requests; one carries a crash-file fault. The
    faulted one is contained with exit-code-2 semantics, every other
    response matches the one-shot bytes, and the daemon stays up. *)
@@ -722,7 +796,24 @@ let fleet_routing_and_status () =
                   Alcotest.failf "worker row missing %s" k)
               [ "inflight"; "capacity"; "shed" ])
           ws
-      | _ -> Alcotest.fail "no workers list"))
+      | _ -> Alcotest.fail "no workers list");
+      (* [metrics] is front-door-local: the proxy answers from its own
+         registry with its fleet counters and per-worker health gauges. *)
+      let m =
+        Fleet.handle fleet { Protocol.id = 5; op = "metrics"; params = Json.Null }
+      in
+      Alcotest.(check bool) "metrics ok" true m.Protocol.ok;
+      List.iter
+        (fun affix ->
+          if not (Astring.String.is_infix ~affix m.Protocol.out) then
+            Alcotest.failf "fleet scrape missing %s" affix)
+        [
+          "# TYPE vrpd_fleet_requests_total counter";
+          {|vrpd_fleet_requests_total{op="predict"}|};
+          "vrpd_fleet_workers_healthy 2.0";
+          {|vrpd_fleet_worker_up{worker="0"} 1.0|};
+          {|vrpd_fleet_worker_up{worker="1"} 1.0|};
+        ])
 
 (* The acceptance scenario: a fleet front door on a live socket, 16
    concurrent clients, the kill-worker fault firing repeatedly mid-run.
@@ -1249,6 +1340,7 @@ let suite =
       tc "error response shape" `Quick error_response_shape;
       tc "predict byte-identical (jobs 1 and 4)" `Quick server_predict_byte_identical;
       tc "wire corpus replay + shutdown" `Quick wire_corpus_replay;
+      tc "metrics scrape live daemon" `Quick metrics_scrape_live;
       tc "16 concurrent mixed, one crash" `Quick concurrent_mixed_with_crash;
       tc "session incremental edit" `Quick session_incremental_edit;
       tc "interproc beat demotes between functions" `Quick beat_demotes_between_functions;
